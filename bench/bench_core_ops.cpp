@@ -1,0 +1,178 @@
+// Google-benchmark microbenchmarks of every cryptographic building block,
+// from field multiplication up to full proof verification. These are the
+// constants behind all the per-figure numbers.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "audit/serialize.hpp"
+#include "bench/bench_util.hpp"
+#include "kzg/kzg.hpp"
+#include "pairing/pairing.hpp"
+
+using namespace dsaudit;
+
+namespace {
+
+primitives::SecureRng& rng() {
+  static auto r = primitives::SecureRng::deterministic(51);
+  return r;
+}
+
+void BM_FpMul(benchmark::State& state) {
+  ff::Fp a = ff::Fp::random(rng()), b = ff::Fp::random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a * b);
+  }
+}
+BENCHMARK(BM_FpMul);
+
+void BM_FpInverse(benchmark::State& state) {
+  ff::Fp a = ff::Fp::random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a.inverse() + ff::Fp::one());
+  }
+}
+BENCHMARK(BM_FpInverse);
+
+void BM_Fp12Mul(benchmark::State& state) {
+  ff::Fp12 a = ff::Fp12::random(rng()), b = ff::Fp12::random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a * b);
+  }
+}
+BENCHMARK(BM_Fp12Mul);
+
+void BM_G1ScalarMul(benchmark::State& state) {
+  curve::G1 p = curve::g1_random(rng());
+  ff::Fr k = ff::Fr::random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul(k));
+  }
+}
+BENCHMARK(BM_G1ScalarMul);
+
+void BM_HashToG1(benchmark::State& state) {
+  std::uint64_t ctr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit::chunk_hash(ff::Fr::from_u64(7), ctr++));
+  }
+}
+BENCHMARK(BM_HashToG1);
+
+void BM_MsmG1(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<curve::G1> pts;
+  std::vector<ff::Fr> sc;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(curve::g1_random(rng()));
+    sc.push_back(ff::Fr::random(rng()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::msm<curve::G1>(pts, sc));
+  }
+}
+BENCHMARK(BM_MsmG1)->Arg(50)->Arg(300)->Arg(1000);
+
+void BM_Pairing(benchmark::State& state) {
+  curve::G1 p = curve::g1_random(rng());
+  curve::G2 q = curve::g2_random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::pairing(p, q));
+  }
+}
+BENCHMARK(BM_Pairing);
+
+void BM_MultiPairing4(benchmark::State& state) {
+  std::vector<std::pair<curve::G1, curve::G2>> pairs;
+  for (int i = 0; i < 4; ++i) {
+    pairs.emplace_back(curve::g1_random(rng()), curve::g2_random(rng()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::multi_pairing(pairs));
+  }
+}
+BENCHMARK(BM_MultiPairing4);
+
+void BM_KzgCommit(benchmark::State& state) {
+  static kzg::Srs srs = kzg::make_srs(ff::Fr::random(rng()), 256);
+  poly::Polynomial p = poly::Polynomial::random(256, rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kzg::commit(srs, p));
+  }
+}
+BENCHMARK(BM_KzgCommit);
+
+struct ProveFixture {
+  benchutil::Scenario sc;
+  std::unique_ptr<audit::Prover> prover;
+  audit::Challenge chal;
+
+  ProveFixture() {
+    sc = benchutil::make_scenario(320 * 50 * 31, 50, rng());
+    prover = std::make_unique<audit::Prover>(sc.kp.pk, sc.file, sc.tag);
+    chal = benchutil::make_challenge(rng(), 300);
+  }
+};
+
+ProveFixture& fixture() {
+  static ProveFixture f;
+  return f;
+}
+
+void BM_ProveBasic_k300_s50(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.prover->prove(f.chal));
+  }
+}
+BENCHMARK(BM_ProveBasic_k300_s50);
+
+void BM_ProvePrivate_k300_s50(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.prover->prove_private(f.chal, rng()));
+  }
+}
+BENCHMARK(BM_ProvePrivate_k300_s50);
+
+void BM_VerifyBasic_k300(benchmark::State& state) {
+  auto& f = fixture();
+  auto proof = f.prover->prove(f.chal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit::verify(f.sc.kp.pk, f.sc.name,
+                                           f.sc.file.num_chunks(), f.chal, proof));
+  }
+}
+BENCHMARK(BM_VerifyBasic_k300);
+
+void BM_VerifyPrivate_k300(benchmark::State& state) {
+  auto& f = fixture();
+  auto proof = f.prover->prove_private(f.chal, rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit::verify_private(
+        f.sc.kp.pk, f.sc.name, f.sc.file.num_chunks(), f.chal, proof));
+  }
+}
+BENCHMARK(BM_VerifyPrivate_k300);
+
+void BM_GtCompress(benchmark::State& state) {
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit::gt_compress(g));
+  }
+}
+BENCHMARK(BM_GtCompress);
+
+void BM_GtDecompress(benchmark::State& state) {
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));
+  auto bytes = audit::gt_compress(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit::gt_decompress(bytes));
+  }
+}
+BENCHMARK(BM_GtDecompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

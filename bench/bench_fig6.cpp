@@ -1,0 +1,27 @@
+// Fig. 6: estimated auditing fees vs contract duration, daily vs weekly
+// auditing, at the paper's April-2020 price anchors (5 Gwei, 143 USD/ETH).
+#include "bench/bench_util.hpp"
+#include "econ/cost_model.hpp"
+
+using namespace dsaudit;
+using namespace dsaudit::benchutil;
+
+int main() {
+  header("Fig. 6 reproduction: auditing fees vs contract duration");
+  econ::AuditCostModel model;  // paper operating point: 589k gas + beacon
+  std::printf("per-audit: %llu gas = %.3f USD (+%.2f USD beacon)\n\n",
+              static_cast<unsigned long long>(model.gas_per_audit()),
+              model.price.usd(model.gas_per_audit()), model.beacon_usd_per_round);
+
+  std::printf("%16s %20s %20s\n", "duration (days)", "daily auditing ($)",
+              "weekly auditing ($)");
+  for (unsigned days : {30u, 90u, 180u, 360u, 720u, 1800u}) {
+    std::printf("%16u %20.2f %20.2f\n", days,
+                econ::contract_fee_usd(model, days, 1.0),
+                econ::contract_fee_usd(model, days, 1.0 / 7.0));
+  }
+  std::printf("\nshape check: linear in duration; daily/weekly ratio = 7; a daily\n"
+              "360-day contract lands near commodity cloud pricing (~$150/yr,\n"
+              "the paper's Dropbox Business anchor), matching Fig. 6's message.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 7: data-owner pre-processing time for 1 GB as a function of s, with
+// and without the s-parameter (s = 1 is the classic per-block HLA scheme).
+//
+// Tag generation is embarrassingly parallel and strictly linear in the
+// number of chunks, so we measure an adaptively-sized slice per s (to keep
+// the bench short) and report the exact linear extrapolation to 1 GB,
+// alongside throughput in MB/s (paper: 35.31 MB/s at s = 50 on a quad-core).
+#include "bench/bench_util.hpp"
+
+using namespace dsaudit;
+using namespace dsaudit::benchutil;
+
+int main() {
+  auto rng = primitives::SecureRng::deterministic(47);
+  header("Fig. 7 reproduction: owner pre-processing time for 1 GB vs s");
+  std::printf("(4 threads, mirroring the paper's quad-core testbed)\n\n");
+  std::printf("%6s %14s %14s %16s %14s\n", "s", "slice (MiB)", "slice (s)",
+              "1 GB extrap (s)", "MB/s");
+
+  const double kGiB = 1024.0 * 1024 * 1024;
+  double t_s50 = 0, t_s1 = 0;
+  for (std::size_t s : {1u, 10u, 20u, 30u, 50u, 80u, 100u, 200u, 300u, 500u}) {
+    // s = 1 pays one authenticator per 31-byte block — use a small slice.
+    std::size_t slice = s == 1 ? 192 * 1024 : 4 * 1024 * 1024;
+    std::vector<std::uint8_t> data(slice);
+    rng.fill(data);
+    audit::KeyPair kp = audit::keygen(s, rng);
+    auto file = storage::encode_file(data, s);
+    auto name = audit::Fr::random(rng);
+    auto t0 = Clock::now();
+    auto tag = audit::generate_tags(kp.sk, kp.pk, file, name, 4);
+    double ms = ms_since(t0);
+    double extrap_s = ms / 1000.0 * (kGiB / slice);
+    double mbps = (slice / 1e6) / (ms / 1000.0);
+    std::printf("%6zu %14.2f %14.3f %16.0f %14.2f\n", s, slice / 1048576.0,
+                ms / 1000.0, extrap_s, mbps);
+    if (s == 50) t_s50 = extrap_s;
+    if (s == 1) t_s1 = extrap_s;
+    if (tag.sigmas.empty()) std::abort();
+  }
+  std::printf("\npaper: ~120 s at s=50 (35.31 MB/s); s=1 in the thousands of\n"
+              "seconds (left axis of Fig. 7). ours: s=50 -> %.0f s; s=1 -> %.0f s;\n"
+              "speedup from the s-parameter: %.0fx (paper: ~30x).\n",
+              t_s50, t_s1, t_s1 / t_s50);
+  std::printf("shape check: time falls steeply from s=1, flattens past s~50 —\n"
+              "the hash H(name||i) and the per-chunk exponentiation amortize\n"
+              "across s blocks, then Zp work grows linearly and the curve bottoms.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints the paper's reported values next to what this
+// implementation measures or models, in plain text tables that EXPERIMENTS.md
+// records. Absolute timings differ from the paper's 2020 Go/assembly testbed;
+// the shapes (who wins, scaling exponents, crossovers) are the claims under
+// reproduction.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "audit/protocol.hpp"
+
+namespace dsaudit::benchutil {
+
+using Clock = std::chrono::steady_clock;
+
+inline double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Time a callable, best of `reps` runs (ms).
+template <typename F>
+double time_best_ms(F&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = Clock::now();
+    fn();
+    best = std::min(best, ms_since(t0));
+  }
+  return best;
+}
+
+struct Scenario {
+  audit::KeyPair kp;
+  storage::EncodedFile file;
+  audit::FileTag tag;
+  audit::Fr name;
+};
+
+inline Scenario make_scenario(std::size_t file_bytes, std::size_t s,
+                              primitives::SecureRng& rng, unsigned threads = 4) {
+  Scenario sc;
+  sc.kp = audit::keygen(s, rng);
+  std::vector<std::uint8_t> data(file_bytes);
+  rng.fill(data);
+  sc.file = storage::encode_file(data, s);
+  sc.name = audit::Fr::random(rng);
+  sc.tag = audit::generate_tags(sc.kp.sk, sc.kp.pk, sc.file, sc.name, threads);
+  return sc;
+}
+
+inline audit::Challenge make_challenge(primitives::SecureRng& rng, std::size_t k) {
+  audit::Challenge c;
+  c.c1 = rng.bytes32();
+  c.c2 = rng.bytes32();
+  c.r = audit::Fr::random(rng);
+  c.k = k;
+  return c;
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace dsaudit::benchutil

@@ -1,0 +1,97 @@
+// The §V-C on-chain privacy attack, live.
+//
+// An off-chain observer scrapes audit trails from the public blockchain and
+// runs the interpolation / linear-algebra attack:
+//   * against the NON-private protocol (Eq. 1): the original file bytes are
+//     recovered EXACTLY — including a human-readable message;
+//   * against the privacy-assured protocol (Eq. 2): the same pipeline
+//     recovers nothing.
+//
+// Build & run:  ./build/examples/privacy_attack_demo
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "attack/trail_attack.hpp"
+
+using namespace dsaudit;
+
+int main() {
+  auto rng = primitives::SecureRng::from_os();
+
+  // The victim's "sensitive archive": a message the adversary should never
+  // learn from the blockchain. (Real deployments also encrypt; the paper's
+  // point is that even encrypted blocks must not leak, since deduplication
+  // commonly uses deterministic encryption — recovering ciphertext blocks
+  // enables offline brute-force and equality attacks.)
+  std::string secret =
+      "TOP-SECRET: merger signing at 09:00 June 13, wire 4.2M to escrow acct "
+      "7741-9921; passphrase 'velvet-otter-prime'.";
+  std::vector<std::uint8_t> data(secret.begin(), secret.end());
+
+  const std::size_t s = 4;
+  audit::KeyPair kp = audit::keygen(s, rng);
+  storage::EncodedFile file = storage::encode_file(data, s);
+  audit::Fr name = audit::Fr::random(rng);
+  audit::FileTag tag = audit::generate_tags(kp.sk, kp.pk, file, name);
+  audit::Prover prover(kp.pk, file, tag);
+  const std::size_t d = file.num_chunks();
+  std::printf("victim file: %zu bytes -> %zu chunks x %zu blocks\n\n",
+              data.size(), d, s);
+
+  // ------------------------------------------------------------------
+  // Scenario A: non-private proofs (y = P_k(r) on chain).
+  // ------------------------------------------------------------------
+  std::printf("[A] protocol WITHOUT on-chain privacy (96-byte proofs)\n");
+  attack::TrailAnalyzer observer(d, s);
+  std::uint64_t rounds = 0;
+  std::optional<std::map<attack::BlockId, attack::Fr>> loot;
+  while (!loot && rounds < 10 * d * s) {
+    audit::Challenge chal = attack::eclipse_challenge(rounds++, d);
+    audit::ProofBasic proof = prover.prove(chal);  // lands on the blockchain
+    observer.add_trail({chal, proof.y});
+    if (observer.equations() >= observer.unknowns()) loot = observer.recover();
+  }
+  if (!loot) {
+    std::printf("    attack failed unexpectedly\n");
+    return 1;
+  }
+  std::printf("    observed %llu audit trails -> solved %zu unknowns\n",
+              (unsigned long long)rounds, observer.unknowns());
+  std::printf("    block recovery rate: %.0f%%\n",
+              100.0 * attack::recovery_rate(*loot, file));
+
+  // Reassemble the plaintext from the recovered field elements.
+  storage::EncodedFile stolen = file;  // geometry only; overwrite contents
+  for (auto& chunk : stolen.chunks) {
+    for (auto& b : chunk) b = audit::Fr::zero();
+  }
+  for (const auto& [id, value] : *loot) {
+    stolen.chunks[id.chunk][id.position] = value;
+  }
+  auto stolen_bytes = storage::decode_file(stolen);
+  std::string leaked(stolen_bytes.begin(), stolen_bytes.end());
+  std::printf("    adversary reads: \"%.60s...\"\n\n", leaked.c_str());
+
+  // ------------------------------------------------------------------
+  // Scenario B: the paper's privacy-assured protocol (288-byte proofs).
+  // ------------------------------------------------------------------
+  std::printf("[B] protocol WITH on-chain privacy (288-byte sigma proofs)\n");
+  attack::TrailAnalyzer observer2(d, s);
+  for (std::uint64_t round = 0; round < 10 * d * s; ++round) {
+    audit::Challenge chal = attack::eclipse_challenge(round, d);
+    audit::ProofPrivate proof = prover.prove_private(chal, rng);
+    observer2.add_trail({chal, proof.y_prime});
+  }
+  auto nothing = observer2.recover();
+  std::printf("    observed %llu audit trails (4x the amount that broke [A])\n",
+              (unsigned long long)(10 * d * s));
+  std::printf("    recovery: %s\n",
+              nothing ? "!!! LEAKED (BUG) !!!" : "nothing — system inconsistent");
+
+  bool ok = leaked == secret && !nothing;
+  std::printf("\nverdict: non-private trails leak the file verbatim; the sigma "
+              "layer stops the identical adversary. %s\n",
+              ok ? "" : "(UNEXPECTED RESULT)");
+  return ok ? 0 : 1;
+}

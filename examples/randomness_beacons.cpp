@@ -1,0 +1,105 @@
+// §V-E: reliable challenging randomness, live.
+//
+// The challenge randomness decides WHICH chunks get audited. A biased beacon
+// lets a colluding provider steer audits away from chunks it has dropped.
+// This example quantifies that with the three beacon designs the paper
+// discusses:
+//
+//   1. commit-reveal (Randao-style): the LAST revealer withholds whenever
+//      the output would sample its dropped chunk — audit pass rate climbs
+//      well above the honest detection rate;
+//   2. the VDF-hardened beacon (paper ref [37]): the same adversary gains
+//      nothing, because the output is fixed before the last reveal can react;
+//   3. a trusted beacon (NIST-style) as the baseline.
+//
+// Build & run:  ./build/examples/randomness_beacons
+#include <cstdio>
+
+#include "chain/beacon.hpp"
+#include "primitives/prp.hpp"
+
+using namespace dsaudit;
+
+namespace {
+
+// The provider dropped chunk `victim` of d chunks; each round the contract
+// samples k chunks from the beacon output. Returns the fraction of rounds
+// the drop goes UNDETECTED.
+double undetected_rate(chain::RandomnessBeacon& beacon, std::size_t d,
+                       std::size_t k, std::size_t victim, int rounds) {
+  int undetected = 0;
+  for (int round = 0; round < rounds; ++round) {
+    auto out = beacon.randomness(static_cast<std::uint64_t>(round));
+    std::array<std::uint8_t, 32> c1{};
+    std::copy(out.begin(), out.begin() + 32, c1.begin());
+    auto idx = primitives::challenge_indices(c1, d, k);
+    bool hit = false;
+    for (auto i : idx) hit |= (i == victim);
+    if (!hit) ++undetected;
+  }
+  return static_cast<double>(undetected) / rounds;
+}
+
+// Bias strategy for the commit-reveal adversary: reveal iff the with-reveal
+// output does NOT sample the victim chunk (otherwise withhold and take the
+// without-reveal output — a free one-bit choice every round).
+chain::CommitRevealBeacon::BiasStrategy dodge_chunk(std::size_t d, std::size_t k,
+                                                    std::size_t victim) {
+  return [d, k, victim](const chain::BeaconOutput& with,
+                        const chain::BeaconOutput& without) {
+    auto samples_victim = [&](const chain::BeaconOutput& out) {
+      std::array<std::uint8_t, 32> c1{};
+      std::copy(out.begin(), out.begin() + 32, c1.begin());
+      for (auto i : primitives::challenge_indices(c1, d, k)) {
+        if (i == victim) return true;
+      }
+      return false;
+    };
+    bool with_bad = samples_victim(with);
+    bool without_bad = samples_victim(without);
+    if (with_bad == without_bad) return true;  // indifferent: reveal
+    return !with_bad;                          // pick whichever dodges
+  };
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t d = 20, k = 4, victim = 7;
+  const int rounds = 2000;
+  // Honest sampling misses the victim with probability ~(1 - k/d) = 80%.
+  double expected_honest = 1.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    expected_honest *= static_cast<double>(d - victim > 0 ? d - 1 - j : d - j) /
+                       (d - j);
+  }
+  std::printf("setup: d=%zu chunks, k=%zu challenged, provider dropped chunk %zu\n",
+              d, k, victim);
+  std::printf("honest expectation: drop evades one audit with p = %.1f%%\n\n",
+              100.0 * (1.0 - static_cast<double>(k) / d));
+
+  std::array<std::uint8_t, 32> seed{};
+  seed[0] = 0x5e;
+
+  chain::TrustedBeacon trusted(seed);
+  double p_trusted = undetected_rate(trusted, d, k, victim, rounds);
+  std::printf("trusted beacon:        evades %5.1f%% of audits\n", 100 * p_trusted);
+
+  chain::CommitRevealBeacon biased(seed, 5, dodge_chunk(d, k, victim));
+  double p_biased = undetected_rate(biased, d, k, victim, rounds);
+  std::printf("commit-reveal, biased: evades %5.1f%% of audits "
+              "(withheld %zu/%d reveals)\n",
+              100 * p_biased, biased.withhold_count(), rounds);
+
+  chain::VdfBeacon vdf(seed, 500);
+  double p_vdf = undetected_rate(vdf, d, k, victim, rounds);
+  std::printf("VDF-hardened beacon:   evades %5.1f%% of audits "
+              "(withholding is pointless)\n\n",
+              100 * p_vdf);
+
+  bool ok = p_biased > p_trusted + 0.05 && p_vdf < p_biased;
+  std::printf("conclusion: the last-revealer bias materially weakens storage\n"
+              "guarantees; the VDF restores them — exactly the §V-E argument.%s\n",
+              ok ? "" : " (UNEXPECTED NUMBERS)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+#include "attack/trail_attack.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "primitives/keccak256.hpp"
+
+namespace dsaudit::attack {
+
+TrailAnalyzer::TrailAnalyzer(std::size_t d, std::size_t s) : d_(d), s_(s) {
+  if (d == 0 || s == 0) throw std::invalid_argument("TrailAnalyzer: empty geometry");
+}
+
+void TrailAnalyzer::add_trail(const ObservedTrail& trail) {
+  // Expand exactly as prover/verifier do — everything here is public.
+  audit::ExpandedChallenge ex = audit::expand_challenge(trail.challenge, d_);
+  std::vector<std::pair<std::size_t, Fr>> row;
+  row.reserve(ex.indices.size() * s_);
+  for (std::size_t j = 0; j < ex.indices.size(); ++j) {
+    Fr r_power = Fr::one();
+    for (std::size_t l = 0; l < s_; ++l) {
+      BlockId id{ex.indices[j], l};
+      auto [it, inserted] = unknown_index_.try_emplace(id, unknown_index_.size());
+      row.emplace_back(it->second, ex.coefficients[j] * r_power);
+      r_power *= trail.challenge.r;
+    }
+  }
+  rows_.push_back(std::move(row));
+  rhs_.push_back(trail.response);
+}
+
+std::optional<std::map<BlockId, Fr>> TrailAnalyzer::recover() const {
+  const std::size_t n = unknown_index_.size();
+  if (n == 0 || rows_.size() < n) return std::nullopt;
+  // Densify and Gauss-eliminate the full (possibly overdetermined) system;
+  // inconsistency (as produced by sigma-masked trails) surfaces as either a
+  // singular square system or residual mismatch on the extra rows.
+  std::vector<std::vector<Fr>> a(rows_.size(), std::vector<Fr>(n, Fr::zero()));
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (const auto& [col, coeff] : rows_[i]) a[i][col] += coeff;
+  }
+  std::vector<Fr> b = rhs_;
+
+  // Forward elimination with row pivoting over all rows.
+  std::size_t rank = 0;
+  std::vector<std::size_t> pivot_col;
+  for (std::size_t col = 0; col < n && rank < a.size(); ++col) {
+    std::size_t piv = rank;
+    while (piv < a.size() && a[piv][col].is_zero()) ++piv;
+    if (piv == a.size()) continue;
+    std::swap(a[piv], a[rank]);
+    std::swap(b[piv], b[rank]);
+    Fr inv = a[rank][col].inverse();
+    for (std::size_t j = col; j < n; ++j) a[rank][j] *= inv;
+    b[rank] *= inv;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i == rank || a[i][col].is_zero()) continue;
+      Fr f = a[i][col];
+      for (std::size_t j = col; j < n; ++j) a[i][j] -= f * a[rank][j];
+      b[i] -= f * b[rank];
+    }
+    pivot_col.push_back(col);
+    ++rank;
+  }
+  if (rank < n) return std::nullopt;  // underdetermined
+  // Inconsistent extra rows => the trails were not plain P_k(r) values.
+  for (std::size_t i = rank; i < a.size(); ++i) {
+    if (!b[i].is_zero()) return std::nullopt;
+  }
+  std::map<BlockId, Fr> out;
+  std::vector<Fr> solution(n);
+  for (std::size_t i = 0; i < rank; ++i) solution[pivot_col[i]] = b[i];
+  for (const auto& [id, idx] : unknown_index_) out[id] = solution[idx];
+  return out;
+}
+
+poly::Polynomial interpolate_pk(std::span<const ObservedTrail> trails,
+                                std::size_t s) {
+  if (trails.size() < s) {
+    throw std::invalid_argument("interpolate_pk: need at least s trails");
+  }
+  for (const auto& t : trails) {
+    if (t.challenge.c1 != trails[0].challenge.c1 ||
+        t.challenge.c2 != trails[0].challenge.c2 ||
+        t.challenge.k != trails[0].challenge.k) {
+      throw std::invalid_argument("interpolate_pk: trails must share seeds");
+    }
+  }
+  std::vector<Fr> xs, ys;
+  for (std::size_t i = 0; i < s; ++i) {
+    xs.push_back(trails[i].challenge.r);
+    ys.push_back(trails[i].response);
+  }
+  return poly::lagrange_interpolate(xs, ys);  // throws on duplicate r
+}
+
+double recovery_rate(const std::map<BlockId, Fr>& recovered,
+                     const storage::EncodedFile& file) {
+  std::size_t total = 0, correct = 0;
+  for (std::size_t i = 0; i < file.num_chunks(); ++i) {
+    for (std::size_t l = 0; l < file.s; ++l) {
+      ++total;
+      auto it = recovered.find(BlockId{i, l});
+      if (it != recovered.end() && it->second == file.chunks[i][l]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+Challenge eclipse_challenge(std::uint64_t round, std::size_t d) {
+  Challenge chal;
+  // The isolated victim's view of "beacon randomness" is whatever the
+  // adversary says it is; the adversary varies it deterministically.
+  std::uint8_t buf[16] = {'e', 'c', 'l', 'i', 'p', 's', 'e'};
+  std::memcpy(buf + 8, &round, 8);
+  chal.c1 = primitives::Keccak256::hash(std::span<const std::uint8_t>(buf, 16));
+  buf[7] = '2';
+  chal.c2 = primitives::Keccak256::hash(std::span<const std::uint8_t>(buf, 16));
+  // Distinct, adversary-chosen evaluation points: r = round + 1.
+  chal.r = Fr::from_u64(round + 1);
+  chal.k = d;  // challenge everything, maximal information per round
+  return chal;
+}
+
+}  // namespace dsaudit::attack

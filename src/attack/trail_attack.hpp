@@ -1,0 +1,92 @@
+// The §V-C on-chain leakage attack, end to end.
+//
+// Without the sigma-protocol layer, each audit trail on the blockchain
+// exposes y = P_k(r) = sum_l (sum_j c_j m_{i_j,l}) r^l — one linear equation
+// in the file blocks m_{i,l}, with PUBLICLY derivable coefficients (the
+// challenge seeds expand to {i_j}, {c_j} and r is on chain). An off-chain
+// observer therefore:
+//
+//   (1) [interpolation view, the paper's exposition] with s trails sharing
+//       one coefficient set but distinct r, Lagrange-interpolates P_k(x)
+//       and reads off the combined coefficients; then
+//   (2) [linear-algebra view, fully general] accumulates trails as rows of
+//       a linear system over Z_p and solves for the raw blocks once enough
+//       independent equations cover the challenged chunks.
+//
+// The eclipse-attack variant (§V-C last paragraph) is the adversary CHOOSING
+// the challenges after isolating the victim — modeled by feeding crafted
+// challenges instead of beacon outputs, which guarantees independence and
+// minimizes the number of rounds to d*s.
+//
+// Against the private protocol the same pipeline provably yields nothing:
+// y' = zeta*P_k(r) + z with fresh (z, zeta) per round adds one unknown per
+// equation, so the system never closes — recover() keeps returning nullopt.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "audit/protocol.hpp"
+#include "poly/polynomial.hpp"
+
+namespace dsaudit::attack {
+
+using audit::Challenge;
+using audit::Fr;
+
+/// One observed (challenge, scalar-response) pair scraped from the chain.
+/// For the non-private protocol the scalar is y; feeding y' from private
+/// proofs is exactly what the negative-control experiments do.
+struct ObservedTrail {
+  Challenge challenge;
+  Fr response;
+};
+
+/// Block identifier: (chunk index, intra-chunk position).
+struct BlockId {
+  std::uint64_t chunk = 0;
+  std::size_t position = 0;
+  friend auto operator<=>(const BlockId&, const BlockId&) = default;
+};
+
+/// Accumulates audit trails and solves for file blocks.
+class TrailAnalyzer {
+ public:
+  /// d = number of chunks, s = blocks per chunk (public contract metadata).
+  TrailAnalyzer(std::size_t d, std::size_t s);
+
+  void add_trail(const ObservedTrail& trail);
+  std::size_t equations() const { return rows_.size(); }
+  std::size_t unknowns() const { return unknown_index_.size(); }
+
+  /// Attempt full recovery of every block seen in some challenge. Returns
+  /// nullopt while the system is underdetermined or (as with private trails)
+  /// inconsistent/garbage — callers should validate against known structure.
+  std::optional<std::map<BlockId, Fr>> recover() const;
+
+ private:
+  std::size_t d_, s_;
+  std::map<BlockId, std::size_t> unknown_index_;
+  std::vector<std::vector<std::pair<std::size_t, Fr>>> rows_;  // sparse rows
+  std::vector<Fr> rhs_;
+};
+
+/// The paper's interpolation exposition (step 1): given >= s trails with the
+/// SAME (C1, C2) but distinct r, reconstruct P_k(x). Returns the polynomial
+/// coefficients {sum_j c_j m_{i_j,l}}_l. Throws std::invalid_argument if the
+/// trails do not share seeds or have duplicate r.
+poly::Polynomial interpolate_pk(std::span<const ObservedTrail> trails,
+                                std::size_t s);
+
+/// Convenience judge for experiments: fraction of blocks of `file` the
+/// recovered map reproduces exactly.
+double recovery_rate(const std::map<BlockId, Fr>& recovered,
+                     const storage::EncodedFile& file);
+
+/// Eclipse adversary: crafts the t-th challenge deterministically with
+/// distinct, adversary-chosen evaluation points and coefficient seeds
+/// (k = d: every chunk challenged every round).
+Challenge eclipse_challenge(std::uint64_t round, std::size_t d);
+
+}  // namespace dsaudit::attack

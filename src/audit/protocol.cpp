@@ -1,0 +1,287 @@
+#include "audit/protocol.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "pairing/pairing.hpp"
+#include "poly/polynomial.hpp"
+
+namespace dsaudit::audit {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// delta * epsilon^{-r} — the G2 element the KZG witness is paired against.
+G2 delta_minus_r(const PublicKey& pk, const Fr& r) {
+  return pk.delta + pk.epsilon.mul(-r);
+}
+
+}  // namespace
+
+KeyPair keygen(std::size_t s, primitives::SecureRng& rng) {
+  if (s == 0) throw std::invalid_argument("keygen: s must be >= 1");
+  KeyPair kp;
+  kp.sk.x = Fr::random(rng);
+  kp.sk.alpha = Fr::random(rng);
+  while (kp.sk.x.is_zero()) kp.sk.x = Fr::random(rng);
+  while (kp.sk.alpha.is_zero()) kp.sk.alpha = Fr::random(rng);
+
+  kp.pk.s = s;
+  kp.pk.epsilon = G2::generator().mul(kp.sk.x);
+  kp.pk.delta = G2::generator().mul(kp.sk.alpha * kp.sk.x);
+  // Powers g1^{alpha^j}: j = 0..s-2 suffice for the prover's quotient
+  // commitment (degree <= s-2). For s = 1 we still publish g1 (= alpha^0)
+  // so the tag-acceptance check has a base point.
+  std::size_t count = s >= 2 ? s - 1 : 1;
+  kp.pk.g1_alpha_powers.reserve(count);
+  Fr power = Fr::one();
+  for (std::size_t j = 0; j < count; ++j) {
+    kp.pk.g1_alpha_powers.push_back(G1::generator().mul(power));
+    power *= kp.sk.alpha;
+  }
+  kp.pk.e_g1_epsilon = pairing::pairing(G1::generator(), kp.pk.epsilon);
+  return kp;
+}
+
+FileTag generate_tags(const SecretKey& sk, const PublicKey& pk,
+                      const storage::EncodedFile& file, const Fr& name,
+                      unsigned threads) {
+  if (file.s != pk.s) {
+    throw std::invalid_argument("generate_tags: file encoded with different s");
+  }
+  FileTag tag;
+  tag.name = name;
+  tag.s = file.s;
+  tag.num_chunks = file.num_chunks();
+  tag.sigmas.resize(tag.num_chunks);
+
+  auto worker = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // M_i(alpha) by Horner — the owner knows alpha, so no MSM is needed.
+      Fr m_alpha = Fr::zero();
+      const auto& chunk = file.chunks[i];
+      for (std::size_t l = chunk.size(); l-- > 0;) {
+        m_alpha = m_alpha * sk.alpha + chunk[l];
+      }
+      // sigma_i = (g1^{M_i(alpha)} * H(name||i))^x
+      //         = g1^{x * M_i(alpha)} + [x] H(name||i).
+      G1 data_part = G1::generator().mul(m_alpha * sk.x);
+      G1 index_part = chunk_hash(name, i).mul(sk.x);
+      tag.sigmas[i] = data_part + index_part;
+    }
+  };
+
+  if (threads <= 1 || tag.num_chunks < 2) {
+    worker(0, tag.num_chunks);
+  } else {
+    threads = std::min<unsigned>(threads, tag.num_chunks);
+    std::vector<std::thread> pool;
+    std::size_t per = (tag.num_chunks + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      std::size_t begin = t * per;
+      std::size_t end = std::min(tag.num_chunks, begin + per);
+      if (begin >= end) break;
+      pool.emplace_back(worker, begin, end);
+    }
+    for (auto& th : pool) th.join();
+  }
+  return tag;
+}
+
+bool verify_tags(const PublicKey& pk, const storage::EncodedFile& file,
+                 const FileTag& tag) {
+  if (file.s != pk.s || tag.s != pk.s) return false;
+  if (tag.num_chunks != file.num_chunks() || tag.sigmas.size() != tag.num_chunks) {
+    return false;
+  }
+  const std::size_t d = tag.num_chunks;
+  const std::size_t s = pk.s;
+  // Random-weight batch: sum_i rho_i * [check_i] == 0 catches any bad
+  // authenticator except with probability ~1/r. The degree-(s-1) coefficient
+  // has no published g1 power; it is folded through delta = g2^{alpha x}
+  // against g1^{alpha^{s-2}} instead.
+  auto rng = primitives::SecureRng::from_os();
+  std::vector<Fr> rho(d);
+  for (auto& w : rho) w = Fr::random(rng);
+
+  G1 sigma_agg = curve::msm<G1>(tag.sigmas, rho);
+
+  // Weighted low coefficients (paired with epsilon) and, for s >= 2, the
+  // weighted top coefficient (paired with delta).
+  std::size_t low_count = s >= 2 ? s - 1 : 1;
+  std::vector<Fr> low(low_count, Fr::zero());
+  Fr top = Fr::zero();
+  for (std::size_t i = 0; i < d; ++i) {
+    const auto& chunk = file.chunks[i];
+    if (s >= 2) {
+      for (std::size_t j = 0; j + 1 < s; ++j) low[j] += rho[i] * chunk[j];
+      top += rho[i] * chunk[s - 1];
+    } else {
+      low[0] += rho[i] * chunk[0];
+    }
+  }
+  G1 low_pt = curve::msm<G1>(pk.g1_alpha_powers, low);
+  std::vector<G1> hashes(d);
+  for (std::size_t i = 0; i < d; ++i) hashes[i] = chunk_hash(tag.name, i);
+  G1 chi = curve::msm<G1>(hashes, rho);
+
+  std::vector<std::pair<G1, G2>> pairs;
+  pairs.emplace_back(sigma_agg, G2::generator());
+  pairs.emplace_back(-(low_pt + chi), pk.epsilon);
+  if (s >= 2 && !top.is_zero()) {
+    pairs.emplace_back(-(pk.g1_alpha_powers.back().mul(top)), pk.delta);
+  }
+  return pairing::pairing_product_is_one(pairs);
+}
+
+Prover::Prover(const PublicKey& pk, const storage::EncodedFile& file,
+               const FileTag& tag)
+    : pk_(pk), file_(file), tag_(tag) {
+  if (file.s != pk.s || tag.num_chunks != file.num_chunks()) {
+    throw std::invalid_argument("Prover: inconsistent pk/file/tag");
+  }
+}
+
+Prover::Core Prover::core(const Challenge& chal, ProverTimings* timings) const {
+  auto t0 = Clock::now();
+  ExpandedChallenge ex = expand_challenge(chal, file_.num_chunks());
+  const std::size_t k = ex.indices.size();
+  const std::size_t s = pk_.s;
+
+  // --- Z_p phase: aggregate P_k(x) = sum_j c_j M_{i_j}(x), then the KZG
+  // quotient and evaluation.
+  std::vector<Fr> p(s, Fr::zero());
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto& chunk = file_.chunks[ex.indices[j]];
+    const Fr& c = ex.coefficients[j];
+    for (std::size_t l = 0; l < s; ++l) p[l] += c * chunk[l];
+  }
+  poly::Polynomial pk_poly(std::move(p));
+  auto [quotient, y] = pk_poly.divide_by_linear(chal.r);
+  double zp = ms_since(t0);
+
+  // --- ECC phase: the two MSMs.
+  auto t1 = Clock::now();
+  std::vector<G1> sigma_pts(k);
+  for (std::size_t j = 0; j < k; ++j) sigma_pts[j] = tag_.sigmas[ex.indices[j]];
+  Core c;
+  c.sigma = curve::msm<G1>(sigma_pts, ex.coefficients);
+  c.y = y;
+  auto qc = quotient.coefficients();
+  if (qc.empty()) {
+    c.psi = G1::infinity();
+  } else {
+    if (qc.size() > pk_.g1_alpha_powers.size()) {
+      throw std::logic_error("Prover: quotient exceeds SRS (corrupt input?)");
+    }
+    c.psi = curve::msm<G1>(
+        std::span<const G1>(pk_.g1_alpha_powers.data(), qc.size()), qc);
+  }
+  if (timings) {
+    timings->zp_ms = zp;
+    timings->ecc_ms = ms_since(t1);
+  }
+  return c;
+}
+
+ProofBasic Prover::prove(const Challenge& chal, ProverTimings* timings) const {
+  Core c = core(chal, timings);
+  return ProofBasic{c.sigma, c.y, c.psi};
+}
+
+ProofPrivate Prover::prove_private(const Challenge& chal,
+                                   primitives::SecureRng& rng,
+                                   ProverTimings* timings) const {
+  Core c = core(chal, timings);
+  auto t0 = Clock::now();
+  // Sigma-protocol hiding (§V-D step 1): commit R = e(g1, eps)^z, derive the
+  // challenge-independent mask zeta = H'(R), publish y' = zeta*y + z.
+  Fr z = Fr::random(rng);
+  Fp12 big_r = pk_.e_g1_epsilon.pow_u256(z.to_u256());
+  Fr zeta = hash_gt_to_fr(big_r);
+  Fr y_prime = zeta * c.y + z;
+  if (timings) timings->gt_ms = ms_since(t0);
+  return ProofPrivate{c.sigma, y_prime, c.psi, big_r};
+}
+
+namespace {
+
+/// chi = prod_i H(name||i)^{c_i} — recomputed by the contract from public
+/// data only.
+G1 compute_chi(const Fr& name, const ExpandedChallenge& ex) {
+  std::vector<G1> hashes(ex.indices.size());
+  for (std::size_t j = 0; j < ex.indices.size(); ++j) {
+    hashes[j] = chunk_hash(name, ex.indices[j]);
+  }
+  return curve::msm<G1>(hashes, ex.coefficients);
+}
+
+}  // namespace
+
+bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+            const Challenge& chal, const ProofBasic& proof) {
+  if (num_chunks == 0 || chal.k == 0) return false;
+  ExpandedChallenge ex = expand_challenge(chal, num_chunks);
+  G1 chi = compute_chi(name, ex);
+  // Eq. 1 rearranged to a product-of-pairings == 1:
+  //   e(sigma, g2) * e(-(y g1 + chi), eps) * e(-psi, delta * eps^{-r}) == 1
+  std::vector<std::pair<G1, G2>> pairs{
+      {proof.sigma, G2::generator()},
+      {-(G1::generator().mul(proof.y) + chi), pk.epsilon},
+      {-proof.psi, delta_minus_r(pk, chal.r)},
+  };
+  return pairing::pairing_product_is_one(pairs);
+}
+
+bool verify_private(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+                    const Challenge& chal, const ProofPrivate& proof) {
+  if (num_chunks == 0 || chal.k == 0) return false;
+  if (proof.big_r.is_zero()) return false;
+  ExpandedChallenge ex = expand_challenge(chal, num_chunks);
+  G1 chi = compute_chi(name, ex);
+  Fr zeta = hash_gt_to_fr(proof.big_r);
+  // Eq. 2 rearranged:
+  //   e(sigma^zeta, g2) * e(-(y' g1 + zeta chi), eps)
+  //     * e(-zeta psi, delta * eps^{-r}) == R^{-1}
+  std::vector<std::pair<G1, G2>> pairs{
+      {proof.sigma.mul(zeta), G2::generator()},
+      {-(G1::generator().mul(proof.y_prime) + chi.mul(zeta)), pk.epsilon},
+      {-(proof.psi.mul(zeta)), delta_minus_r(pk, chal.r)},
+  };
+  Fp12 lhs = pairing::multi_pairing(pairs);
+  return (lhs * proof.big_r).is_one();
+}
+
+bool verify_batch(const PublicKey& pk, std::span<const BasicInstance> instances,
+                  primitives::SecureRng& rng) {
+  if (instances.empty()) return true;
+  // Random linear combination: sum_t rho_t * (Eq.1 check_t) == 0.
+  // The g2 and epsilon terms aggregate across instances; the KZG term keeps
+  // one pair per instance (its G2 side depends on r_t). Total pairings:
+  // N + 2 instead of 3N, with a single shared final exponentiation.
+  G1 sigma_agg = G1::infinity();
+  G1 eps_agg = G1::infinity();
+  std::vector<std::pair<G1, G2>> pairs;
+  pairs.reserve(instances.size() + 2);
+  for (const auto& inst : instances) {
+    if (inst.num_chunks == 0 || inst.challenge.k == 0) return false;
+    Fr rho = Fr::random(rng);
+    ExpandedChallenge ex = expand_challenge(inst.challenge, inst.num_chunks);
+    G1 chi = compute_chi(inst.name, ex);
+    sigma_agg += inst.proof.sigma.mul(rho);
+    eps_agg += (G1::generator().mul(inst.proof.y) + chi).mul(rho);
+    pairs.emplace_back(-(inst.proof.psi.mul(rho)),
+                       delta_minus_r(pk, inst.challenge.r));
+  }
+  pairs.emplace_back(sigma_agg, G2::generator());
+  pairs.emplace_back(-eps_agg, pk.epsilon);
+  return pairing::pairing_product_is_one(pairs);
+}
+
+}  // namespace dsaudit::audit

@@ -1,0 +1,86 @@
+// KeyGen, tag generation, proving and verification — the paper's §V main
+// protocol, both without on-chain privacy (Eq. 1) and with it (Eq. 2).
+#pragma once
+
+#include "audit/types.hpp"
+#include "primitives/random.hpp"
+
+namespace dsaudit::audit {
+
+/// D's Initialize phase key generation. s is the storage/computation
+/// trade-off parameter (extra provider storage is 1/s of the file).
+KeyPair keygen(std::size_t s, primitives::SecureRng& rng);
+
+/// D computes sigma_i = (g1^{M_i(alpha)} * H(name||i))^x for every chunk;
+/// `threads` > 1 parallelizes across chunks (the paper's quad-core numbers).
+FileTag generate_tags(const SecretKey& sk, const PublicKey& pk,
+                      const storage::EncodedFile& file, const Fr& name,
+                      unsigned threads = 1);
+
+/// S's acceptance check before acking the contract: every authenticator
+/// verifies against the public key (e(sigma_i, g2) == e(g1^{M_i(alpha)}
+/// H(name||i), epsilon), computed via the SRS without alpha).
+/// "the chance of D forging authenticators is negligible after this check".
+bool verify_tags(const PublicKey& pk, const storage::EncodedFile& file,
+                 const FileTag& tag);
+
+/// Phase timings for the Fig. 8 breakdown (milliseconds).
+struct ProverTimings {
+  double zp_ms = 0;   // finite-field work: P_k aggregation + quotient
+  double ecc_ms = 0;  // curve work: the two MSMs
+  double gt_ms = 0;   // privacy extras: R = e(g1,eps)^z and y'
+};
+
+class Prover {
+ public:
+  /// Borrows all three for the Prover's lifetime; the caller must keep them
+  /// alive AND at stable addresses (beware std::vector reallocation of
+  /// KeyPair/EncodedFile/FileTag holders).
+  Prover(const PublicKey& pk, const storage::EncodedFile& file, const FileTag& tag);
+
+  /// Non-private response (Eq. 1 inputs).
+  ProofBasic prove(const Challenge& chal, ProverTimings* timings = nullptr) const;
+
+  /// Privacy-assured response (Eq. 2 inputs, §V-D).
+  ProofPrivate prove_private(const Challenge& chal, primitives::SecureRng& rng,
+                             ProverTimings* timings = nullptr) const;
+
+ private:
+  /// Shared non-private core: expands the challenge, aggregates
+  /// P_k coefficients and sigma, computes psi and y = P_k(r).
+  struct Core {
+    G1 sigma;
+    Fr y;
+    G1 psi;
+  };
+  Core core(const Challenge& chal, ProverTimings* timings) const;
+
+  const PublicKey& pk_;
+  const storage::EncodedFile& file_;
+  const FileTag& tag_;
+};
+
+/// The smart contract's Eq. 1 check (4 pairings, shared final exp).
+bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+            const Challenge& chal, const ProofBasic& proof);
+
+/// The smart contract's Eq. 2 check (§V-D step 2).
+bool verify_private(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+                    const Challenge& chal, const ProofPrivate& proof);
+
+/// One audit instance for batch verification (same pk, e.g. one provider
+/// holding many files of one owner, or sequential rounds settled together).
+struct BasicInstance {
+  Fr name;
+  std::size_t num_chunks = 0;
+  Challenge challenge;
+  ProofBasic proof;
+};
+
+/// Verify many Eq. 1 instances with a single shared final exponentiation
+/// and random linear weighting (a forged proof escapes detection only with
+/// probability ~1/r). The "batch auditing [24]" the paper cites in §VII-D.
+bool verify_batch(const PublicKey& pk, std::span<const BasicInstance> instances,
+                  primitives::SecureRng& rng);
+
+}  // namespace dsaudit::audit

@@ -1,0 +1,304 @@
+#include "audit/serialize.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "field/sqrt.hpp"
+
+namespace dsaudit::audit {
+
+namespace {
+
+using ff::Fp;
+using ff::Fp2;
+using ff::Fp6;
+
+void write_fp6(const Fp6& a, std::uint8_t* out) {
+  const Fp* coords[6] = {&a.c0.c0, &a.c0.c1, &a.c1.c0, &a.c1.c1, &a.c2.c0, &a.c2.c1};
+  for (int i = 0; i < 6; ++i) {
+    coords[i]->to_be_bytes(std::span<std::uint8_t, 32>(out + 32 * i, 32));
+  }
+}
+
+std::optional<Fp6> read_fp6(const std::uint8_t* in) {
+  ff::Fp coords[6];
+  for (int i = 0; i < 6; ++i) {
+    ff::U256 v = ff::U256::from_be_bytes(
+        std::span<const std::uint8_t, 32>(in + 32 * i, 32));
+    if (!bigint::lt(v, Fp::modulus())) return std::nullopt;  // non-canonical
+    coords[i] = Fp::from_u256(v);
+  }
+  return Fp6{Fp2{coords[0], coords[1]}, Fp2{coords[2], coords[3]},
+             Fp2{coords[4], coords[5]}};
+}
+
+/// Deterministic sign: lexicographic comparison of canonical encodings.
+bool fp6_lex_greater(const Fp6& a, const Fp6& b) {
+  std::uint8_t ab[192], bb[192];
+  write_fp6(a, ab);
+  write_fp6(b, bb);
+  return std::lexicographical_compare(bb, bb + 192, ab, ab + 192);
+}
+
+const Fp6& v_element() {
+  static const Fp6 v{Fp2::zero(), Fp2::one(), Fp2::zero()};
+  return v;
+}
+
+Fr read_fr(const std::uint8_t* in) {
+  // Scalars are transmitted canonically; out-of-range values are rejected by
+  // the caller via the nullopt path before this is reached.
+  return Fr::from_u256(
+      ff::U256::from_be_bytes(std::span<const std::uint8_t, 32>(in, 32)));
+}
+
+bool fr_canonical(const std::uint8_t* in) {
+  ff::U256 v = ff::U256::from_be_bytes(std::span<const std::uint8_t, 32>(in, 32));
+  return bigint::lt(v, Fr::modulus());
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 192> gt_compress(const Fp12& g) {
+  // Unit-norm check: a^2 - v b^2 == 1.
+  Fp6 norm = g.c0.square() - g.c1.square().mul_by_v();
+  if (!norm.is_one()) {
+    throw std::invalid_argument("gt_compress: element is not unit-norm GT");
+  }
+  std::array<std::uint8_t, 192> out{};
+  write_fp6(g.c0, out.data());
+  // Flags in the spare top bits of the first coordinate (Fp < 2^254).
+  if (g.c1.is_zero()) {
+    out[0] |= 0x80;  // b == 0: g = a with a^2 = 1
+  } else if (fp6_lex_greater(g.c1, -g.c1)) {
+    out[0] |= 0x40;
+  }
+  return out;
+}
+
+std::optional<Fp12> gt_decompress(std::span<const std::uint8_t, 192> bytes) {
+  std::array<std::uint8_t, 192> buf;
+  std::copy(bytes.begin(), bytes.end(), buf.begin());
+  bool b_zero = (buf[0] & 0x80) != 0;
+  bool b_greater = (buf[0] & 0x40) != 0;
+  buf[0] &= 0x3f;
+  auto a = read_fp6(buf.data());
+  if (!a) return std::nullopt;
+  if (b_zero) {
+    if (b_greater) return std::nullopt;
+    if (!a->square().is_one()) return std::nullopt;
+    return Fp12{*a, Fp6::zero()};
+  }
+  // b^2 = (a^2 - 1) / v
+  Fp6 b2 = (a->square() - Fp6::one()) * v_element().inverse();
+  auto b = ff::sqrt(b2);
+  if (!b || b->is_zero()) return std::nullopt;
+  Fp6 chosen = (fp6_lex_greater(*b, -*b) == b_greater) ? *b : -*b;
+  return Fp12{*a, chosen};
+}
+
+std::vector<std::uint8_t> serialize(const ProofBasic& proof) {
+  std::vector<std::uint8_t> out(ProofBasic::kWireSize);
+  auto s = curve::g1_compress(proof.sigma);
+  std::memcpy(out.data(), s.data(), 32);
+  proof.y.to_be_bytes(std::span<std::uint8_t, 32>(out.data() + 32, 32));
+  auto p = curve::g1_compress(proof.psi);
+  std::memcpy(out.data() + 64, p.data(), 32);
+  return out;
+}
+
+std::optional<ProofBasic> deserialize_basic(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != ProofBasic::kWireSize) return std::nullopt;
+  auto sigma = curve::g1_decompress(
+      std::span<const std::uint8_t, 32>(bytes.data(), 32));
+  if (!sigma) return std::nullopt;
+  if (!fr_canonical(bytes.data() + 32)) return std::nullopt;
+  auto psi = curve::g1_decompress(
+      std::span<const std::uint8_t, 32>(bytes.data() + 64, 32));
+  if (!psi) return std::nullopt;
+  return ProofBasic{*sigma, read_fr(bytes.data() + 32), *psi};
+}
+
+std::vector<std::uint8_t> serialize(const ProofPrivate& proof) {
+  std::vector<std::uint8_t> out(ProofPrivate::kWireSize);
+  auto s = curve::g1_compress(proof.sigma);
+  std::memcpy(out.data(), s.data(), 32);
+  proof.y_prime.to_be_bytes(std::span<std::uint8_t, 32>(out.data() + 32, 32));
+  auto p = curve::g1_compress(proof.psi);
+  std::memcpy(out.data() + 64, p.data(), 32);
+  auto r = gt_compress(proof.big_r);
+  std::memcpy(out.data() + 96, r.data(), 192);
+  return out;
+}
+
+std::optional<ProofPrivate> deserialize_private(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != ProofPrivate::kWireSize) return std::nullopt;
+  auto sigma = curve::g1_decompress(
+      std::span<const std::uint8_t, 32>(bytes.data(), 32));
+  if (!sigma) return std::nullopt;
+  if (!fr_canonical(bytes.data() + 32)) return std::nullopt;
+  auto psi = curve::g1_decompress(
+      std::span<const std::uint8_t, 32>(bytes.data() + 64, 32));
+  if (!psi) return std::nullopt;
+  auto big_r = gt_decompress(
+      std::span<const std::uint8_t, 192>(bytes.data() + 96, 192));
+  if (!big_r) return std::nullopt;
+  return ProofPrivate{*sigma, read_fr(bytes.data() + 32), *psi, *big_r};
+}
+
+std::vector<std::uint8_t> serialize(const PublicKey& pk, bool with_privacy) {
+  std::vector<std::uint8_t> out;
+  out.reserve(pk.serialized_size(with_privacy));
+  // s as 8-byte big-endian.
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(pk.s >> (8 * i)));
+  }
+  auto eps = curve::g2_compress(pk.epsilon);
+  out.insert(out.end(), eps.begin(), eps.end());
+  auto del = curve::g2_compress(pk.delta);
+  out.insert(out.end(), del.begin(), del.end());
+  for (const auto& p : pk.g1_alpha_powers) {
+    auto b = curve::g1_compress(p);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  if (with_privacy) {
+    auto r = gt_compress(pk.e_g1_epsilon);
+    out.insert(out.end(), r.begin(), r.end());
+  }
+  return out;
+}
+
+std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8 + 64 + 64 + 32) return std::nullopt;
+  PublicKey pk;
+  pk.s = 0;
+  for (int i = 0; i < 8; ++i) pk.s = (pk.s << 8) | bytes[i];
+  std::size_t power_count = pk.s >= 2 ? pk.s - 1 : 1;
+  std::size_t base = 8 + 64 + 64 + 32 * power_count;
+  bool with_privacy;
+  if (bytes.size() == base) {
+    with_privacy = false;
+  } else if (bytes.size() == base + 192) {
+    with_privacy = true;
+  } else {
+    return std::nullopt;
+  }
+  auto eps = curve::g2_decompress(
+      std::span<const std::uint8_t, 64>(bytes.data() + 8, 64));
+  auto del = curve::g2_decompress(
+      std::span<const std::uint8_t, 64>(bytes.data() + 72, 64));
+  if (!eps || !del) return std::nullopt;
+  pk.epsilon = *eps;
+  pk.delta = *del;
+  for (std::size_t j = 0; j < power_count; ++j) {
+    auto p = curve::g1_decompress(std::span<const std::uint8_t, 32>(
+        bytes.data() + 136 + 32 * j, 32));
+    if (!p) return std::nullopt;
+    pk.g1_alpha_powers.push_back(*p);
+  }
+  if (with_privacy) {
+    auto r = gt_decompress(
+        std::span<const std::uint8_t, 192>(bytes.data() + base, 192));
+    if (!r) return std::nullopt;
+    pk.e_g1_epsilon = *r;
+  } else {
+    // Recomputable from epsilon; one pairing.
+    pk.e_g1_epsilon = Fp12::zero();  // sentinel: filled by caller if needed
+  }
+  return pk;
+}
+
+namespace {
+
+void write_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t read_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+void write_fr(std::vector<std::uint8_t>& out, const Fr& v) {
+  auto b = v.to_bytes();
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const SecretKey& sk) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  write_fr(out, sk.x);
+  write_fr(out, sk.alpha);
+  return out;
+}
+
+std::optional<SecretKey> deserialize_secret_key(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != 64) return std::nullopt;
+  if (!fr_canonical(bytes.data()) || !fr_canonical(bytes.data() + 32)) {
+    return std::nullopt;
+  }
+  SecretKey sk;
+  sk.x = read_fr(bytes.data());
+  sk.alpha = read_fr(bytes.data() + 32);
+  if (sk.x.is_zero() || sk.alpha.is_zero()) return std::nullopt;
+  return sk;
+}
+
+std::vector<std::uint8_t> serialize(const FileTag& tag) {
+  std::vector<std::uint8_t> out;
+  out.reserve(48 + 32 * tag.sigmas.size());
+  write_fr(out, tag.name);
+  write_u64(out, tag.s);
+  write_u64(out, tag.num_chunks);
+  for (const auto& sigma : tag.sigmas) {
+    auto b = curve::g1_compress(sigma);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+std::optional<FileTag> deserialize_file_tag(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 48) return std::nullopt;
+  if (!fr_canonical(bytes.data())) return std::nullopt;
+  FileTag tag;
+  tag.name = read_fr(bytes.data());
+  tag.s = read_u64(bytes.data() + 32);
+  tag.num_chunks = read_u64(bytes.data() + 40);
+  if (bytes.size() != 48 + 32 * tag.num_chunks) return std::nullopt;
+  tag.sigmas.reserve(tag.num_chunks);
+  for (std::size_t i = 0; i < tag.num_chunks; ++i) {
+    auto p = curve::g1_decompress(
+        std::span<const std::uint8_t, 32>(bytes.data() + 48 + 32 * i, 32));
+    if (!p) return std::nullopt;
+    tag.sigmas.push_back(*p);
+  }
+  return tag;
+}
+
+std::vector<std::uint8_t> serialize(const Challenge& chal) {
+  std::vector<std::uint8_t> out;
+  out.reserve(104);
+  out.insert(out.end(), chal.c1.begin(), chal.c1.end());
+  out.insert(out.end(), chal.c2.begin(), chal.c2.end());
+  write_fr(out, chal.r);
+  write_u64(out, chal.k);
+  return out;
+}
+
+std::optional<Challenge> deserialize_challenge(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != 104) return std::nullopt;
+  if (!fr_canonical(bytes.data() + 64)) return std::nullopt;
+  Challenge chal;
+  std::copy(bytes.begin(), bytes.begin() + 32, chal.c1.begin());
+  std::copy(bytes.begin() + 32, bytes.begin() + 64, chal.c2.begin());
+  chal.r = read_fr(bytes.data() + 64);
+  chal.k = read_u64(bytes.data() + 96);
+  if (chal.k == 0) return std::nullopt;
+  return chal;
+}
+
+}  // namespace dsaudit::audit

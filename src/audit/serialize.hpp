@@ -1,0 +1,49 @@
+// Wire formats: what actually lands on the blockchain.
+//
+//   ProofBasic   -> 96 bytes  (sigma 32 | y 32 | psi 32)      — Fig. 5 "w/o"
+//   ProofPrivate -> 288 bytes (sigma 32 | y' 32 | psi 32 | R 192) — Table II
+//
+// GT compression: after the final exponentiation every GT element g = a + bw
+// (a, b in Fp6) satisfies g * conj(g) = 1, i.e. a^2 - v b^2 = 1. We ship
+// only a (6 Fp = 192 bytes = the paper's "|GT| = 1536 bits") plus a sign bit
+// for b, recovered on decode by b = sqrt((a^2 - 1)/v) in Fp6.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "audit/types.hpp"
+
+namespace dsaudit::audit {
+
+/// 192-byte encoding of a unit-norm (cyclotomic-subgroup) GT element.
+/// Throws std::invalid_argument if the element is not unit-norm.
+std::array<std::uint8_t, 192> gt_compress(const Fp12& g);
+/// nullopt on malformed input (non-canonical coordinates, (a^2-1)/v not a
+/// square, bad flag bits).
+std::optional<Fp12> gt_decompress(std::span<const std::uint8_t, 192> bytes);
+
+std::vector<std::uint8_t> serialize(const ProofBasic& proof);
+std::optional<ProofBasic> deserialize_basic(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> serialize(const ProofPrivate& proof);
+std::optional<ProofPrivate> deserialize_private(std::span<const std::uint8_t> bytes);
+
+/// Public key serialization (the Initialize-phase on-chain record, Fig. 4).
+std::vector<std::uint8_t> serialize(const PublicKey& pk, bool with_privacy);
+std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> bytes);
+
+/// Secret key (64 bytes: x || alpha) — off-chain, for the owner's keystore.
+std::vector<std::uint8_t> serialize(const SecretKey& sk);
+std::optional<SecretKey> deserialize_secret_key(std::span<const std::uint8_t> bytes);
+
+/// File tag: name (32) || s (8) || num_chunks (8) || compressed sigmas.
+std::vector<std::uint8_t> serialize(const FileTag& tag);
+std::optional<FileTag> deserialize_file_tag(std::span<const std::uint8_t> bytes);
+
+/// Challenge: c1 (32) || c2 (32) || r (32) || k (8) — what the contract posts
+/// plus the agreed k.
+std::vector<std::uint8_t> serialize(const Challenge& chal);
+std::optional<Challenge> deserialize_challenge(std::span<const std::uint8_t> bytes);
+
+}  // namespace dsaudit::audit

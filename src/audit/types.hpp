@@ -1,0 +1,110 @@
+// Core protocol types for the paper's main auditing scheme (§V).
+//
+// Roles: the data owner D runs keygen + generate_tags once; the storage
+// provider S answers challenges with Prover; the smart contract verifies
+// with verify_* (src/contract wires these into the Fig. 2 state machine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "curve/g1.hpp"
+#include "curve/g2.hpp"
+#include "field/fp12.hpp"
+#include "storage/codec.hpp"
+
+namespace dsaudit::audit {
+
+using curve::G1;
+using curve::G2;
+using ff::Fp12;
+using ff::Fr;
+
+/// Owner's secret key: x (authenticator key) and alpha (SRS trapdoor).
+struct SecretKey {
+  Fr x;
+  Fr alpha;
+};
+
+/// Public key published on chain during Initialize (Fig. 4 measures its
+/// serialized size):
+///   epsilon = g2^x, delta = g2^{alpha x}, {g1^{alpha^j}}_{j=0}^{s-2},
+///   and (with on-chain privacy) the precomputed GT base e(g1, epsilon).
+struct PublicKey {
+  std::size_t s = 0;               // blocks per chunk
+  G2 epsilon;                      // g2^x
+  G2 delta;                        // g2^{alpha x}
+  std::vector<G1> g1_alpha_powers; // g1^{alpha^j}, j = 0 .. s-2
+  Fp12 e_g1_epsilon;               // e(g1, epsilon) — the sigma-protocol base
+
+  /// On-chain bytes: compressed sizes, with / without the privacy extras
+  /// (the GT base is only needed by the private protocol). Reproduces Fig. 4.
+  std::size_t serialized_size(bool with_privacy) const;
+};
+
+struct KeyPair {
+  SecretKey sk;
+  PublicKey pk;
+};
+
+/// Per-file authenticators sigma_i = (g1^{M_i(alpha)} * H(name||i))^x, plus
+/// the public file identifier `name` recorded on the blockchain.
+struct FileTag {
+  Fr name;
+  std::size_t s = 0;
+  std::size_t num_chunks = 0;
+  std::vector<G1> sigmas;  // one per chunk
+};
+
+/// On-chain challenge: two PRP/PRF seeds and the KZG evaluation point
+/// (the paper's {C = (C1, C2), r} — 48 bytes of beacon randomness expanded
+/// off-chain by both prover and verifier).
+struct Challenge {
+  std::array<std::uint8_t, 32> c1{};
+  std::array<std::uint8_t, 32> c2{};
+  Fr r;
+  std::size_t k = 0;  // number of challenged chunks
+};
+
+/// Non-private response (Eq. 1): 96 bytes on chain. Publishing y = P_k(r)
+/// is what the §V-C attack exploits.
+struct ProofBasic {
+  G1 sigma;
+  Fr y;
+  G1 psi;
+
+  static constexpr std::size_t kWireSize = 96;
+};
+
+/// Privacy-assured response (Eq. 2): sigma, y' = zeta*P_k(r) + z, psi and the
+/// sigma-protocol commitment R = e(g1, epsilon)^z. 288 bytes on chain
+/// (3 x 32 + 192 for the Fp6-compressed GT element), matching Table II.
+struct ProofPrivate {
+  G1 sigma;
+  Fr y_prime;
+  G1 psi;
+  Fp12 big_r;
+
+  static constexpr std::size_t kWireSize = 288;
+};
+
+/// The expansion of (C1, C2) into chunk indices and coefficients shared by
+/// prover and verifier (paper Definition 2).
+struct ExpandedChallenge {
+  std::vector<std::uint64_t> indices;
+  std::vector<Fr> coefficients;
+};
+ExpandedChallenge expand_challenge(const Challenge& chal, std::size_t d);
+
+/// H(name || i) — the per-chunk random-oracle point.
+G1 chunk_hash(const Fr& name, std::uint64_t index);
+
+/// H' : GT -> Z_p — the sigma protocol's hiding-parameter oracle.
+Fr hash_gt_to_fr(const Fp12& value);
+
+/// Number of challenged chunks for a target detection confidence, given a
+/// corruption rate (paper §VI-A: k = 300 gives 95% at 1% corruption):
+/// smallest k with 1 - (1-corruption)^k >= confidence.
+std::size_t chunks_for_confidence(double confidence, double corruption_rate);
+
+}  // namespace dsaudit::audit

@@ -1,0 +1,278 @@
+#include "bigint/u256.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsaudit::bigint {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty()) throw std::invalid_argument("U256::from_hex: empty string");
+  if (hex.size() > 64) throw std::invalid_argument("U256::from_hex: overflow");
+  U256 r;
+  unsigned nibble = 0;
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it, ++nibble) {
+    int d = hex_digit(*it);
+    if (d < 0) throw std::invalid_argument("U256::from_hex: bad digit");
+    r.limb[nibble / 16] |= static_cast<u64>(d) << (4 * (nibble % 16));
+  }
+  return r;
+}
+
+U256 U256::from_dec(std::string_view dec) {
+  if (dec.empty()) throw std::invalid_argument("U256::from_dec: empty string");
+  U256 r;
+  for (char c : dec) {
+    if (c < '0' || c > '9') throw std::invalid_argument("U256::from_dec: bad digit");
+    // r = r * 10 + digit
+    u128 carry = static_cast<u64>(c - '0');
+    for (int i = 0; i < 4; ++i) {
+      u128 v = static_cast<u128>(r.limb[i]) * 10 + carry;
+      r.limb[i] = static_cast<u64>(v);
+      carry = v >> 64;
+    }
+    if (carry != 0) throw std::invalid_argument("U256::from_dec: overflow");
+  }
+  return r;
+}
+
+U256 U256::from_be_bytes(std::span<const std::uint8_t, 32> bytes) {
+  U256 r;
+  for (int i = 0; i < 32; ++i) {
+    r.limb[3 - i / 8] |= static_cast<u64>(bytes[i]) << (8 * (7 - i % 8));
+  }
+  return r;
+}
+
+void U256::to_be_bytes(std::span<std::uint8_t, 32> out) const {
+  for (int i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(limb[3 - i / 8] >> (8 * (7 - i % 8)));
+  }
+}
+
+std::string U256::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s = "0x";
+  bool leading = true;
+  for (int i = 63; i >= 0; --i) {
+    int d = static_cast<int>((limb[i / 16] >> (4 * (i % 16))) & 0xf);
+    if (leading && d == 0 && i != 0) continue;
+    leading = false;
+    s.push_back(digits[d]);
+  }
+  return s;
+}
+
+std::string U256::to_dec() const {
+  if (is_zero()) return "0";
+  U256 v = *this;
+  std::string s;
+  while (!v.is_zero()) {
+    // divide by 10, collect remainder
+    u128 rem = 0;
+    for (int i = 3; i >= 0; --i) {
+      u128 cur = (rem << 64) | v.limb[i];
+      v.limb[i] = static_cast<u64>(cur / 10);
+      rem = cur % 10;
+    }
+    s.push_back(static_cast<char>('0' + static_cast<int>(rem)));
+  }
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+unsigned U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) {
+      return static_cast<unsigned>(64 * i + 64 - __builtin_clzll(limb[i]));
+    }
+  }
+  return 0;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) return -1;
+    if (a.limb[i] > b.limb[i]) return 1;
+  }
+  return 0;
+}
+
+bool lt(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+bool lte(const U256& a, const U256& b) { return cmp(a, b) <= 0; }
+
+u64 add_with_carry(const U256& a, const U256& b, U256& out) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 v = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<u64>(v);
+    carry = v >> 64;
+  }
+  return static_cast<u64>(carry);
+}
+
+u64 sub_with_borrow(const U256& a, const U256& b, U256& out) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 v = static_cast<u128>(a.limb[i]) - b.limb[i] - borrow;
+    out.limb[i] = static_cast<u64>(v);
+    borrow = (v >> 64) & 1;  // two's-complement borrow propagates in bit 64
+  }
+  return static_cast<u64>(borrow);
+}
+
+U256 add_mod(const U256& a, const U256& b, const U256& m) {
+  U256 sum;
+  u64 carry = add_with_carry(a, b, sum);
+  if (carry || !lt(sum, m)) {
+    U256 reduced;
+    sub_with_borrow(sum, m, reduced);
+    return reduced;
+  }
+  return sum;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const U256& m) {
+  U256 diff;
+  u64 borrow = sub_with_borrow(a, b, diff);
+  if (borrow) {
+    U256 fixed;
+    add_with_carry(diff, m, fixed);
+    return fixed;
+  }
+  return diff;
+}
+
+U256 shl1(const U256& a) {
+  U256 r;
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    r.limb[i] = (a.limb[i] << 1) | carry;
+    carry = a.limb[i] >> 63;
+  }
+  return r;
+}
+
+U256 shr1(const U256& a) {
+  U256 r;
+  u64 carry = 0;
+  for (int i = 3; i >= 0; --i) {
+    r.limb[i] = (a.limb[i] >> 1) | (carry << 63);
+    carry = a.limb[i] & 1;
+  }
+  return r;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 v = static_cast<u128>(a.limb[i]) * b.limb[j] + r.limb[i + j] + carry;
+      r.limb[i + j] = static_cast<u64>(v);
+      carry = v >> 64;
+    }
+    r.limb[i + 4] = static_cast<u64>(carry);
+  }
+  return r;
+}
+
+U256 mod(const U512& a, const U256& m) {
+  if (m.is_zero()) throw std::domain_error("mod: division by zero");
+  // Binary long division over 512 bits: process from the most significant bit
+  // down, maintaining remainder < m. Init-time only, so clarity over speed.
+  U256 rem;
+  for (int bit = 511; bit >= 0; --bit) {
+    // rem = rem*2 + bit; top bit of rem is always 0 before the shift because
+    // rem < m < 2^256, but guard anyway via carry-aware compare.
+    u64 top = rem.limb[3] >> 63;
+    rem = shl1(rem);
+    if ((a.limb[bit / 64] >> (bit % 64)) & 1) rem.limb[0] |= 1;
+    if (top || !lt(rem, m)) {
+      U256 t;
+      sub_with_borrow(rem, m, t);
+      rem = t;
+    }
+  }
+  return rem;
+}
+
+U256 mul_mod_slow(const U256& a, const U256& b, const U256& m) {
+  return mod(mul_wide(a, b), m);
+}
+
+U256 pow_mod_slow(const U256& a, const U256& e, const U256& m) {
+  U256 base = mod(U512{{a.limb[0], a.limb[1], a.limb[2], a.limb[3], 0, 0, 0, 0}}, m);
+  U256 result{1};
+  result = mod(U512{{1, 0, 0, 0, 0, 0, 0, 0}}, m);  // handles m == 1
+  unsigned nbits = e.bit_length();
+  for (unsigned i = 0; i < nbits; ++i) {
+    if (e.bit(i)) result = mul_mod_slow(result, base, m);
+    base = mul_mod_slow(base, base, m);
+  }
+  return result;
+}
+
+U256 inv_mod(const U256& a, const U256& m) {
+  if (a.is_zero()) throw std::domain_error("inv_mod: zero has no inverse");
+  if (!m.is_odd()) throw std::domain_error("inv_mod: modulus must be odd");
+  // Extended binary GCD (classic almost-inverse-free variant):
+  // maintain u*a ≡ x (mod m), v*a ≡ y (mod m) with gcd tracking.
+  U256 x = a, y = m;
+  U256 u{1}, v{0};
+  while (!x.is_zero()) {
+    while (!x.is_odd()) {
+      x = shr1(x);
+      if (u.is_odd()) {
+        U256 t;
+        u64 carry = add_with_carry(u, m, t);
+        u = shr1(t);
+        if (carry) u.limb[3] |= 0x8000000000000000ULL;
+      } else {
+        u = shr1(u);
+      }
+    }
+    while (!y.is_odd()) {
+      y = shr1(y);
+      if (v.is_odd()) {
+        U256 t;
+        u64 carry = add_with_carry(v, m, t);
+        v = shr1(t);
+        if (carry) v.limb[3] |= 0x8000000000000000ULL;
+      } else {
+        v = shr1(v);
+      }
+    }
+    if (!lt(x, y)) {
+      x = sub_mod(x, y, m);
+      u = sub_mod(u, v, m);
+    } else {
+      y = sub_mod(y, x, m);
+      v = sub_mod(v, u, m);
+    }
+  }
+  if (!(y == U256{1})) throw std::domain_error("inv_mod: not invertible");
+  return v;
+}
+
+u64 mont_n0_inv(const U256& m) {
+  if (!m.is_odd()) throw std::domain_error("mont_n0_inv: modulus must be odd");
+  // Newton iteration: inv *= 2 - m*inv doubles correct bits each round.
+  u64 m0 = m.limb[0];
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - m0 * inv;
+  return ~inv + 1;  // -inv mod 2^64
+}
+
+}  // namespace dsaudit::bigint

@@ -1,0 +1,110 @@
+// Fixed-width 256-bit and 512-bit unsigned integer arithmetic.
+//
+// These are the workhorse types underneath the Montgomery field arithmetic in
+// src/field. They are deliberately simple value types (no dynamic allocation,
+// trivially copyable) with explicit carry handling built on the compiler's
+// 128-bit integer support.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace dsaudit::bigint {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// 256-bit unsigned integer, little-endian limb order (limb[0] is least
+/// significant). Arithmetic is modulo 2^256 unless the function reports carry.
+struct U256 {
+  std::array<u64, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(u64 v) : limb{v, 0, 0, 0} {}
+  constexpr U256(u64 l0, u64 l1, u64 l2, u64 l3) : limb{l0, l1, l2, l3} {}
+
+  static U256 zero() { return U256{}; }
+  static U256 one() { return U256{1}; }
+
+  /// Parse a hex string (with or without 0x prefix). Throws std::invalid_argument
+  /// on malformed input or overflow past 256 bits.
+  static U256 from_hex(std::string_view hex);
+
+  /// Parse a decimal string. Throws std::invalid_argument on malformed input.
+  static U256 from_dec(std::string_view dec);
+
+  /// 32-byte big-endian encoding (the conventional wire format for field
+  /// elements in this library).
+  static U256 from_be_bytes(std::span<const std::uint8_t, 32> bytes);
+  void to_be_bytes(std::span<std::uint8_t, 32> out) const;
+
+  std::string to_hex() const;
+  std::string to_dec() const;
+
+  bool is_zero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  bool is_odd() const { return limb[0] & 1; }
+  bool bit(unsigned i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+  /// Number of significant bits (0 for zero).
+  unsigned bit_length() const;
+
+  friend bool operator==(const U256& a, const U256& b) = default;
+};
+
+/// a < b, a <= b as unsigned 256-bit integers.
+bool lt(const U256& a, const U256& b);
+bool lte(const U256& a, const U256& b);
+int cmp(const U256& a, const U256& b);  // -1, 0, +1
+
+/// out = a + b; returns carry-out (0 or 1).
+u64 add_with_carry(const U256& a, const U256& b, U256& out);
+/// out = a - b; returns borrow-out (0 or 1).
+u64 sub_with_borrow(const U256& a, const U256& b, U256& out);
+
+/// (a + b) mod m; requires a, b < m.
+U256 add_mod(const U256& a, const U256& b, const U256& m);
+/// (a - b) mod m; requires a, b < m.
+U256 sub_mod(const U256& a, const U256& b, const U256& m);
+
+U256 shl1(const U256& a);  // a << 1 (mod 2^256)
+U256 shr1(const U256& a);  // a >> 1
+
+/// 512-bit unsigned integer, little-endian limbs.
+struct U512 {
+  std::array<u64, 8> limb{};
+
+  bool is_zero() const {
+    u64 acc = 0;
+    for (u64 l : limb) acc |= l;
+    return acc == 0;
+  }
+  U256 lo() const { return U256{limb[0], limb[1], limb[2], limb[3]}; }
+  U256 hi() const { return U256{limb[4], limb[5], limb[6], limb[7]}; }
+
+  friend bool operator==(const U512& a, const U512& b) = default;
+};
+
+/// Full 256x256 -> 512 bit product.
+U512 mul_wide(const U256& a, const U256& b);
+
+/// a mod m via binary long division. Slow (bit-by-bit); intended for
+/// init-time constant derivation only — hot paths use Montgomery reduction.
+U256 mod(const U512& a, const U256& m);
+
+/// (a * b) mod m, via mul_wide + mod. Init-time use only.
+U256 mul_mod_slow(const U256& a, const U256& b, const U256& m);
+
+/// a^e mod m by square-and-multiply using the slow modmul. Init-time only.
+U256 pow_mod_slow(const U256& a, const U256& e, const U256& m);
+
+/// Modular inverse of a mod m (m odd, gcd(a,m)=1) via the extended binary
+/// Euclidean algorithm. Throws std::domain_error if not invertible.
+U256 inv_mod(const U256& a, const U256& m);
+
+/// -m^{-1} mod 2^64, for Montgomery reduction (m must be odd).
+u64 mont_n0_inv(const U256& m);
+
+}  // namespace dsaudit::bigint

@@ -1,0 +1,85 @@
+#include "chain/beacon.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "primitives/keccak256.hpp"
+
+namespace dsaudit::chain {
+
+namespace {
+
+using primitives::Keccak256;
+
+std::array<std::uint8_t, 32> round_hash(const std::array<std::uint8_t, 32>& seed,
+                                        std::uint64_t round, std::uint64_t salt) {
+  std::uint8_t buf[32 + 8 + 8];
+  std::memcpy(buf, seed.data(), 32);
+  std::memcpy(buf + 32, &round, 8);
+  std::memcpy(buf + 40, &salt, 8);
+  return Keccak256::hash(std::span<const std::uint8_t>(buf, sizeof(buf)));
+}
+
+BeaconOutput expand48(const std::array<std::uint8_t, 32>& state) {
+  BeaconOutput out{};
+  auto h1 = Keccak256::hash(state);
+  std::uint8_t again[33];
+  std::memcpy(again, state.data(), 32);
+  again[32] = 0x01;
+  auto h2 = Keccak256::hash(std::span<const std::uint8_t>(again, 33));
+  std::memcpy(out.data(), h1.data(), 32);
+  std::memcpy(out.data() + 32, h2.data(), 16);
+  return out;
+}
+
+}  // namespace
+
+BeaconOutput TrustedBeacon::randomness(std::uint64_t round) {
+  return expand48(round_hash(seed_, round, 0));
+}
+
+CommitRevealBeacon::CommitRevealBeacon(std::array<std::uint8_t, 32> seed,
+                                       std::size_t participants,
+                                       BiasStrategy last_revealer_bias)
+    : seed_(seed), participants_(participants), bias_(std::move(last_revealer_bias)) {
+  if (participants_ < 2) {
+    throw std::invalid_argument("CommitRevealBeacon: need >= 2 participants");
+  }
+}
+
+BeaconOutput CommitRevealBeacon::mix(std::uint64_t round, bool include_last) const {
+  std::array<std::uint8_t, 32> acc{};
+  std::size_t n = include_last ? participants_ : participants_ - 1;
+  for (std::size_t p = 0; p < n; ++p) {
+    auto contrib = round_hash(seed_, round, p + 1);
+    for (int i = 0; i < 32; ++i) acc[i] ^= contrib[i];
+  }
+  return expand48(acc);
+}
+
+BeaconOutput CommitRevealBeacon::randomness(std::uint64_t round) {
+  BeaconOutput with = mix(round, true);
+  if (!bias_) return with;
+  // The last revealer sees the pre-image of both outcomes and picks; this is
+  // exactly the one-bit-per-round bias of naive Randao designs.
+  BeaconOutput without = mix(round, false);
+  if (bias_(with, without)) return with;
+  ++withheld_;
+  return without;
+}
+
+std::array<std::uint8_t, 32> VdfBeacon::vdf(std::array<std::uint8_t, 32> input,
+                                            unsigned iterations) {
+  for (unsigned i = 0; i < iterations; ++i) {
+    input = Keccak256::hash(input);
+  }
+  return input;
+}
+
+BeaconOutput VdfBeacon::randomness(std::uint64_t round) {
+  // The committed state is fixed before reveals; the VDF output only becomes
+  // known after the delay, so no participant can react to it.
+  return expand48(vdf(round_hash(seed_, round, 0), delay_iterations_));
+}
+
+}  // namespace dsaudit::chain

@@ -1,0 +1,92 @@
+#include "chain/blockchain.hpp"
+
+#include <stdexcept>
+
+namespace dsaudit::chain {
+
+Blockchain::Blockchain(ChainConfig config) : config_(config) {
+  next_block_at_ = config_.block_interval_s;
+}
+
+void Blockchain::mint(const Address& who, std::uint64_t amount) {
+  balances_[who] += amount;
+}
+
+std::uint64_t Blockchain::balance(const Address& who) const {
+  auto it = balances_.find(who);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+void Blockchain::transfer(const Address& from, const Address& to,
+                          std::uint64_t amount) {
+  auto it = balances_.find(from);
+  if (it == balances_.end() || it->second < amount) {
+    throw std::runtime_error("Blockchain::transfer: insufficient funds of " + from);
+  }
+  it->second -= amount;
+  balances_[to] += amount;
+}
+
+std::size_t Blockchain::submit(Transaction tx) {
+  tx.submitted_at = now_;
+  txs_.push_back(std::move(tx));
+  pending_.push_back(txs_.size() - 1);
+  return txs_.size() - 1;
+}
+
+void Blockchain::schedule(Timestamp when, std::function<void(Timestamp)> action) {
+  tasks_.emplace(when, std::move(action));
+}
+
+void Blockchain::mine_one_block() {
+  Block b;
+  b.number = blocks_.size() + 1;
+  b.timestamp = now_;
+  b.size_bytes = config_.block_overhead_bytes;
+  // Greedy inclusion under the block's size and gas budgets (FIFO order —
+  // our simulation has no fee market).
+  std::vector<std::size_t> still_pending;
+  for (std::size_t idx : pending_) {
+    Transaction& tx = txs_[idx];
+    std::size_t tx_bytes = tx.payload_bytes + config_.tx_overhead_bytes;
+    if (b.size_bytes + tx_bytes > config_.max_block_bytes ||
+        b.gas_used + tx.gas_used > config_.max_block_gas) {
+      still_pending.push_back(idx);
+      continue;
+    }
+    tx.mined_at = now_;
+    tx.block_number = b.number;
+    b.size_bytes += tx_bytes;
+    b.gas_used += tx.gas_used;
+    b.tx_indices.push_back(idx);
+  }
+  pending_ = std::move(still_pending);
+  total_bytes_ += b.size_bytes;
+  total_gas_ += b.gas_used;
+  blocks_.push_back(std::move(b));
+}
+
+void Blockchain::advance(Timestamp seconds) {
+  Timestamp target = now_ + seconds;
+  for (;;) {
+    // Next event: a scheduled task or a block boundary, whichever first.
+    Timestamp next_task =
+        tasks_.empty() ? target + 1 : tasks_.begin()->first;
+    Timestamp next_event = std::min(next_block_at_, next_task);
+    if (next_event > target) break;
+    now_ = next_event;
+    // Fire all tasks due now (they may submit txs mined in the next block).
+    while (!tasks_.empty() && tasks_.begin()->first <= now_) {
+      auto action = std::move(tasks_.begin()->second);
+      tasks_.erase(tasks_.begin());
+      action(now_);
+    }
+    if (now_ >= next_block_at_) {
+      mine_one_block();
+      next_block_at_ += config_.block_interval_s;
+    }
+  }
+  now_ = target;
+}
+
+}  // namespace dsaudit::chain

@@ -1,0 +1,244 @@
+#include "contract/audit_contract.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "audit/serialize.hpp"
+#include "primitives/keccak256.hpp"
+
+namespace dsaudit::contract {
+
+namespace {
+
+std::uint64_t contract_counter = 0;
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::logic_error(std::string("AuditContract: ") + what);
+}
+
+}  // namespace
+
+AuditContract::AuditContract(chain::Blockchain& chain,
+                             chain::RandomnessBeacon& beacon, ContractTerms terms,
+                             PublicKey pk, audit::Fr file_name,
+                             std::size_t num_chunks)
+    : chain_(chain),
+      beacon_(beacon),
+      terms_(std::move(terms)),
+      pk_(std::move(pk)),
+      file_name_(file_name),
+      num_chunks_(num_chunks),
+      address_("contract-" + std::to_string(++contract_counter)) {
+  require(terms_.num_audits > 0, "num_audits must be positive");
+  require(num_chunks_ > 0, "empty file");
+  require(terms_.response_window_s < terms_.audit_period_s,
+          "response window must fit inside the audit period");
+}
+
+void AuditContract::emit(const std::string& what) {
+  events_.push_back({chain_.now(), what});
+}
+
+void AuditContract::negotiated() {
+  require(state_ == State::Uninitialized, "negotiated: state != ⊥");
+  // D pays the one-time on-chain storage of agrmts + params + metadata
+  // (Fig. 4's public-key bytes plus name/d).
+  auto pk_bytes = audit::serialize(pk_, terms_.private_proofs);
+  chain::Transaction tx;
+  tx.from = terms_.owner;
+  tx.description = "negotiated";
+  tx.payload_bytes = pk_bytes.size() + 32 /*name*/ + 8 /*d*/;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(pk_bytes) +
+                gas_.storage_word * ((tx.payload_bytes + 31) / 32);
+  chain_.submit(tx);
+  state_ = State::Ack;
+  emit("negotiated");
+}
+
+void AuditContract::acked(bool accept) {
+  require(state_ == State::Ack, "acked: state != ACK");
+  chain::Transaction tx;
+  tx.from = terms_.provider;
+  tx.description = accept ? "acked" : "rejected";
+  tx.payload_bytes = 1;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{1});
+  chain_.submit(tx);
+  if (!accept) {
+    // §VI-A: S can walk away, wasting D's storage fee — "good to none but
+    // worse to himself under a robust reputation-based system".
+    state_ = State::Closed;
+    emit("terminated-by-provider");
+    return;
+  }
+  state_ = State::Freeze;
+  emit("acked");
+}
+
+void AuditContract::freeze() {
+  require(state_ == State::Freeze, "freeze: state != FREEZE");
+  std::uint64_t owner_lock = terms_.reward_per_audit * terms_.num_audits;
+  std::uint64_t provider_lock = terms_.penalty_per_fail * terms_.num_audits;
+  chain_.transfer(terms_.owner, address_, owner_lock);
+  chain_.transfer(terms_.provider, address_, provider_lock);
+  chain::Transaction tx;
+  tx.from = terms_.owner;
+  tx.description = "freeze";
+  tx.payload_bytes = 64;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{64});
+  chain_.submit(tx);
+  state_ = State::Audit;
+  emit("inited");
+  schedule_challenge(chain_.now() + terms_.audit_period_s);
+}
+
+std::uint64_t AuditContract::escrow_balance() const {
+  return chain_.balance(address_);
+}
+
+Challenge AuditContract::challenge_from_beacon(std::uint64_t round) const {
+  chain::BeaconOutput out = beacon_.randomness(round);
+  Challenge chal;
+  // Domain-separated expansion of the 48 beacon bytes into (C1, C2, r).
+  std::uint8_t buf[49];
+  std::memcpy(buf, out.data(), 48);
+  buf[48] = 0;
+  chal.c1 = primitives::Keccak256::hash(std::span<const std::uint8_t>(buf, 49));
+  buf[48] = 1;
+  chal.c2 = primitives::Keccak256::hash(std::span<const std::uint8_t>(buf, 49));
+  buf[48] = 2;
+  auto rbytes = primitives::Keccak256::hash(std::span<const std::uint8_t>(buf, 49));
+  chal.r = audit::Fr::from_be_bytes_mod(rbytes);
+  chal.k = terms_.challenged_chunks;
+  return chal;
+}
+
+void AuditContract::schedule_challenge(Timestamp when) {
+  chain_.schedule(when, [this](Timestamp now) { on_challenge_due(now); });
+}
+
+void AuditContract::on_challenge_due(Timestamp /*now*/) {
+  if (state_ != State::Audit) return;  // contract closed meanwhile
+  require(cnt_ < terms_.num_audits, "challenge beyond num_audits");
+
+  RoundRecord rec;
+  rec.round = cnt_;
+  rec.challenge = challenge_from_beacon(cnt_);
+  rec.challenged_at = chain_.now();
+
+  chain::Transaction tx;
+  tx.from = address_;
+  tx.description = "challenged";
+  tx.payload_bytes = 48;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{48});
+  chain_.submit(tx);
+  emit("challenged");
+
+  state_ = State::Prove;
+  pending_proof_.reset();
+  // Provider reacts off-chain; in the simulation the responder is invoked
+  // synchronously and its proof "arrives" as a tx in the response window.
+  if (responder_) {
+    if (auto proof = responder_(rec.challenge)) {
+      pending_proof_ = std::move(proof);
+      rec.proved_at = chain_.now();
+      rec.proof_bytes = pending_proof_->size();
+      emit("proofposted");
+    }
+  }
+  rounds_.push_back(std::move(rec));
+  chain_.schedule(chain_.now() + terms_.response_window_s,
+                  [this](Timestamp now) { on_verify_due(now); });
+}
+
+void AuditContract::on_verify_due(Timestamp /*now*/) {
+  if (state_ != State::Prove) return;
+  RoundRecord& rec = rounds_.back();
+
+  if (!pending_proof_) {
+    rec.outcome = RoundOutcome::Timeout;
+    emit("fail");
+    if (terms_.penalty_per_fail > 0) {
+      chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
+    }
+  } else {
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = false;
+    if (terms_.private_proofs) {
+      auto proof = audit::deserialize_private(*pending_proof_);
+      ok = proof && audit::verify_private(pk_, file_name_, num_chunks_,
+                                          rec.challenge, *proof);
+    } else {
+      auto proof = audit::deserialize_basic(*pending_proof_);
+      ok = proof &&
+           audit::verify(pk_, file_name_, num_chunks_, rec.challenge, *proof);
+    }
+    rec.verify_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    // The prove tx carries the proof bytes and triggers on-chain
+    // verification; gas follows the §VII-B extrapolation.
+    chain::Transaction tx;
+    tx.from = terms_.provider;
+    tx.description = "prove";
+    tx.payload_bytes = rec.proof_bytes;
+    tx.gas_used = gas_.audit_tx_gas(rec.proof_bytes, 48, rec.verify_ms);
+    chain_.submit(tx);
+    rec.gas_used = tx.gas_used;
+
+    if (ok) {
+      rec.outcome = RoundOutcome::Pass;
+      emit("pass");
+      if (terms_.reward_per_audit > 0) {
+        chain_.transfer(address_, terms_.provider, terms_.reward_per_audit);
+      }
+    } else {
+      rec.outcome = RoundOutcome::Fail;
+      emit("fail");
+      if (terms_.penalty_per_fail > 0) {
+        chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
+      }
+    }
+  }
+  pending_proof_.reset();
+  ++cnt_;
+  if (cnt_ >= terms_.num_audits) {
+    settle_and_close();
+    return;
+  }
+  state_ = State::Audit;
+  schedule_challenge(rounds_.back().challenged_at + terms_.audit_period_s);
+}
+
+void AuditContract::settle_and_close() {
+  // Return unspent escrow: undelivered rewards to the owner, unburned
+  // collateral to the provider.
+  std::uint64_t unpaid_rewards = terms_.reward_per_audit * (fails() + timeouts());
+  std::uint64_t kept_collateral =
+      terms_.penalty_per_fail * terms_.num_audits -
+      terms_.penalty_per_fail * (fails() + timeouts());
+  if (unpaid_rewards > 0) chain_.transfer(address_, terms_.owner, unpaid_rewards);
+  if (kept_collateral > 0) {
+    chain_.transfer(address_, terms_.provider, kept_collateral);
+  }
+  state_ = State::Closed;
+  emit("expired");
+}
+
+std::uint64_t AuditContract::passes() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rounds_) n += r.outcome == RoundOutcome::Pass;
+  return n;
+}
+std::uint64_t AuditContract::fails() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rounds_) n += r.outcome == RoundOutcome::Fail;
+  return n;
+}
+std::uint64_t AuditContract::timeouts() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rounds_) n += r.outcome == RoundOutcome::Timeout;
+  return n;
+}
+
+}  // namespace dsaudit::contract

@@ -1,0 +1,132 @@
+// The Fig. 2 smart contract: secure storage auditing as a state machine.
+//
+//   Initialize:  "negotiated" (D,S) -> ACK -> "acked" (S) -> FREEZE ->
+//                "freeze" ($D, $S) -> AUDIT, schedule("Chal")
+//   Audit loop:  Chal fires  -> randomness beacon -> challenge posted,
+//                state PROVE -> "prove"(prf) from S -> schedule("Verify")
+//                Verify fires -> V(params, metadata, prf) ? pay S : pay D,
+//                cnt++ -> AUDIT (or Closed when cnt == num)
+//
+// Deviations from the figure are only additions the prose requires: a
+// response window with timeout (a silent provider must lose the round), an
+// explicit rejection path at ACK (§VI-A's denial-of-service discussion), and
+// final settlement of the remaining escrow at expiry.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "audit/protocol.hpp"
+#include "chain/beacon.hpp"
+#include "chain/blockchain.hpp"
+
+namespace dsaudit::contract {
+
+using audit::Challenge;
+using audit::PublicKey;
+using chain::Address;
+using chain::Timestamp;
+
+enum class State {
+  Uninitialized,  // ⊥
+  Ack,            // waiting for S's acknowledgement
+  Freeze,         // waiting for both deposits
+  Audit,          // between rounds, next challenge scheduled
+  Prove,          // challenge posted, waiting for the proof
+  Closed,         // contract expired or terminated
+};
+
+enum class RoundOutcome { Pass, Fail, Timeout };
+
+struct ContractTerms {
+  Address owner;
+  Address provider;
+  std::uint64_t num_audits = 0;        // the figure's `num`
+  Timestamp audit_period_s = 86400;    // challenge cadence (daily by default)
+  Timestamp response_window_s = 3600;  // prove deadline after a challenge
+  std::uint64_t reward_per_audit = 0;  // micro-payment to S per passed round
+  std::uint64_t penalty_per_fail = 0;  // compensation to D per failed round
+  std::size_t challenged_chunks = 300; // k (§VI-A default: 95% confidence)
+  bool private_proofs = true;          // Eq. 2 (288 B) vs Eq. 1 (96 B)
+};
+
+struct RoundRecord {
+  std::uint64_t round = 0;
+  Challenge challenge;
+  Timestamp challenged_at = 0;
+  std::optional<Timestamp> proved_at;
+  std::size_t proof_bytes = 0;
+  double verify_ms = 0;
+  std::uint64_t gas_used = 0;  // prove-tx gas incl. on-chain verification
+  RoundOutcome outcome = RoundOutcome::Timeout;
+};
+
+struct ContractEvent {
+  Timestamp at = 0;
+  std::string what;  // "negotiated", "acked", "inited", "challenged", ...
+};
+
+/// One audit contract between a data owner and a storage provider, driven by
+/// the Blockchain's clock/scheduler. The provider participates by installing
+/// a responder (typically audit::Prover) via set_responder.
+class AuditContract {
+ public:
+  /// Responder: called when a challenge is posted; returns the serialized
+  /// proof, or nullopt to simulate an unresponsive provider.
+  using Responder =
+      std::function<std::optional<std::vector<std::uint8_t>>(const Challenge&)>;
+
+  AuditContract(chain::Blockchain& chain, chain::RandomnessBeacon& beacon,
+                ContractTerms terms, PublicKey pk, audit::Fr file_name,
+                std::size_t num_chunks);
+
+  // --- Initialize phase (Fig. 2 top) ---------------------------------------
+  /// D deploys agreements + params + metadata; pays the one-time storage tx.
+  void negotiated();
+  /// S acknowledges (accept) or walks away (reject -> Closed).
+  void acked(bool accept);
+  /// Both parties deposit; locks funds and schedules the first challenge.
+  void freeze();
+
+  // --- Audit phase ----------------------------------------------------------
+  void set_responder(Responder responder) { responder_ = std::move(responder); }
+
+  // --- inspection -----------------------------------------------------------
+  State state() const { return state_; }
+  std::uint64_t rounds_completed() const { return cnt_; }
+  const std::vector<RoundRecord>& rounds() const { return rounds_; }
+  const std::vector<ContractEvent>& events() const { return events_; }
+  std::uint64_t escrow_balance() const;
+  const ContractTerms& terms() const { return terms_; }
+  Address address() const { return address_; }
+
+  std::uint64_t passes() const;
+  std::uint64_t fails() const;     // verification failures
+  std::uint64_t timeouts() const;  // missing proofs
+
+ private:
+  void emit(const std::string& what);
+  void schedule_challenge(Timestamp when);
+  void on_challenge_due(Timestamp now);
+  void on_verify_due(Timestamp now);
+  void settle_and_close();
+  Challenge challenge_from_beacon(std::uint64_t round) const;
+
+  chain::Blockchain& chain_;
+  chain::RandomnessBeacon& beacon_;
+  ContractTerms terms_;
+  PublicKey pk_;
+  audit::Fr file_name_;
+  std::size_t num_chunks_;
+  Address address_;
+
+  State state_ = State::Uninitialized;
+  std::uint64_t cnt_ = 0;
+  Responder responder_;
+  std::optional<std::vector<std::uint8_t>> pending_proof_;
+  std::vector<RoundRecord> rounds_;
+  std::vector<ContractEvent> events_;
+  chain::GasSchedule gas_ = chain::GasSchedule::calibrated();
+};
+
+}  // namespace dsaudit::contract

@@ -1,0 +1,43 @@
+// G1: the prime-order-r group E(Fp) : y^2 = x^3 + 3, generator (1, 2).
+// The curve has cofactor 1, so every finite curve point is in the group.
+//
+// Includes the protocol's random oracle H : {0,1}* -> G1 (try-and-increment
+// over Keccak-256) and the canonical 32-byte point compression that gives the
+// paper's 96-byte non-private proofs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "curve/point.hpp"
+#include "field/fp.hpp"
+
+namespace dsaudit::curve {
+
+using ff::Fp;
+
+struct G1Tag {
+  static const Fp& curve_b();
+  static const Point<Fp, G1Tag>& generator();
+};
+
+using G1 = Point<Fp, G1Tag>;
+
+/// Uniform-enough random group element (random scalar times the generator).
+G1 g1_random(primitives::SecureRng& rng);
+
+/// H(name || i): hash arbitrary bytes onto the curve by try-and-increment.
+/// Deterministic; ~2 attempts expected. Used for block-index binding in the
+/// authenticators sigma_i = (g1^{M_i(alpha)} * H(name||i))^x.
+G1 hash_to_g1(std::span<const std::uint8_t> data);
+G1 hash_to_g1(std::string_view s);
+
+/// 32-byte compressed encoding: big-endian x with bit 255 = infinity flag and
+/// bit 254 = parity of y (p is 254 bits, so both are free).
+std::array<std::uint8_t, 32> g1_compress(const G1& p);
+/// Decompress; nullopt on any malformed encoding (x >= p, x not on curve,
+/// bad padding bits).
+std::optional<G1> g1_decompress(std::span<const std::uint8_t, 32> bytes);
+
+}  // namespace dsaudit::curve

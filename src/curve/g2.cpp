@@ -1,0 +1,115 @@
+#include "curve/g2.hpp"
+
+#include <algorithm>
+
+#include "field/fp12.hpp"
+#include "field/sqrt.hpp"
+
+namespace dsaudit::curve {
+
+namespace {
+
+// EIP-197 / py_ecc generator for the order-r subgroup of the twist.
+const char* kG2GenX0 =
+    "10857046999023057135944570762232829481370756359578518086990519993285655852781";
+const char* kG2GenX1 =
+    "11559732032986387107991004021392285783925812861821192530917403151452391805634";
+const char* kG2GenY0 =
+    "8495653923123431417604973247489272438418190587263600148770280649306958101930";
+const char* kG2GenY1 =
+    "4082367875863433681332203403145435568316851327593401208105741076214120093531";
+
+Fp2 fp2_from_dec(const char* c0, const char* c1) {
+  return Fp2{ff::Fp::from_u256(ff::U256::from_dec(c0)),
+             ff::Fp::from_u256(ff::U256::from_dec(c1))};
+}
+
+/// Lexicographic comparison of the canonical byte encoding, used to pin down
+/// which of the two square roots a compressed point refers to.
+bool lex_greater(const Fp2& a, const Fp2& b) {
+  auto ab = a.to_bytes();
+  auto bb = b.to_bytes();
+  return std::lexicographical_compare(bb.begin(), bb.end(), ab.begin(), ab.end());
+}
+
+}  // namespace
+
+const Fp2& G2Tag::curve_b() {
+  // b' = 3 / xi  (D-type twist).
+  static const Fp2 b = ff::xi().inverse().mul_fp(ff::Fp::from_u64(3));
+  return b;
+}
+
+const G2& G2Tag::generator() {
+  static const G2 g{fp2_from_dec(kG2GenX0, kG2GenX1),
+                    fp2_from_dec(kG2GenY0, kG2GenY1)};
+  return g;
+}
+
+G2 g2_random(primitives::SecureRng& rng) {
+  return G2::generator().mul(Fr::random(rng));
+}
+
+bool g2_in_subgroup(const G2& p) {
+  if (!p.is_on_curve()) return false;
+  return p.mul(Fr::modulus()).is_infinity();
+}
+
+G2 g2_frobenius(const G2& p) {
+  if (p.is_infinity()) return p;
+  const auto& tc = ff::tower_consts();
+  auto [x, y] = p.to_affine();
+  return G2{x.conjugate() * tc.twist_frob_x, y.conjugate() * tc.twist_frob_y};
+}
+
+G2 g2_frobenius2(const G2& p) {
+  if (p.is_infinity()) return p;
+  const auto& tc = ff::tower_consts();
+  auto [x, y] = p.to_affine();
+  return G2{x * tc.twist_frob2_x, y * tc.twist_frob2_y};
+}
+
+std::array<std::uint8_t, 64> g2_compress(const G2& p) {
+  std::array<std::uint8_t, 64> out{};
+  if (p.is_infinity()) {
+    out[0] = 0x80;
+    return out;
+  }
+  auto [x, y] = p.to_affine();
+  // x.c1 first so the flag bits land in the top bits of a 254-bit value.
+  x.c1.to_be_bytes(std::span<std::uint8_t, 32>(out.data(), 32));
+  x.c0.to_be_bytes(std::span<std::uint8_t, 32>(out.data() + 32, 32));
+  if (lex_greater(y, -y)) out[0] |= 0x40;
+  return out;
+}
+
+std::optional<G2> g2_decompress(std::span<const std::uint8_t, 64> bytes) {
+  std::array<std::uint8_t, 64> buf;
+  std::copy(bytes.begin(), bytes.end(), buf.begin());
+  bool inf = (buf[0] & 0x80) != 0;
+  bool greater = (buf[0] & 0x40) != 0;
+  buf[0] &= 0x3f;
+  if (inf) {
+    for (auto b : buf) {
+      if (b != 0) return std::nullopt;
+    }
+    if (greater) return std::nullopt;
+    return G2::infinity();
+  }
+  ff::U256 x1 = ff::U256::from_be_bytes(std::span<const std::uint8_t, 32>(buf.data(), 32));
+  ff::U256 x0 =
+      ff::U256::from_be_bytes(std::span<const std::uint8_t, 32>(buf.data() + 32, 32));
+  if (!bigint::lt(x1, ff::Fp::modulus()) || !bigint::lt(x0, ff::Fp::modulus())) {
+    return std::nullopt;
+  }
+  Fp2 x{ff::Fp::from_u256(x0), ff::Fp::from_u256(x1)};
+  Fp2 rhs = x.square() * x + G2Tag::curve_b();
+  auto y = ff::sqrt(rhs);
+  if (!y) return std::nullopt;
+  Fp2 yy = (lex_greater(*y, -*y) == greater) ? *y : -*y;
+  G2 p{x, yy};
+  if (!g2_in_subgroup(p)) return std::nullopt;  // reject cofactor components
+  return p;
+}
+
+}  // namespace dsaudit::curve

@@ -1,0 +1,15 @@
+// Startup self-validation of all BN254 curve constants.
+//
+// Everything in the crypto stack flows from a handful of constants (the BN
+// parameter t, the two moduli, the G2 generator). A silent typo would
+// produce a scheme that "works" against itself but is not BN254. This check
+// re-derives the moduli from t, and verifies generators, subgroup orders and
+// the twist endomorphism. Called once from tests and from library entry
+// points; throws std::logic_error with a description on any mismatch.
+#pragma once
+
+namespace dsaudit::curve {
+
+void validate_bn254_parameters();
+
+}  // namespace dsaudit::curve

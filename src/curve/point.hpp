@@ -1,0 +1,181 @@
+// Short-Weierstrass points in Jacobian coordinates, shared by G1 and G2.
+//
+// Curve equation: y^2 = x^3 + b over the coordinate field F, with b supplied
+// by the curve tag (b = 3 for G1; b = 3/(9+u) for the sextic twist hosting
+// G2). Jacobian coordinates (X, Y, Z) represent the affine point
+// (X/Z^2, Y/Z^3); infinity is Z = 0.
+#pragma once
+
+#include <vector>
+
+#include "field/fp.hpp"
+
+namespace dsaudit::curve {
+
+using ff::Fr;
+using ff::U256;
+
+template <typename F, typename Tag>
+class Point {
+ public:
+  Point() : x_(F::one()), y_(F::one()), z_(F::zero()) {}  // infinity
+  Point(const F& x, const F& y) : x_(x), y_(y), z_(F::one()) {}
+
+  static Point infinity() { return Point(); }
+  static const Point& generator() { return Tag::generator(); }
+  static const F& curve_b() { return Tag::curve_b(); }
+
+  bool is_infinity() const { return z_.is_zero(); }
+
+  /// Affine coordinates; must not be called on the point at infinity.
+  std::pair<F, F> to_affine() const {
+    if (is_infinity()) throw std::logic_error("Point::to_affine: infinity");
+    F zinv = z_.inverse();
+    F zinv2 = zinv.square();
+    return {x_ * zinv2, y_ * zinv2 * zinv};
+  }
+
+  bool is_on_curve() const {
+    if (is_infinity()) return true;
+    // Y^2 = X^3 + b Z^6
+    F z2 = z_.square();
+    F z6 = z2.square() * z2;
+    return y_.square() == x_.square() * x_ + curve_b() * z6;
+  }
+
+  Point operator-() const {
+    Point r = *this;
+    r.y_ = -r.y_;
+    return r;
+  }
+
+  Point dbl() const {
+    if (is_infinity()) return *this;
+    // dbl-2009-l (a = 0)
+    F a = x_.square();
+    F b = y_.square();
+    F c = b.square();
+    F d = ((x_ + b).square() - a - c).dbl();
+    F e = a + a + a;
+    F f = e.square();
+    Point r;
+    r.x_ = f - d.dbl();
+    r.y_ = e * (d - r.x_) - c.dbl().dbl().dbl();
+    r.z_ = (y_ * z_).dbl();
+    return r;
+  }
+
+  friend Point operator+(const Point& p, const Point& q) {
+    if (p.is_infinity()) return q;
+    if (q.is_infinity()) return p;
+    // add-2007-bl
+    F z1z1 = p.z_.square();
+    F z2z2 = q.z_.square();
+    F u1 = p.x_ * z2z2;
+    F u2 = q.x_ * z1z1;
+    F s1 = p.y_ * q.z_ * z2z2;
+    F s2 = q.y_ * p.z_ * z1z1;
+    if (u1 == u2) {
+      if (s1 == s2) return p.dbl();
+      return infinity();
+    }
+    F h = u2 - u1;
+    F i = h.dbl().square();
+    F j = h * i;
+    F rr = (s2 - s1).dbl();
+    F v = u1 * i;
+    Point r;
+    r.x_ = rr.square() - j - v.dbl();
+    r.y_ = rr * (v - r.x_) - (s1 * j).dbl();
+    r.z_ = ((p.z_ + q.z_).square() - z1z1 - z2z2) * h;
+    return r;
+  }
+  friend Point operator-(const Point& p, const Point& q) { return p + (-q); }
+  Point& operator+=(const Point& o) { return *this = *this + o; }
+
+  /// Scalar multiplication by a canonical integer (double-and-add, MSB-first).
+  Point mul(const U256& k) const {
+    Point acc = infinity();
+    unsigned n = k.bit_length();
+    for (unsigned i = n; i-- > 0;) {
+      acc = acc.dbl();
+      if (k.bit(i)) acc += *this;
+    }
+    return acc;
+  }
+  Point mul(const Fr& k) const { return mul(k.to_u256()); }
+
+  friend Point operator*(const Fr& k, const Point& p) { return p.mul(k); }
+
+  /// Equality in the group (compares the underlying affine points).
+  friend bool operator==(const Point& p, const Point& q) {
+    if (p.is_infinity() || q.is_infinity()) {
+      return p.is_infinity() == q.is_infinity();
+    }
+    // X1 Z2^2 == X2 Z1^2  and  Y1 Z2^3 == Y2 Z1^3
+    F z1z1 = p.z_.square();
+    F z2z2 = q.z_.square();
+    return p.x_ * z2z2 == q.x_ * z1z1 &&
+           p.y_ * z2z2 * q.z_ == q.y_ * z1z1 * p.z_;
+  }
+
+  const F& jac_x() const { return x_; }
+  const F& jac_y() const { return y_; }
+  const F& jac_z() const { return z_; }
+
+ private:
+  F x_, y_, z_;
+};
+
+/// Multi-scalar multiplication via Pippenger bucketing. scalars[i] are
+/// canonical Fr values; returns sum scalars[i] * points[i]. The prover's two
+/// dominant ECC operations (aggregating sigma = prod sigma_i^{c_i} and
+/// computing psi from the SRS) are exactly this primitive.
+template <typename P>
+P msm(std::span<const P> points, std::span<const Fr> scalars) {
+  if (points.size() != scalars.size()) {
+    throw std::invalid_argument("msm: size mismatch");
+  }
+  if (points.empty()) return P::infinity();
+  if (points.size() == 1) return points[0].mul(scalars[0]);
+
+  // Window size tuned for n points (standard Pippenger heuristic).
+  std::size_t n = points.size();
+  unsigned c = 3;
+  while ((1u << (c + 2)) < n && c < 16) ++c;
+
+  std::vector<U256> ks(n);
+  for (std::size_t i = 0; i < n; ++i) ks[i] = scalars[i].to_u256();
+
+  constexpr unsigned kScalarBits = 256;
+  unsigned windows = (kScalarBits + c - 1) / c;
+  P total = P::infinity();
+  for (unsigned w = windows; w-- > 0;) {
+    for (unsigned i = 0; i < c; ++i) total = total.dbl();
+    std::vector<P> buckets(std::size_t{1} << c, P::infinity());
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned lo = w * c;
+      std::uint64_t digit = 0;
+      for (unsigned b = 0; b < c && lo + b < kScalarBits; ++b) {
+        if (ks[i].bit(lo + b)) digit |= 1ULL << b;
+      }
+      if (digit != 0) {
+        buckets[digit] += points[i];
+        any = true;
+      }
+    }
+    if (!any) continue;
+    // Running-sum bucket reduction: sum_j j * bucket[j].
+    P running = P::infinity();
+    P acc = P::infinity();
+    for (std::size_t j = buckets.size(); j-- > 1;) {
+      running += buckets[j];
+      acc += running;
+    }
+    total += acc;
+  }
+  return total;
+}
+
+}  // namespace dsaudit::curve

@@ -1,0 +1,61 @@
+#include "econ/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace dsaudit::econ {
+
+double contract_fee_usd(const AuditCostModel& model, unsigned duration_days,
+                        double audits_per_day, unsigned num_providers) {
+  if (audits_per_day <= 0 || num_providers == 0) {
+    throw std::invalid_argument("contract_fee_usd: bad frequency/providers");
+  }
+  double audits = duration_days * audits_per_day * num_providers;
+  return audits * model.usd_per_audit();
+}
+
+PkStorageCost pk_storage_cost(std::size_t s, bool with_privacy,
+                              const AuditCostModel& model) {
+  // Same accounting as PublicKey::serialized_size: s (8) + two G2 (128) +
+  // (s-1) G1 powers (32 each) + optional GT base (192).
+  std::size_t powers = s >= 2 ? s - 1 : 1;
+  PkStorageCost c;
+  c.bytes = 8 + 64 + 64 + 32 * powers + (with_privacy ? 192 : 0);
+  c.gas = model.gas.tx_base + model.gas.calldata_gas(c.bytes) +
+          model.gas.storage_word * ((c.bytes + 31) / 32);
+  c.usd = model.price.usd(c.gas);
+  return c;
+}
+
+double ThroughputModel::tx_per_second() const {
+  double usable = static_cast<double>(block_bytes - block_overhead_bytes);
+  double per_tx = static_cast<double>(audit_tx_bytes + tx_overhead_bytes);
+  return usable / per_tx / block_interval_s;
+}
+
+std::size_t ThroughputModel::max_users(double audits_per_user_per_day,
+                                       unsigned num_providers) const {
+  if (audits_per_user_per_day <= 0 || num_providers == 0) {
+    throw std::invalid_argument("ThroughputModel::max_users: bad parameters");
+  }
+  double tx_per_day = tx_per_second() * 86400.0;
+  return static_cast<std::size_t>(tx_per_day /
+                                  (audits_per_user_per_day * num_providers));
+}
+
+double ThroughputModel::chain_growth_gb_per_year(
+    std::size_t users, double audits_per_user_per_day,
+    unsigned num_providers) const {
+  double tx_per_year = users * audits_per_user_per_day * num_providers * 365.0;
+  double bytes = tx_per_year * (audit_tx_bytes + tx_overhead_bytes);
+  // Plus block overhead amortized over the blocks those txs occupy.
+  double txs_per_block = static_cast<double>(block_bytes - block_overhead_bytes) /
+                         (audit_tx_bytes + tx_overhead_bytes);
+  bytes += tx_per_year / txs_per_block * block_overhead_bytes;
+  return bytes / (1024.0 * 1024.0 * 1024.0);
+}
+
+double provider_prove_time_s(std::size_t users_on_provider, double per_proof_ms) {
+  return users_on_provider * per_proof_ms / 1000.0;
+}
+
+}  // namespace dsaudit::econ

@@ -1,0 +1,68 @@
+// §VII cost and scalability models: per-audit USD, one-time pk storage,
+// annual fees (Fig. 6), blockchain throughput/user-base ceilings and chain
+// growth (Fig. 10), provider-side aggregate proving load.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/gas.hpp"
+
+namespace dsaudit::econ {
+
+/// Everything needed to price one audit round on chain.
+struct AuditCostModel {
+  chain::GasSchedule gas = chain::GasSchedule::calibrated();
+  chain::PriceModel price;
+  std::size_t proof_bytes = 288;      // 96 without privacy
+  std::size_t challenge_bytes = 48;   // C1, C2, r
+  double verify_ms = 7.2;             // measured on-chain verification time
+  double beacon_usd_per_round = 0.01; // §VII-B randomness cost (0.01-0.05)
+
+  std::uint64_t gas_per_audit() const {
+    return gas.audit_tx_gas(proof_bytes, challenge_bytes, verify_ms);
+  }
+  double usd_per_audit() const {
+    return price.usd(gas_per_audit()) + beacon_usd_per_round;
+  }
+};
+
+/// Fig. 6: total auditing fees over a contract, with a tunable frequency and
+/// the §III-A redundancy remark (auditing cost scales linearly with the
+/// number of providers holding shards).
+double contract_fee_usd(const AuditCostModel& model, unsigned duration_days,
+                        double audits_per_day, unsigned num_providers = 1);
+
+/// One-time on-chain public-key storage cost (Fig. 4 sizes + SSTORE gas).
+struct PkStorageCost {
+  std::size_t bytes = 0;
+  std::uint64_t gas = 0;
+  double usd = 0;
+};
+PkStorageCost pk_storage_cost(std::size_t s, bool with_privacy,
+                              const AuditCostModel& model);
+
+/// §VII-D throughput: a dedicated audit chain with fixed block size/interval.
+struct ThroughputModel {
+  std::size_t block_bytes = 18 * 1024;  // average Ethereum block, per paper
+  double block_interval_s = 15.0;
+  std::size_t block_overhead_bytes = 500;
+  std::size_t tx_overhead_bytes = 110;
+  std::size_t audit_tx_bytes = 288 + 48;
+
+  double tx_per_second() const;
+  /// Max concurrently-active users given per-user audit cadence and shard
+  /// redundancy (each user audits `num_providers` providers).
+  std::size_t max_users(double audits_per_user_per_day,
+                        unsigned num_providers = 1) const;
+  /// Fig. 10 (left): chain growth for a user base, GB/year.
+  double chain_growth_gb_per_year(std::size_t users, double audits_per_user_per_day,
+                                  unsigned num_providers = 1) const;
+};
+
+/// Fig. 10 (right): total proving time per audit round for a provider
+/// holding data of `users_on_provider` distinct owners (proofs cannot be
+/// merged across owners' keys, so the work is linear — the paper's
+/// regression assumption).
+double provider_prove_time_s(std::size_t users_on_provider, double per_proof_ms);
+
+}  // namespace dsaudit::econ

@@ -1,0 +1,86 @@
+#include "field/fp.hpp"
+
+#include <stdexcept>
+
+namespace dsaudit::ff {
+
+const char* const kFpModulusHex =
+    "0x30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47";
+const char* const kFrModulusHex =
+    "0x30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001";
+
+MontParams make_mont_params(const U256& modulus) {
+  if (!modulus.is_odd()) throw std::invalid_argument("make_mont_params: even modulus");
+  MontParams P;
+  P.has_fast_sqrt = (modulus.limb[0] & 3) == 3;
+  P.modulus = modulus;
+  VarUInt m{modulus};
+  VarUInt r = VarUInt{1}.shl(256);
+  P.r_mod = VarUInt::divmod(r, m).second.to_u256();
+  P.r2_mod = VarUInt::divmod(r * r, m).second.to_u256();
+  P.r3_mod = VarUInt::divmod(r * r * r, m).second.to_u256();
+  P.n0_inv = bigint::mont_n0_inv(modulus);
+  U256 one{1};
+  bigint::sub_with_borrow(modulus, one, P.p_minus_2);
+  bigint::sub_with_borrow(P.p_minus_2, one, P.p_minus_2);
+  // (p-1)/2 and (p+1)/4: p odd, p ≡ 3 mod 4 checked above.
+  U256 pm1;
+  bigint::sub_with_borrow(modulus, one, pm1);
+  P.p_minus_1_over_2 = bigint::shr1(pm1);
+  if (P.has_fast_sqrt) {
+    U256 pp1;
+    bigint::add_with_carry(modulus, one, pp1);  // p < 2^255, no carry
+    P.p_plus_1_over_4 = bigint::shr1(bigint::shr1(pp1));
+  }
+  return P;
+}
+
+namespace detail {
+
+U256 mont_mul(const U256& a, const U256& b, const MontParams& P) {
+  using bigint::u128;
+  u64 t[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 v = static_cast<u128>(a.limb[i]) * b.limb[j] + t[j] + carry;
+      t[j] = static_cast<u64>(v);
+      carry = v >> 64;
+    }
+    u128 t4 = static_cast<u128>(t[4]) + carry;
+    // Reduce: add m*p so the low limb vanishes, then shift right one limb.
+    u64 m = t[0] * P.n0_inv;
+    u128 v = static_cast<u128>(m) * P.modulus.limb[0] + t[0];
+    carry = v >> 64;
+    for (int j = 1; j < 4; ++j) {
+      v = static_cast<u128>(m) * P.modulus.limb[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(v);
+      carry = v >> 64;
+    }
+    v = t4 + carry;
+    t[3] = static_cast<u64>(v);
+    t[4] = static_cast<u64>(v >> 64);
+  }
+  U256 r{t[0], t[1], t[2], t[3]};
+  if (t[4] != 0 || !bigint::lt(r, P.modulus)) {
+    U256 reduced;
+    bigint::sub_with_borrow(r, P.modulus, reduced);
+    return reduced;
+  }
+  return r;
+}
+
+}  // namespace detail
+
+const MontParams& FpTag::params() {
+  static const MontParams P = make_mont_params(U256::from_hex(kFpModulusHex));
+  return P;
+}
+
+const MontParams& FrTag::params() {
+  static const MontParams P = make_mont_params(U256::from_hex(kFrModulusHex));
+  return P;
+}
+
+}  // namespace dsaudit::ff

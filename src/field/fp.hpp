@@ -1,0 +1,234 @@
+// Montgomery-form prime fields for the BN254 curve.
+//
+//   Fp — the base field (254-bit p), coordinates of G1/G2/GT elements.
+//   Fr — the scalar field (group order r), the paper's Z_p of data blocks.
+//
+// Elements are stored in Montgomery form (x * 2^256 mod p) and multiplied
+// with a 4-limb CIOS reduction. All constants (R^2, -p^-1 mod 2^64, ...) are
+// derived at first use from the modulus string, and the moduli themselves are
+// re-derived from the BN parameter t at init (see curve/bn254_params), so a
+// single typo cannot silently corrupt the arithmetic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "bigint/u256.hpp"
+#include "bigint/varuint.hpp"
+#include "primitives/random.hpp"
+
+namespace dsaudit::ff {
+
+using bigint::U256;
+using bigint::VarUInt;
+using bigint::u64;
+
+struct MontParams {
+  U256 modulus;
+  U256 r_mod;    // 2^256 mod p  (Montgomery form of 1)
+  U256 r2_mod;   // (2^256)^2 mod p
+  U256 r3_mod;   // (2^256)^3 mod p (single-step Montgomery inversion)
+  u64 n0_inv;    // -p^{-1} mod 2^64
+  bool has_fast_sqrt = false;  // true iff modulus ≡ 3 (mod 4)
+  U256 p_plus_1_over_4;   // sqrt exponent (only valid when has_fast_sqrt)
+  U256 p_minus_1_over_2;  // Euler criterion exponent
+  U256 p_minus_2;         // Fermat inversion exponent
+};
+
+/// Builds Montgomery parameters from an odd modulus.
+MontParams make_mont_params(const U256& modulus);
+
+namespace detail {
+U256 mont_mul(const U256& a, const U256& b, const MontParams& P);
+}
+
+/// A prime-field element. Tag supplies the modulus via Tag::params().
+template <typename Tag>
+class PrimeField {
+ public:
+  PrimeField() = default;  // zero
+
+  static const MontParams& params() { return Tag::params(); }
+  static const U256& modulus() { return params().modulus; }
+
+  static PrimeField zero() { return PrimeField{}; }
+  static PrimeField one() {
+    PrimeField r;
+    r.v_ = params().r_mod;
+    return r;
+  }
+
+  static PrimeField from_u64(u64 v) { return from_u256(U256{v}); }
+
+  /// Reduce an arbitrary 256-bit value mod p and lift to Montgomery form.
+  static PrimeField from_u256(const U256& v) {
+    const auto& P = params();
+    U256 reduced = bigint::lt(v, P.modulus)
+                       ? v
+                       : bigint::mod(widen(v), P.modulus);
+    PrimeField r;
+    r.v_ = detail::mont_mul(reduced, P.r2_mod, P);
+    return r;
+  }
+
+  /// Interpret 32 big-endian bytes as an integer and reduce mod p. This is
+  /// the PRF-output-to-Z_p mapping used during challenge expansion.
+  static PrimeField from_be_bytes_mod(std::span<const std::uint8_t, 32> bytes) {
+    return from_u256(U256::from_be_bytes(bytes));
+  }
+
+  static PrimeField random(primitives::SecureRng& rng) {
+    // 2^256 / p > 4 for BN254, so modular reduction of 256 uniform bits has
+    // bias < 2^-62 relative to uniform — acceptable everywhere we use it.
+    auto b = rng.bytes32();
+    return from_be_bytes_mod(std::span<const std::uint8_t, 32>(b));
+  }
+
+  /// Canonical (non-Montgomery) integer value in [0, p).
+  U256 to_u256() const {
+    const auto& P = params();
+    return detail::mont_mul(v_, U256{1}, P);
+  }
+
+  void to_be_bytes(std::span<std::uint8_t, 32> out) const {
+    to_u256().to_be_bytes(out);
+  }
+  std::array<std::uint8_t, 32> to_bytes() const {
+    std::array<std::uint8_t, 32> out;
+    to_be_bytes(out);
+    return out;
+  }
+
+  std::string to_dec() const { return to_u256().to_dec(); }
+
+  bool is_zero() const { return v_.is_zero(); }
+  bool is_one() const { return v_ == params().r_mod; }
+
+  friend PrimeField operator+(const PrimeField& a, const PrimeField& b) {
+    PrimeField r;
+    r.v_ = bigint::add_mod(a.v_, b.v_, params().modulus);
+    return r;
+  }
+  friend PrimeField operator-(const PrimeField& a, const PrimeField& b) {
+    PrimeField r;
+    r.v_ = bigint::sub_mod(a.v_, b.v_, params().modulus);
+    return r;
+  }
+  PrimeField operator-() const {
+    PrimeField r;
+    r.v_ = v_.is_zero() ? v_ : bigint::sub_mod(U256{}, v_, params().modulus);
+    return r;
+  }
+  friend PrimeField operator*(const PrimeField& a, const PrimeField& b) {
+    PrimeField r;
+    r.v_ = detail::mont_mul(a.v_, b.v_, params());
+    return r;
+  }
+  PrimeField& operator+=(const PrimeField& o) { return *this = *this + o; }
+  PrimeField& operator-=(const PrimeField& o) { return *this = *this - o; }
+  PrimeField& operator*=(const PrimeField& o) { return *this = *this * o; }
+
+  PrimeField square() const { return *this * *this; }
+  PrimeField dbl() const { return *this + *this; }
+
+  /// Inversion via binary extended GCD (an order of magnitude faster than
+  /// Fermat at this size; the Miller loop inverts once per step). Returns
+  /// zero for zero — callers that care check is_zero() first.
+  PrimeField inverse() const {
+    if (is_zero()) return zero();
+    const auto& P = params();
+    // v_ = a*R; inv_mod gives a^{-1} R^{-1}; multiply by R^3 (two Montgomery
+    // reductions fold in) to land back on a^{-1} R.
+    U256 raw = bigint::inv_mod(v_, P.modulus);
+    PrimeField r;
+    r.v_ = detail::mont_mul(raw, P.r3_mod, P);
+    return r;
+  }
+
+  /// Fermat inversion a^{p-2}; kept as an independent cross-check path.
+  PrimeField inverse_fermat() const { return pow_u256(params().p_minus_2); }
+
+  PrimeField pow_u256(const U256& e) const {
+    PrimeField result = one();
+    PrimeField base = *this;
+    unsigned n = e.bit_length();
+    for (unsigned i = 0; i < n; ++i) {
+      if (e.bit(i)) result *= base;
+      base = base.square();
+    }
+    return result;
+  }
+
+  /// Square root via the p ≡ 3 (mod 4) shortcut; nullopt if not a quadratic
+  /// residue. Throws std::logic_error for fields without the shortcut (Fr has
+  /// r ≡ 1 mod 4; nothing in the protocol needs square roots there).
+  std::optional<PrimeField> sqrt() const {
+    if (!params().has_fast_sqrt) {
+      throw std::logic_error("PrimeField::sqrt: modulus is not 3 mod 4");
+    }
+    PrimeField cand = pow_u256(params().p_plus_1_over_4);
+    if (cand.square() == *this) return cand;
+    return std::nullopt;
+  }
+
+  /// Euler criterion: +1 residue, -1 non-residue, 0 for zero.
+  int legendre() const {
+    if (is_zero()) return 0;
+    PrimeField e = pow_u256(params().p_minus_1_over_2);
+    return e.is_one() ? 1 : -1;
+  }
+
+  /// True if the canonical integer representative is odd (used for point
+  /// compression sign bits).
+  bool is_odd_canonical() const { return to_u256().is_odd(); }
+
+  friend bool operator==(const PrimeField& a, const PrimeField& b) = default;
+
+  /// Raw Montgomery limbs (serialization of internal state for hashing
+  /// would be non-canonical; use to_bytes() instead). Exposed for tests.
+  const U256& mont_repr() const { return v_; }
+
+ private:
+  static bigint::U512 widen(const U256& v) {
+    return bigint::U512{{v.limb[0], v.limb[1], v.limb[2], v.limb[3], 0, 0, 0, 0}};
+  }
+  U256 v_{};  // Montgomery form
+};
+
+struct FpTag {
+  static const MontParams& params();
+};
+struct FrTag {
+  static const MontParams& params();
+};
+
+/// Base field of BN254 (alt_bn128): coordinates of curve points.
+using Fp = PrimeField<FpTag>;
+/// Scalar field (group order r): the paper's Z_p of data blocks/exponents.
+using Fr = PrimeField<FrTag>;
+
+/// The BN parameter t with p(t), r(t) — exposed so the curve layer can verify
+/// p = 36t^4+36t^3+24t^2+6t+1 and r = 36t^4+36t^3+18t^2+6t+1 at startup.
+inline constexpr u64 kBnParamT = 4965661367192848881ULL;
+extern const char* const kFpModulusHex;
+extern const char* const kFrModulusHex;
+
+/// Generic exponentiation by a VarUInt exponent for any multiplicative group
+/// element type (needs one(), operator*, square()).
+template <typename F>
+F pow_var(const F& base, const VarUInt& e) {
+  F result = F::one();
+  F b = base;
+  unsigned n = e.bit_length();
+  for (unsigned i = 0; i < n; ++i) {
+    if (e.bit(i)) result = result * b;
+    b = b.square();
+  }
+  return result;
+}
+
+}  // namespace dsaudit::ff

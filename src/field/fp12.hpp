@@ -1,0 +1,136 @@
+// Quadratic extension Fp12 = Fp6[w]/(w^2 - v). Target group GT of the
+// pairing lives in the order-r cyclotomic subgroup of Fp12*.
+//
+// Frobenius maps use the constants gamma_k = xi^{k(p-1)/6} in Fp2, derived
+// once at init (see tower_consts.cpp) rather than hard-coded.
+#pragma once
+
+#include "field/fp6.hpp"
+
+namespace dsaudit::ff {
+
+/// gamma_k = xi^{k(p-1)/6} for k = 0..5 (gamma[0] = 1), plus the Fp-valued
+/// constants for the squared Frobenius used by the G2 endomorphism.
+struct TowerConsts {
+  std::array<Fp2, 6> gamma;     // for Frobenius on Fp12/Fp6
+  Fp2 twist_frob_x;             // gamma[2]: x-coeff of untwist-Frobenius-twist
+  Fp2 twist_frob_y;             // gamma[3]: y-coeff
+  Fp2 twist_frob2_x;            // xi^{(p^2-1)/3}
+  Fp2 twist_frob2_y;            // xi^{(p^2-1)/2}
+};
+const TowerConsts& tower_consts();
+
+class Fp12 {
+ public:
+  Fp6 c0, c1;  // c0 + c1 w
+
+  Fp12() = default;
+  Fp12(const Fp6& a, const Fp6& b) : c0(a), c1(b) {}
+
+  static Fp12 zero() { return {}; }
+  static Fp12 one() { return {Fp6::one(), Fp6::zero()}; }
+  static Fp12 random(primitives::SecureRng& rng) {
+    return {Fp6::random(rng), Fp6::random(rng)};
+  }
+
+  bool is_zero() const { return c0.is_zero() && c1.is_zero(); }
+  bool is_one() const { return c0.is_one() && c1.is_zero(); }
+
+  friend Fp12 operator+(const Fp12& a, const Fp12& b) {
+    return {a.c0 + b.c0, a.c1 + b.c1};
+  }
+  friend Fp12 operator-(const Fp12& a, const Fp12& b) {
+    return {a.c0 - b.c0, a.c1 - b.c1};
+  }
+  Fp12 operator-() const { return {-c0, -c1}; }
+
+  friend Fp12 operator*(const Fp12& a, const Fp12& b) {
+    // Karatsuba over Fp6 with w^2 = v.
+    Fp6 v0 = a.c0 * b.c0;
+    Fp6 v1 = a.c1 * b.c1;
+    Fp6 mid = (a.c0 + a.c1) * (b.c0 + b.c1);
+    return {v0 + v1.mul_by_v(), mid - v0 - v1};
+  }
+  Fp12& operator*=(const Fp12& o) { return *this = *this * o; }
+
+  Fp12 square() const {
+    // Complex squaring: (a + bw)^2 = (a^2 + v b^2) + 2ab w
+    Fp6 ab = c0 * c1;
+    Fp6 a2 = c0.square();
+    Fp6 b2 = c1.square();
+    return {a2 + b2.mul_by_v(), ab + ab};
+  }
+
+  /// Multiplication by a sparse element (A, 0, 0) + (B, C, 0)w — the shape
+  /// of every Miller-loop line evaluation. ~35% cheaper than generic mul.
+  Fp12 mul_by_line(const Fp2& a, const Fp2& b, const Fp2& c) const {
+    // v0 = c0 * (A,0,0): coefficient-wise scaling by A.
+    Fp6 v0 = c0.mul_fp2(a);
+    // v1 = c1 * (B + Cv): (y0+y1v+y2v^2)(B+Cv)
+    //    = (y0B + xi y2C) + (y1B + y0C)v + (y2B + y1C)v^2.
+    Fp6 v1{c1.c0 * b + (c1.c2 * c).mul_by_xi(), c1.c1 * b + c1.c0 * c,
+           c1.c2 * b + c1.c1 * c};
+    // Karatsuba cross term with l0 + l1 = (A+B) + Cv.
+    Fp6 sum = c0 + c1;
+    Fp2 ab_sum = a + b;
+    Fp6 mid{sum.c0 * ab_sum + (sum.c2 * c).mul_by_xi(), sum.c1 * ab_sum + sum.c0 * c,
+            sum.c2 * ab_sum + sum.c1 * c};
+    return {v0 + v1.mul_by_v(), mid - v0 - v1};
+  }
+
+  /// p^6-power Frobenius; for elements of the cyclotomic subgroup (unit
+  /// norm) this equals the inverse.
+  Fp12 conjugate() const { return {c0, -c1}; }
+
+  Fp12 inverse() const {
+    Fp6 norm = c0.square() - c1.square().mul_by_v();
+    Fp6 inv = norm.inverse();
+    return {c0 * inv, -(c1 * inv)};
+  }
+
+  /// p-power Frobenius endomorphism.
+  Fp12 frobenius() const {
+    const auto& tc = tower_consts();
+    // Coefficient of v^i w^j maps to conj(coef) * gamma[(2i + j) mod 6's exponent]
+    Fp6 a{c0.c0.conjugate(), c0.c1.conjugate() * tc.gamma[2],
+          c0.c2.conjugate() * tc.gamma[4]};
+    Fp6 b{c1.c0.conjugate() * tc.gamma[1], c1.c1.conjugate() * tc.gamma[3],
+          c1.c2.conjugate() * tc.gamma[5]};
+    return {a, b};
+  }
+
+  Fp12 frobenius_pow(int n) const {
+    Fp12 r = *this;
+    for (int i = 0; i < n; ++i) r = r.frobenius();
+    return r;
+  }
+
+  /// Exponentiation by the |t| BN parameter (used by the fast final
+  /// exponentiation) or any u64.
+  Fp12 pow_u64(u64 e) const {
+    Fp12 result = one();
+    Fp12 base = *this;
+    while (e != 0) {
+      if (e & 1) result *= base;
+      base = base.square();
+      e >>= 1;
+    }
+    return result;
+  }
+
+  /// Exponentiation by a canonical Fr scalar (for GT^z in the sigma layer).
+  Fp12 pow_u256(const U256& e) const {
+    Fp12 result = one();
+    Fp12 base = *this;
+    unsigned n = e.bit_length();
+    for (unsigned i = 0; i < n; ++i) {
+      if (e.bit(i)) result *= base;
+      base = base.square();
+    }
+    return result;
+  }
+
+  friend bool operator==(const Fp12& a, const Fp12& b) = default;
+};
+
+}  // namespace dsaudit::ff

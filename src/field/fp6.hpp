@@ -1,0 +1,84 @@
+// Cubic extension Fp6 = Fp2[v]/(v^3 - xi), xi = 9 + u.
+#pragma once
+
+#include "field/fp2.hpp"
+
+namespace dsaudit::ff {
+
+class Fp6 {
+ public:
+  Fp2 c0, c1, c2;  // c0 + c1 v + c2 v^2
+
+  Fp6() = default;
+  Fp6(const Fp2& a, const Fp2& b, const Fp2& c) : c0(a), c1(b), c2(c) {}
+
+  static Fp6 zero() { return {}; }
+  static Fp6 one() { return {Fp2::one(), Fp2::zero(), Fp2::zero()}; }
+  static Fp6 random(primitives::SecureRng& rng) {
+    return {Fp2::random(rng), Fp2::random(rng), Fp2::random(rng)};
+  }
+
+  bool is_zero() const { return c0.is_zero() && c1.is_zero() && c2.is_zero(); }
+  bool is_one() const { return c0.is_one() && c1.is_zero() && c2.is_zero(); }
+
+  friend Fp6 operator+(const Fp6& a, const Fp6& b) {
+    return {a.c0 + b.c0, a.c1 + b.c1, a.c2 + b.c2};
+  }
+  friend Fp6 operator-(const Fp6& a, const Fp6& b) {
+    return {a.c0 - b.c0, a.c1 - b.c1, a.c2 - b.c2};
+  }
+  Fp6 operator-() const { return {-c0, -c1, -c2}; }
+
+  friend Fp6 operator*(const Fp6& a, const Fp6& b) {
+    // Toom/Karatsuba-style interpolation (Guide to PBC, Alg. 5.21):
+    Fp2 v0 = a.c0 * b.c0;
+    Fp2 v1 = a.c1 * b.c1;
+    Fp2 v2 = a.c2 * b.c2;
+    Fp2 t0 = ((a.c1 + a.c2) * (b.c1 + b.c2) - v1 - v2).mul_by_xi() + v0;
+    Fp2 t1 = (a.c0 + a.c1) * (b.c0 + b.c1) - v0 - v1 + v2.mul_by_xi();
+    Fp2 t2 = (a.c0 + a.c2) * (b.c0 + b.c2) - v0 - v2 + v1;
+    return {t0, t1, t2};
+  }
+  Fp6& operator+=(const Fp6& o) { return *this = *this + o; }
+  Fp6& operator-=(const Fp6& o) { return *this = *this - o; }
+  Fp6& operator*=(const Fp6& o) { return *this = *this * o; }
+
+  Fp6 dbl() const { return *this + *this; }
+
+  Fp6 square() const {
+    // Chung–Hasan SQR2: 2 squarings + 3 multiplications in Fp2.
+    Fp2 s0 = c0.square();
+    Fp2 ab = c0 * c1;
+    Fp2 s1 = ab + ab;
+    Fp2 s2 = (c0 - c1 + c2).square();
+    Fp2 bc = c1 * c2;
+    Fp2 s3 = bc + bc;
+    Fp2 s4 = c2.square();
+    return {s0 + s3.mul_by_xi(), s1 + s4.mul_by_xi(), s1 + s2 + s3 - s0 - s4};
+  }
+
+  Fp6 mul_fp2(const Fp2& s) const { return {c0 * s, c1 * s, c2 * s}; }
+
+  /// Multiplication by v: (c0, c1, c2) -> (xi*c2, c0, c1).
+  Fp6 mul_by_v() const { return {c2.mul_by_xi(), c0, c1}; }
+
+  Fp6 inverse() const {
+    // Standard norm-based inversion (Guide to PBC, Alg. 5.23).
+    Fp2 t0 = c0.square();
+    Fp2 t1 = c1.square();
+    Fp2 t2 = c2.square();
+    Fp2 t3 = c0 * c1;
+    Fp2 t4 = c0 * c2;
+    Fp2 t5 = c1 * c2;
+    Fp2 n0 = t0 - t5.mul_by_xi();
+    Fp2 n1 = t2.mul_by_xi() - t3;
+    Fp2 n2 = t1 - t4;
+    Fp2 denom = c0 * n0 + (c2 * n1 + c1 * n2).mul_by_xi();
+    Fp2 inv = denom.inverse();
+    return {n0 * inv, n1 * inv, n2 * inv};
+  }
+
+  friend bool operator==(const Fp6& a, const Fp6& b) = default;
+};
+
+}  // namespace dsaudit::ff

@@ -1,0 +1,39 @@
+#include "field/fp12.hpp"
+
+#include <stdexcept>
+
+namespace dsaudit::ff {
+
+namespace {
+
+/// xi^e for a VarUInt exponent, computed with plain square-and-multiply in
+/// Fp2. Init-time only.
+Fp2 xi_pow(const VarUInt& e) { return pow_var(xi(), e); }
+
+TowerConsts build_tower_consts() {
+  TowerConsts tc;
+  VarUInt p{Fp::modulus()};
+  VarUInt one{1};
+  VarUInt pm1 = p - one;
+  // (p-1)/6 is exact: p ≡ 1 (mod 6) for BN primes.
+  auto [e6, rem6] = VarUInt::divmod(pm1, VarUInt{6});
+  if (!rem6.is_zero()) throw std::logic_error("tower_consts: p != 1 mod 6");
+  Fp2 g1 = xi_pow(e6);
+  tc.gamma[0] = Fp2::one();
+  for (int k = 1; k < 6; ++k) tc.gamma[k] = tc.gamma[k - 1] * g1;
+  tc.twist_frob_x = tc.gamma[2];
+  tc.twist_frob_y = tc.gamma[3];
+  VarUInt p2m1 = p * p - one;
+  tc.twist_frob2_x = xi_pow(VarUInt::divmod(p2m1, VarUInt{3}).first);
+  tc.twist_frob2_y = xi_pow(VarUInt::divmod(p2m1, VarUInt{2}).first);
+  return tc;
+}
+
+}  // namespace
+
+const TowerConsts& tower_consts() {
+  static const TowerConsts tc = build_tower_consts();
+  return tc;
+}
+
+}  // namespace dsaudit::ff

@@ -1,0 +1,52 @@
+#include "kzg/kzg.hpp"
+
+#include <stdexcept>
+
+#include "pairing/pairing.hpp"
+
+namespace dsaudit::kzg {
+
+Srs make_srs(const Fr& alpha, std::size_t max_degree) {
+  Srs srs;
+  srs.g1_powers.reserve(max_degree + 1);
+  Fr power = Fr::one();
+  for (std::size_t j = 0; j <= max_degree; ++j) {
+    srs.g1_powers.push_back(G1::generator().mul(power));
+    power *= alpha;
+  }
+  srs.g2 = G2::generator();
+  srs.g2_alpha = G2::generator().mul(alpha);
+  return srs;
+}
+
+G1 commit(const Srs& srs, const Polynomial& p) {
+  if (p.is_zero()) return G1::infinity();
+  if (p.degree() > srs.max_degree()) {
+    throw std::invalid_argument("kzg::commit: polynomial exceeds SRS degree");
+  }
+  auto coeffs = p.coefficients();
+  return curve::msm<G1>(std::span<const G1>(srs.g1_powers.data(), coeffs.size()),
+                        coeffs);
+}
+
+Opening open(const Srs& srs, const Polynomial& p, const Fr& r) {
+  auto [q, y] = p.divide_by_linear(r);
+  Opening o;
+  o.point = r;
+  o.value = y;
+  o.witness = commit(srs, q);
+  return o;
+}
+
+bool verify(const Srs& srs, const G1& commitment, const Opening& opening) {
+  // e(C - [y]g1, g2) * e(-psi, [alpha]g2 - [r]g2) == 1
+  G1 c_minus_y = commitment - G1::generator().mul(opening.value);
+  G2 alpha_minus_r = srs.g2_alpha - srs.g2.mul(opening.point);
+  std::vector<std::pair<G1, G2>> pairs{
+      {c_minus_y, srs.g2},
+      {-opening.witness, alpha_minus_r},
+  };
+  return pairing::pairing_product_is_one(pairs);
+}
+
+}  // namespace dsaudit::kzg

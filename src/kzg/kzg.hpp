@@ -1,0 +1,54 @@
+// KZG (Kate–Zaverucha–Goldberg) polynomial commitments over BN254.
+//
+// This is the polynomial-commitment machinery (paper refs [29], [30]) that
+// the main auditing protocol fuses with homomorphic linear authenticators:
+// the SRS {g1^{alpha^j}} is exactly the public key component the data owner
+// publishes, and the prover's psi = g1^{Q_k(alpha)} is a KZG opening witness
+// computed from the SRS without knowing alpha.
+//
+// Provided standalone (with its own verification key) so it can be tested
+// and benchmarked in isolation from the audit protocol.
+#pragma once
+
+#include "curve/g1.hpp"
+#include "curve/g2.hpp"
+#include "poly/polynomial.hpp"
+
+namespace dsaudit::kzg {
+
+using curve::G1;
+using curve::G2;
+using ff::Fr;
+using poly::Polynomial;
+
+/// Structured reference string: powers of a secret alpha in G1, plus the
+/// G2-side elements needed for verification.
+struct Srs {
+  std::vector<G1> g1_powers;  // g1^{alpha^0} .. g1^{alpha^{max_degree}}
+  G2 g2;                      // group generator
+  G2 g2_alpha;                // g2^{alpha}
+
+  std::size_t max_degree() const { return g1_powers.size() - 1; }
+};
+
+/// Trusted setup. In the audit protocol the data owner runs this (alpha is
+/// part of its secret key, so no multi-party ceremony is needed — the owner
+/// is the party the commitment protects).
+Srs make_srs(const Fr& alpha, std::size_t max_degree);
+
+/// Commitment C = g1^{P(alpha)}, via MSM over the SRS.
+G1 commit(const Srs& srs, const Polynomial& p);
+
+/// Opening proof at point r: value y = P(r) and witness psi = g1^{Q(alpha)}
+/// with Q = (P - y)/(x - r).
+struct Opening {
+  Fr point;
+  Fr value;
+  G1 witness;
+};
+Opening open(const Srs& srs, const Polynomial& p, const Fr& r);
+
+/// Check e(C / g1^y, g2) == e(psi, g2^alpha / g2^r).
+bool verify(const Srs& srs, const G1& commitment, const Opening& opening);
+
+}  // namespace dsaudit::kzg

@@ -1,0 +1,50 @@
+// Optimal ate pairing e : G1 x G2 -> GT on BN254.
+//
+//   e(P, Q) = f_{6t+2,Q}(P) * l_{[6t+2]Q, psi(Q)}(P) * l_{..., -psi^2(Q)}(P),
+//   all raised to (p^12 - 1)/r.
+//
+// The Miller loop keeps the running G2 point in affine coordinates on the
+// twist and evaluates chord/tangent lines through the untwisting map — the
+// textbook construction, chosen for auditability; the fast structured final
+// exponentiation is cross-checked in tests against a generic exponentiation
+// by (p^12-1)/r.
+//
+// The verification equations (1) and (2) of the paper are products of four
+// pairings; multi_pairing shares the single final exponentiation across all
+// Miller loops, which is what makes on-chain verification constant-cost.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "curve/g1.hpp"
+#include "curve/g2.hpp"
+#include "field/fp12.hpp"
+
+namespace dsaudit::pairing {
+
+using curve::G1;
+using curve::G2;
+using ff::Fp12;
+
+/// Full pairing. e(inf, Q) = e(P, inf) = 1.
+Fp12 pairing(const G1& p, const G2& q);
+
+/// Miller loop only (no final exponentiation); building block for products.
+Fp12 miller_loop(const G1& p, const G2& q);
+
+/// Map a Miller-loop output (or any Fp12 value) to the r-order subgroup.
+Fp12 final_exponentiation(const Fp12& f);
+
+/// Reference implementation by a single giant exponent (p^12-1)/r; slow,
+/// used to cross-validate the structured version.
+Fp12 final_exponentiation_slow(const Fp12& f);
+
+/// prod_i e(p_i, q_i) with one shared final exponentiation.
+Fp12 multi_pairing(std::span<const std::pair<G1, G2>> pairs);
+
+/// True iff prod_i e(p_i, q_i) == 1 — the natural shape of Eq. (1)/(2)
+/// checks after moving everything to one side.
+bool pairing_product_is_one(std::span<const std::pair<G1, G2>> pairs);
+
+}  // namespace dsaudit::pairing

@@ -1,0 +1,131 @@
+#include "poly/polynomial.hpp"
+
+#include <stdexcept>
+
+namespace dsaudit::poly {
+
+void Polynomial::normalize() {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+}
+
+Polynomial Polynomial::monomial(std::size_t n) {
+  std::vector<Fr> c(n + 1, Fr::zero());
+  c[n] = Fr::one();
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::random(std::size_t degree, primitives::SecureRng& rng) {
+  std::vector<Fr> c(degree + 1);
+  for (auto& x : c) x = Fr::random(rng);
+  if (c.back().is_zero()) c.back() = Fr::one();  // keep the stated degree
+  return Polynomial(std::move(c));
+}
+
+Fr Polynomial::evaluate(const Fr& x) const {
+  Fr acc = Fr::zero();
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = acc * x + coeffs_[i];
+  }
+  return acc;
+}
+
+Polynomial operator+(const Polynomial& a, const Polynomial& b) {
+  std::vector<Fr> c(std::max(a.coeffs_.size(), b.coeffs_.size()), Fr::zero());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = a.coefficient(i) + b.coefficient(i);
+  }
+  return Polynomial(std::move(c));
+}
+
+Polynomial operator-(const Polynomial& a, const Polynomial& b) {
+  std::vector<Fr> c(std::max(a.coeffs_.size(), b.coeffs_.size()), Fr::zero());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = a.coefficient(i) - b.coefficient(i);
+  }
+  return Polynomial(std::move(c));
+}
+
+Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+  if (a.is_zero() || b.is_zero()) return Polynomial::zero();
+  std::vector<Fr> c(a.coeffs_.size() + b.coeffs_.size() - 1, Fr::zero());
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      c[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::scale(const Fr& s) const {
+  std::vector<Fr> c(coeffs_.size());
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = coeffs_[i] * s;
+  return Polynomial(std::move(c));
+}
+
+std::pair<Polynomial, Fr> Polynomial::divide_by_linear(const Fr& r) const {
+  if (coeffs_.empty()) return {Polynomial::zero(), Fr::zero()};
+  // Synthetic (Horner) division: process from the leading coefficient.
+  std::vector<Fr> q(coeffs_.size() - 1, Fr::zero());
+  Fr carry = coeffs_.back();
+  for (std::size_t i = coeffs_.size() - 1; i-- > 0;) {
+    if (i < q.size()) q[i] = carry;
+    carry = coeffs_[i] + carry * r;
+  }
+  return {Polynomial(std::move(q)), carry};
+}
+
+Polynomial lagrange_interpolate(std::span<const Fr> xs, std::span<const Fr> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("lagrange_interpolate: size mismatch");
+  }
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (xs[i] == xs[j]) {
+        throw std::invalid_argument("lagrange_interpolate: duplicate x");
+      }
+    }
+  }
+  Polynomial acc = Polynomial::zero();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Basis polynomial prod_{j != i} (x - x_j) / (x_i - x_j).
+    Polynomial basis = Polynomial::constant(Fr::one());
+    Fr denom = Fr::one();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      basis = basis * Polynomial({-xs[j], Fr::one()});
+      denom *= xs[i] - xs[j];
+    }
+    acc = acc + basis.scale(ys[i] * denom.inverse());
+  }
+  return acc;
+}
+
+std::vector<Fr> solve_linear_system(std::vector<std::vector<Fr>> a,
+                                    std::vector<Fr> b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("solve_linear_system: size mismatch");
+  for (const auto& row : a) {
+    if (row.size() != n) throw std::invalid_argument("solve_linear_system: not square");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot][col].is_zero()) ++pivot;
+    if (pivot == n) return {};  // singular
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    Fr inv = a[col][col].inverse();
+    for (std::size_t j = col; j < n; ++j) a[col][j] *= inv;
+    b[col] *= inv;
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || a[row][col].is_zero()) continue;
+      Fr factor = a[row][col];
+      for (std::size_t j = col; j < n; ++j) a[row][j] -= factor * a[col][j];
+      b[row] -= factor * b[col];
+    }
+  }
+  return b;
+}
+
+}  // namespace dsaudit::poly

@@ -1,0 +1,72 @@
+// Dense polynomial arithmetic over the scalar field Fr.
+//
+// Chunks of the outsourced file are polynomials M_i(x) = sum_j m_{i,j} x^j
+// (paper Definition 1); the prover's response involves the aggregated
+// P_k(x) = sum c_i M_i(x) and the KZG witness quotient
+// Q_k(x) = (P_k(x) - P_k(r)) / (x - r) (Definition 3). Lagrange interpolation
+// is the adversary's tool in the §V-C on-chain leakage attack.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/fp.hpp"
+
+namespace dsaudit::poly {
+
+using ff::Fr;
+
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<Fr> coeffs) : coeffs_(std::move(coeffs)) {
+    normalize();
+  }
+
+  static Polynomial zero() { return {}; }
+  static Polynomial constant(const Fr& c) { return Polynomial({c}); }
+  /// x^n
+  static Polynomial monomial(std::size_t n);
+  static Polynomial random(std::size_t degree, primitives::SecureRng& rng);
+
+  bool is_zero() const { return coeffs_.empty(); }
+  /// Degree of the zero polynomial is reported as 0 by convention; check
+  /// is_zero() to distinguish it from constants.
+  std::size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+  std::span<const Fr> coefficients() const { return coeffs_; }
+  Fr coefficient(std::size_t i) const {
+    return i < coeffs_.size() ? coeffs_[i] : Fr::zero();
+  }
+
+  /// Horner evaluation.
+  Fr evaluate(const Fr& x) const;
+
+  friend Polynomial operator+(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator-(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b);
+  Polynomial scale(const Fr& s) const;
+
+  /// Synthetic division by (x - r): returns {quotient Q, remainder P(r)} with
+  /// P(x) = Q(x)(x - r) + P(r). This is the KZG opening quotient.
+  std::pair<Polynomial, Fr> divide_by_linear(const Fr& r) const;
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) = default;
+
+ private:
+  void normalize();
+  std::vector<Fr> coeffs_;  // coeffs_[i] multiplies x^i; no trailing zeros
+};
+
+/// Unique polynomial of degree < n through n points with distinct x.
+/// Throws std::invalid_argument on duplicate abscissae. O(n^2) — the §V-C
+/// adversary interpolates s-point sets with s <= a few hundred.
+Polynomial lagrange_interpolate(std::span<const Fr> xs, std::span<const Fr> ys);
+
+/// Solve the n x n system A x = b over Fr by Gaussian elimination with
+/// partial (first-nonzero) pivoting. Returns empty vector if A is singular.
+/// Used by the audit-trail attack to separate blocks from the recovered
+/// linear combinations sum_i c_i m_i.
+std::vector<Fr> solve_linear_system(std::vector<std::vector<Fr>> a,
+                                    std::vector<Fr> b);
+
+}  // namespace dsaudit::poly

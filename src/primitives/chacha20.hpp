@@ -1,0 +1,37 @@
+// ChaCha20 stream cipher (RFC 8439 block function and counter layout).
+//
+// §III-A of the paper makes client-side encryption mandatory before data
+// leaves the owner: "encryption is a mandatory action taken on the side of
+// the data owner". This is the cipher the storage substrate uses for it.
+// Also doubles as a fast deterministic generator for test/bench workloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsaudit::primitives {
+
+class ChaCha20 {
+ public:
+  /// 256-bit key, 96-bit nonce, initial 32-bit block counter.
+  ChaCha20(std::span<const std::uint8_t, 32> key,
+           std::span<const std::uint8_t, 12> nonce,
+           std::uint32_t counter = 0);
+
+  /// XOR the keystream into `data` in place (encrypt == decrypt).
+  void crypt(std::span<std::uint8_t> data);
+
+  /// Produce `n` keystream bytes (for use as a deterministic RNG).
+  std::vector<std::uint8_t> keystream(std::size_t n);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // exhausted
+};
+
+}  // namespace dsaudit::primitives

@@ -1,0 +1,101 @@
+#include "primitives/keccak256.hpp"
+
+#include <cstring>
+
+namespace dsaudit::primitives {
+
+namespace {
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRotation[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                               25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+inline std::uint64_t rotl(std::uint64_t x, int n) {
+  return n == 0 ? x : (x << n) | (x >> (64 - n));
+}
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < 24; ++round) {
+    // Theta
+    std::uint64_t c[5], d[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d[x];
+    }
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl(a[x + 5 * y], kRotation[x + 5 * y]);
+      }
+    }
+    // Chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+void Keccak256::absorb_block() {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, buffer_.data() + 8 * i, 8);  // little-endian host assumed
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffer_len_ = 0;
+}
+
+void Keccak256::update(std::span<const std::uint8_t> data) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t take = std::min(data.size() - pos, kRate - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data() + pos, take);
+    buffer_len_ += take;
+    pos += take;
+    if (buffer_len_ == kRate) absorb_block();
+  }
+}
+
+std::array<std::uint8_t, 32> Keccak256::finalize() {
+  // Keccak (original) padding: 0x01 ... 0x80.
+  std::memset(buffer_.data() + buffer_len_, 0, kRate - buffer_len_);
+  buffer_[buffer_len_] = 0x01;
+  buffer_[kRate - 1] |= 0x80;
+  buffer_len_ = kRate;
+  absorb_block();
+  std::array<std::uint8_t, 32> out;
+  std::memcpy(out.data(), state_.data(), 32);
+  return out;
+}
+
+std::array<std::uint8_t, 32> Keccak256::hash(std::span<const std::uint8_t> data) {
+  Keccak256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+std::array<std::uint8_t, 32> Keccak256::hash(std::string_view s) {
+  return hash(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+}  // namespace dsaudit::primitives

@@ -1,0 +1,34 @@
+// Keccak-256 (the pre-FIPS padding variant used by Ethereum).
+//
+// Serves as the protocol's random oracles: H : {0,1}* -> G1 (block-index
+// binding, via try-and-increment in src/curve) and H' : GT -> Zp (the sigma
+// protocol's Fiat–Shamir style hiding-parameter derivation, §V-D).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dsaudit::primitives {
+
+class Keccak256 {
+ public:
+  Keccak256() = default;
+
+  void update(std::span<const std::uint8_t> data);
+  std::array<std::uint8_t, 32> finalize();
+
+  static std::array<std::uint8_t, 32> hash(std::span<const std::uint8_t> data);
+  static std::array<std::uint8_t, 32> hash(std::string_view s);
+
+ private:
+  void absorb_block();
+
+  static constexpr std::size_t kRate = 136;  // 1088-bit rate for 256-bit output
+  std::array<std::uint64_t, 25> state_{};
+  std::array<std::uint8_t, kRate> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace dsaudit::primitives

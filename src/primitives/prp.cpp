@@ -1,0 +1,73 @@
+#include "primitives/prp.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "primitives/keccak256.hpp"
+
+namespace dsaudit::primitives {
+
+FeistelPrp::FeistelPrp(std::array<std::uint8_t, 32> key, std::uint64_t domain_size)
+    : key_(key), domain_size_(domain_size) {
+  if (domain_size < 2) throw std::invalid_argument("FeistelPrp: domain too small");
+  int bits = 64 - __builtin_clzll(domain_size - 1);
+  half_bits_ = (bits + 1) / 2;
+  if (half_bits_ < 1) half_bits_ = 1;
+  if (half_bits_ > 31) throw std::invalid_argument("FeistelPrp: domain too large");
+}
+
+std::uint32_t FeistelPrp::round_fn(int round, std::uint32_t half) const {
+  std::uint8_t buf[32 + 1 + 4];
+  std::memcpy(buf, key_.data(), 32);
+  buf[32] = static_cast<std::uint8_t>(round);
+  std::memcpy(buf + 33, &half, 4);
+  auto h = Keccak256::hash(std::span<const std::uint8_t>(buf, sizeof(buf)));
+  std::uint32_t v;
+  std::memcpy(&v, h.data(), 4);
+  return v & ((1u << half_bits_) - 1);
+}
+
+std::uint64_t FeistelPrp::feistel_once(std::uint64_t x) const {
+  std::uint32_t left = static_cast<std::uint32_t>(x >> half_bits_);
+  std::uint32_t right = static_cast<std::uint32_t>(x & ((1ULL << half_bits_) - 1));
+  for (int round = 0; round < 4; ++round) {
+    std::uint32_t next = left ^ round_fn(round, right);
+    left = right;
+    right = next;
+  }
+  return (static_cast<std::uint64_t>(left) << half_bits_) | right;
+}
+
+std::uint64_t FeistelPrp::permute(std::uint64_t x) const {
+  if (x >= domain_size_) throw std::out_of_range("FeistelPrp::permute: x outside domain");
+  // Cycle-walk: the Feistel net permutes [0, 2^{2*half_bits}); iterate until
+  // we land back inside [0, domain_size). Expected < 4 iterations.
+  std::uint64_t y = feistel_once(x);
+  while (y >= domain_size_) y = feistel_once(y);
+  return y;
+}
+
+std::vector<std::uint64_t> challenge_indices(const std::array<std::uint8_t, 32>& c1,
+                                             std::uint64_t d, std::uint64_t k) {
+  if (d == 0) throw std::invalid_argument("challenge_indices: empty file");
+  if (k > d) k = d;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  if (d == 1) {
+    out.push_back(0);
+    return out;
+  }
+  FeistelPrp prp(c1, d);
+  for (std::uint64_t j = 0; j < k; ++j) out.push_back(prp.permute(j));
+  return out;
+}
+
+std::array<std::uint8_t, 32> prf_bytes(const std::array<std::uint8_t, 32>& c2,
+                                       std::uint64_t counter) {
+  std::uint8_t buf[32 + 8];
+  std::memcpy(buf, c2.data(), 32);
+  std::memcpy(buf + 32, &counter, 8);
+  return Keccak256::hash(std::span<const std::uint8_t>(buf, sizeof(buf)));
+}
+
+}  // namespace dsaudit::primitives

@@ -1,0 +1,47 @@
+// Pseudo-random permutation and pseudo-random function (paper Definition 2).
+//
+// The on-chain challenge is only (C1, C2, r); the prover and the contract
+// expand it deterministically:
+//   pi  : {0,1}^lambda x {0,1}^log n -> chunk indices   (PRP, no collisions)
+//   f   : {0,1}^lambda -> Z_p^k                         (PRF coefficients)
+// The PRP is a 4-round Feistel network over the smallest balanced bit-domain
+// covering [0, domain_size), with cycle-walking to land inside the domain —
+// a standard small-domain PRP construction (format-preserving encryption).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dsaudit::primitives {
+
+class FeistelPrp {
+ public:
+  /// Permutation over [0, domain_size). domain_size must be >= 2.
+  FeistelPrp(std::array<std::uint8_t, 32> key, std::uint64_t domain_size);
+
+  /// Image of x under the permutation; x must be < domain_size.
+  std::uint64_t permute(std::uint64_t x) const;
+
+  std::uint64_t domain_size() const { return domain_size_; }
+
+ private:
+  std::uint64_t feistel_once(std::uint64_t x) const;
+  std::uint32_t round_fn(int round, std::uint32_t half) const;
+
+  std::array<std::uint8_t, 32> key_;
+  std::uint64_t domain_size_;
+  int half_bits_;  // each Feistel half is this many bits
+};
+
+/// The paper's challenge expansion: first k outputs of pi(C1, .) as distinct
+/// chunk indices in [0, d). If k >= d every chunk is challenged (k clamps).
+std::vector<std::uint64_t> challenge_indices(const std::array<std::uint8_t, 32>& c1,
+                                             std::uint64_t d, std::uint64_t k);
+
+/// PRF f(C2, i): 32 pseudorandom bytes per counter value (mapped into Z_p by
+/// the caller, which owns the field arithmetic).
+std::array<std::uint8_t, 32> prf_bytes(const std::array<std::uint8_t, 32>& c2,
+                                       std::uint64_t counter);
+
+}  // namespace dsaudit::primitives

@@ -1,0 +1,64 @@
+#include "primitives/random.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace dsaudit::primitives {
+
+namespace {
+constexpr std::array<std::uint8_t, 12> kRngNonce = {'d', 's', 'a', 'u', 'd', 'i',
+                                                    't', '-', 'r', 'n', 'g', '0'};
+}
+
+SecureRng::SecureRng(std::span<const std::uint8_t, 32> seed)
+    : stream_(seed, kRngNonce, 0) {}
+
+SecureRng SecureRng::from_os() {
+  std::array<std::uint8_t, 32> seed;
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr || std::fread(seed.data(), 1, seed.size(), f) != seed.size()) {
+    if (f) std::fclose(f);
+    throw std::runtime_error("SecureRng: cannot read /dev/urandom");
+  }
+  std::fclose(f);
+  return SecureRng(seed);
+}
+
+SecureRng SecureRng::deterministic(std::uint64_t seed) {
+  std::array<std::uint8_t, 32> s{};
+  std::memcpy(s.data(), &seed, sizeof(seed));
+  s[8] = 0xd5;  // domain-separate from an all-zero OS seed
+  return SecureRng(s);
+}
+
+void SecureRng::fill(std::span<std::uint8_t> out) {
+  std::memset(out.data(), 0, out.size());
+  stream_.crypt(out);
+}
+
+std::uint64_t SecureRng::next_u64() {
+  std::uint8_t b[8];
+  fill(b);
+  std::uint64_t v;
+  std::memcpy(&v, b, 8);
+  return v;
+}
+
+std::array<std::uint8_t, 32> SecureRng::bytes32() {
+  std::array<std::uint8_t, 32> out;
+  fill(out);
+  return out;
+}
+
+std::uint64_t SecureRng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("SecureRng::uniform: zero bound");
+  // Rejection sampling on the top multiple of bound.
+  std::uint64_t limit = bound * ((~0ULL) / bound);
+  for (;;) {
+    std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+}  // namespace dsaudit::primitives

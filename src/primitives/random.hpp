@@ -1,0 +1,34 @@
+// Randomness utilities: an OS-seeded CSPRNG (ChaCha20-based) and a
+// deterministic variant for reproducible tests and benchmarks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "primitives/chacha20.hpp"
+
+namespace dsaudit::primitives {
+
+/// ChaCha20-based pseudorandom generator. Seeded either from the OS
+/// (`SecureRng::from_os()`) or deterministically for reproducibility.
+class SecureRng {
+ public:
+  explicit SecureRng(std::span<const std::uint8_t, 32> seed);
+
+  /// Seed from /dev/urandom; throws std::runtime_error if unavailable.
+  static SecureRng from_os();
+  /// Deterministic instance for tests/benches (seed derived from a label).
+  static SecureRng deterministic(std::uint64_t seed);
+
+  void fill(std::span<std::uint8_t> out);
+  std::uint64_t next_u64();
+  std::array<std::uint8_t, 32> bytes32();
+  /// Uniform value in [0, bound) via rejection sampling; bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+ private:
+  ChaCha20 stream_;
+};
+
+}  // namespace dsaudit::primitives

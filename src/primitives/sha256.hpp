@@ -1,0 +1,39 @@
+// FIPS 180-4 SHA-256. Used by the Merkle-tree strawman auditor (§IV) and as a
+// general-purpose hash for commitments in the blockchain simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dsaudit::primitives {
+
+using Digest32 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  Digest32 finalize();
+
+  static Digest32 hash(std::span<const std::uint8_t> data);
+  static Digest32 hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104), used to key the PRF/PRP constructions.
+Digest32 hmac_sha256(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> message);
+
+}  // namespace dsaudit::primitives

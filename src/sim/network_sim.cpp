@@ -1,0 +1,181 @@
+#include "sim/network_sim.hpp"
+
+#include <stdexcept>
+
+#include "audit/serialize.hpp"
+
+namespace dsaudit::sim {
+
+NetworkSim::NetworkSim(NetworkConfig config)
+    : config_(config), rng_(primitives::SecureRng::deterministic(config.rng_seed)) {
+  if (config_.num_owners == 0 || config_.num_providers == 0) {
+    throw std::invalid_argument("NetworkSim: need owners and providers");
+  }
+  if (config_.erasure_data == 0) {
+    throw std::invalid_argument("NetworkSim: erasure_data must be >= 1");
+  }
+  auto bseed = rng_.bytes32();
+  beacon_ = std::make_unique<chain::TrustedBeacon>(bseed);
+  for (std::size_t p = 0; p < config_.num_providers; ++p) {
+    ring_.join("provider-" + std::to_string(p));
+  }
+}
+
+void NetworkSim::set_behavior(const std::string& provider, ProviderBehavior b) {
+  if (deployed_) throw std::logic_error("NetworkSim: set_behavior before deploy");
+  behavior_[provider] = b;
+}
+
+void NetworkSim::deploy() {
+  if (deployed_) throw std::logic_error("NetworkSim: already deployed");
+  deployed_ = true;
+
+  std::size_t shards_per_owner = config_.erasure_data + config_.erasure_parity;
+  storage::ReedSolomon rs(config_.erasure_data, config_.erasure_parity);
+
+  // Provers and contracts borrow owner_keys_[o].pk for their whole lifetime;
+  // reserve up front so push_back never reallocates under those references.
+  owner_keys_.reserve(config_.num_owners);
+  owner_data_.reserve(config_.num_owners);
+  owner_shards_.reserve(config_.num_owners);
+
+  for (std::size_t o = 0; o < config_.num_owners; ++o) {
+    std::string owner = "owner-" + std::to_string(o);
+    chain_.mint(owner, 1'000'000);
+    owner_keys_.push_back(audit::keygen(config_.s, rng_));
+    std::vector<std::uint8_t> data(config_.file_bytes);
+    rng_.fill(data);
+    owner_data_.push_back(data);
+    owner_shards_.push_back(rs.encode(data));
+
+    // Place shards on the DHT ring successors of the file key.
+    auto holders =
+        ring_.successors(storage::ring_hash(owner + "/archive"), shards_per_owner);
+
+    for (std::size_t sh = 0; sh < shards_per_owner; ++sh) {
+      std::string provider = *ring_.node_name(holders[sh % holders.size()]);
+      chain_.mint(provider, 1'000'000);  // idempotent top-up is fine for sim
+
+      auto dep = std::make_unique<Deployment>();
+      dep->placement = {o, sh, provider};
+      dep->file = storage::encode_file(owner_shards_[o][sh], config_.s);
+      dep->held = dep->file;
+      dep->name = audit::Fr::random(rng_);
+      dep->tag = audit::generate_tags(owner_keys_[o].sk, owner_keys_[o].pk,
+                                      dep->file, dep->name);
+
+      ProviderBehavior behavior = ProviderBehavior::Honest;
+      if (auto it = behavior_.find(provider); it != behavior_.end()) {
+        behavior = it->second;
+      }
+      if (behavior == ProviderBehavior::DropsData) {
+        for (auto& b : dep->held.chunks[0]) b = audit::Fr::zero();
+      }
+      dep->prover = std::make_unique<audit::Prover>(owner_keys_[o].pk, dep->held,
+                                                    dep->tag);
+
+      contract::ContractTerms terms;
+      terms.owner = owner;
+      terms.provider = provider;
+      terms.num_audits = config_.num_audits;
+      terms.audit_period_s = config_.audit_period_s;
+      terms.response_window_s = config_.response_window_s;
+      terms.reward_per_audit = config_.reward_per_audit;
+      terms.penalty_per_fail = config_.penalty_per_fail;
+      terms.challenged_chunks = config_.challenged_chunks;
+      terms.private_proofs = config_.private_proofs;
+
+      dep->contract = std::make_unique<contract::AuditContract>(
+          chain_, *beacon_, terms, owner_keys_[o].pk, dep->name,
+          dep->file.num_chunks());
+      if (behavior != ProviderBehavior::Unresponsive) {
+        audit::Prover* prover = dep->prover.get();
+        bool priv = config_.private_proofs;
+        primitives::SecureRng* rng = &rng_;
+        dep->contract->set_responder(
+            [prover, priv, rng](const audit::Challenge& chal)
+                -> std::optional<std::vector<std::uint8_t>> {
+              if (priv) return audit::serialize(prover->prove_private(chal, *rng));
+              return audit::serialize(prover->prove(chal));
+            });
+      }
+      dep->contract->negotiated();
+      dep->contract->acked(true);
+      dep->contract->freeze();
+      placements_.push_back(dep->placement);
+      deployments_.push_back(std::move(dep));
+    }
+  }
+  initial_money_ = total_money();
+}
+
+void NetworkSim::run_to_completion() {
+  if (!deployed_) throw std::logic_error("NetworkSim: deploy first");
+  chain_.advance((config_.num_audits + 2) * config_.audit_period_s);
+  for (const auto& dep : deployments_) {
+    if (dep->contract->state() != contract::State::Closed) {
+      throw std::logic_error("NetworkSim: a contract failed to complete");
+    }
+  }
+}
+
+NetworkStats NetworkSim::stats() const {
+  NetworkStats st;
+  chain::PriceModel price;
+  for (const auto& dep : deployments_) {
+    st.total_rounds += dep->contract->rounds_completed();
+    st.passes += dep->contract->passes();
+    st.fails += dep->contract->fails();
+    st.timeouts += dep->contract->timeouts();
+    for (const auto& r : dep->contract->rounds()) st.total_gas += r.gas_used;
+  }
+  st.chain_bytes = chain_.total_chain_bytes();
+  st.total_usd = price.usd(st.total_gas);
+  return st;
+}
+
+std::uint64_t NetworkSim::total_money() const {
+  std::uint64_t total = 0;
+  for (std::size_t o = 0; o < config_.num_owners; ++o) {
+    total += chain_.balance("owner-" + std::to_string(o));
+  }
+  for (std::size_t p = 0; p < config_.num_providers; ++p) {
+    total += chain_.balance("provider-" + std::to_string(p));
+  }
+  for (const auto& dep : deployments_) {
+    total += chain_.balance(dep->contract->address());
+  }
+  return total;
+}
+
+std::vector<const contract::AuditContract*> NetworkSim::contracts_of(
+    const std::string& provider) const {
+  std::vector<const contract::AuditContract*> out;
+  for (const auto& dep : deployments_) {
+    if (dep->placement.provider == provider) out.push_back(dep->contract.get());
+  }
+  return out;
+}
+
+bool NetworkSim::owner_can_recover(std::size_t owner) const {
+  if (owner >= config_.num_owners) {
+    throw std::out_of_range("NetworkSim::owner_can_recover");
+  }
+  storage::ReedSolomon rs(config_.erasure_data, config_.erasure_parity);
+  std::size_t shards_per_owner = config_.erasure_data + config_.erasure_parity;
+  std::vector<std::optional<std::vector<std::uint8_t>>> available(shards_per_owner);
+  for (const auto& dep : deployments_) {
+    if (dep->placement.owner != owner) continue;
+    ProviderBehavior b = ProviderBehavior::Honest;
+    if (auto it = behavior_.find(dep->placement.provider); it != behavior_.end()) {
+      b = it->second;
+    }
+    if (b == ProviderBehavior::Honest) {
+      available[dep->placement.shard] = owner_shards_[owner][dep->placement.shard];
+    }
+  }
+  auto rec = rs.reconstruct(available, owner_data_[owner].size());
+  return rec && *rec == owner_data_[owner];
+}
+
+}  // namespace dsaudit::sim

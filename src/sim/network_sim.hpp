@@ -1,0 +1,116 @@
+// Whole-network simulation: the decentralized storage network of §III-A with
+// many data owners and providers, DHT-based shard placement, one Fig. 2
+// contract per (owner, provider) pair, and a shared blockchain + beacon.
+//
+// This is the harness behind the system-wide results (§VII-D / Fig. 10):
+// tests and examples use it to measure chain growth, audit pass rates,
+// escrow conservation and provider-side proving load at population scale,
+// with per-provider failure injection (drop data / go offline).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contract/audit_contract.hpp"
+#include "storage/dht.hpp"
+#include "storage/erasure.hpp"
+
+namespace dsaudit::sim {
+
+struct NetworkConfig {
+  std::size_t num_owners = 10;
+  std::size_t num_providers = 5;
+  std::size_t file_bytes = 4096;       // per owner
+  std::size_t s = 10;                  // blocks per chunk
+  std::size_t erasure_data = 3;        // k-of-n shard coding; n = shards per
+  std::size_t erasure_parity = 0;      //   owner = erasure_data + parity
+  std::uint64_t num_audits = 5;        // rounds per contract
+  chain::Timestamp audit_period_s = 3600;
+  chain::Timestamp response_window_s = 600;
+  std::uint64_t reward_per_audit = 10;
+  std::uint64_t penalty_per_fail = 25;
+  std::size_t challenged_chunks = 8;
+  bool private_proofs = true;
+  std::uint64_t rng_seed = 1;
+};
+
+/// Provider misbehaviour knobs for failure injection.
+enum class ProviderBehavior {
+  Honest,       // stores and answers everything
+  DropsData,    // silently zeroes one chunk of every shard it holds
+  Unresponsive  // never answers challenges
+};
+
+struct Placement {
+  std::size_t owner = 0;
+  std::size_t shard = 0;
+  std::string provider;
+};
+
+struct NetworkStats {
+  std::uint64_t total_rounds = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t fails = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t total_gas = 0;
+  std::size_t chain_bytes = 0;
+  double total_usd = 0;
+};
+
+class NetworkSim {
+ public:
+  explicit NetworkSim(NetworkConfig config);
+
+  /// Override one provider's behaviour before deploy() (default Honest).
+  void set_behavior(const std::string& provider, ProviderBehavior b);
+
+  /// Encode, tag and place every owner's shards; open and fund contracts.
+  void deploy();
+
+  /// Run the full contract horizon on the simulated chain.
+  void run_to_completion();
+
+  // --- results --------------------------------------------------------------
+  NetworkStats stats() const;
+  const std::vector<Placement>& placements() const { return placements_; }
+  const chain::Blockchain& chain() const { return chain_; }
+  std::uint64_t balance(const std::string& who) const { return chain_.balance(who); }
+  /// Sum of all balances + escrow — must be invariant (conservation check).
+  std::uint64_t total_money() const;
+  /// Every contract involving this provider.
+  std::vector<const contract::AuditContract*> contracts_of(
+      const std::string& provider) const;
+
+  /// True iff `owner` can still reconstruct its file from honest providers'
+  /// shards (exercises the erasure layer against the injected failures).
+  bool owner_can_recover(std::size_t owner) const;
+
+ private:
+  struct Deployment {
+    Placement placement;
+    storage::EncodedFile file;   // what the provider *should* hold
+    storage::EncodedFile held;   // what it actually holds (failure injection)
+    audit::FileTag tag;
+    audit::Fr name;
+    std::unique_ptr<audit::Prover> prover;
+    std::unique_ptr<contract::AuditContract> contract;
+  };
+
+  NetworkConfig config_;
+  primitives::SecureRng rng_;
+  chain::Blockchain chain_;
+  std::unique_ptr<chain::TrustedBeacon> beacon_;
+  storage::ChordRing ring_;
+  std::map<std::string, ProviderBehavior> behavior_;
+  std::vector<audit::KeyPair> owner_keys_;
+  std::vector<std::vector<std::uint8_t>> owner_data_;
+  std::vector<std::vector<std::vector<std::uint8_t>>> owner_shards_;
+  std::vector<Placement> placements_;
+  std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::uint64_t initial_money_ = 0;
+  bool deployed_ = false;
+};
+
+}  // namespace dsaudit::sim

@@ -1,0 +1,56 @@
+#include "storage/codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "primitives/chacha20.hpp"
+#include "primitives/keccak256.hpp"
+
+namespace dsaudit::storage {
+
+EncodedFile encode_file(std::span<const std::uint8_t> data, std::size_t s) {
+  if (s == 0) throw std::invalid_argument("encode_file: s must be >= 1");
+  EncodedFile out;
+  out.original_size = data.size();
+  out.s = s;
+  out.num_blocks = (data.size() + kBytesPerBlock - 1) / kBytesPerBlock;
+  if (out.num_blocks == 0) out.num_blocks = 1;  // degenerate empty file
+  std::size_t d = (out.num_blocks + s - 1) / s;
+  out.chunks.assign(d, std::vector<Fr>(s, Fr::zero()));
+  for (std::size_t b = 0; b < out.num_blocks; ++b) {
+    std::array<std::uint8_t, 32> be{};  // top byte zero => value < 2^248 < r
+    std::size_t off = b * kBytesPerBlock;
+    std::size_t take = std::min(kBytesPerBlock, data.size() - std::min(off, data.size()));
+    if (take > 0) std::memcpy(be.data() + 1 + (kBytesPerBlock - take), data.data() + off, take);
+    out.chunks[b / s][b % s] = Fr::from_be_bytes_mod(be);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decode_file(const EncodedFile& file) {
+  std::vector<std::uint8_t> out(file.original_size);
+  for (std::size_t b = 0; b < file.num_blocks; ++b) {
+    std::size_t off = b * kBytesPerBlock;
+    if (off >= out.size()) break;
+    std::size_t take = std::min(kBytesPerBlock, out.size() - off);
+    auto be = file.chunks[b / file.s][b % file.s].to_bytes();
+    std::memcpy(out.data() + off, be.data() + 1 + (kBytesPerBlock - take), take);
+  }
+  return out;
+}
+
+void encrypt_in_place(std::span<std::uint8_t> data,
+                      const std::array<std::uint8_t, 32>& master_key,
+                      std::uint64_t file_id) {
+  // Derive a per-file key so nonce reuse across files is impossible.
+  std::uint8_t info[32 + 8];
+  std::memcpy(info, master_key.data(), 32);
+  std::memcpy(info + 32, &file_id, 8);
+  auto file_key = primitives::Keccak256::hash(std::span<const std::uint8_t>(info, sizeof(info)));
+  std::array<std::uint8_t, 12> nonce{};
+  std::memcpy(nonce.data(), "dsa-file", 8);
+  primitives::ChaCha20 cipher(file_key, nonce, 0);
+  cipher.crypt(data);
+}
+
+}  // namespace dsaudit::storage

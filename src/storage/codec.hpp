@@ -1,0 +1,55 @@
+// File <-> field-element codec (paper §V-B).
+//
+// "Assume the file to be stored as F. It is further divided into n data
+//  blocks in the form of group elements. Then, each s collection of data
+//  blocks can constitute data chunks" — a block is one Z_p element packed
+// from 31 raw bytes (248 bits always fits below the 254-bit r); a chunk is
+// the coefficient vector of the degree-(s-1) polynomial M_i.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "field/fp.hpp"
+
+namespace dsaudit::storage {
+
+using ff::Fr;
+
+/// Bytes carried per block; 31*8 = 248 < 254 bits guarantees injectivity.
+inline constexpr std::size_t kBytesPerBlock = 31;
+
+/// The encoded file: d = ceil(n/s) chunks of exactly s blocks each (the last
+/// chunk is zero-padded, mirroring the paper's "the last data block may need
+/// padding").
+struct EncodedFile {
+  std::size_t original_size = 0;  // bytes, needed to strip padding on decode
+  std::size_t s = 0;              // blocks per chunk
+  std::size_t num_blocks = 0;     // n, before chunk padding
+  std::vector<std::vector<Fr>> chunks;
+
+  std::size_t num_chunks() const { return chunks.size(); }
+};
+
+/// Split data into Z_p blocks and group them into chunks of s blocks.
+/// s must be >= 1; empty input yields a single all-zero chunk so that the
+/// protocol (which requires d >= 1) still runs.
+EncodedFile encode_file(std::span<const std::uint8_t> data, std::size_t s);
+
+/// Inverse of encode_file.
+std::vector<std::uint8_t> decode_file(const EncodedFile& file);
+
+/// In-place ChaCha20 encryption with a key/nonce derived from a 32-byte
+/// master key and file identifier — §III-A makes owner-side encryption
+/// mandatory before any byte leaves the client.
+void encrypt_in_place(std::span<std::uint8_t> data,
+                      const std::array<std::uint8_t, 32>& master_key,
+                      std::uint64_t file_id);
+inline void decrypt_in_place(std::span<std::uint8_t> data,
+                             const std::array<std::uint8_t, 32>& master_key,
+                             std::uint64_t file_id) {
+  encrypt_in_place(data, master_key, file_id);
+}
+
+}  // namespace dsaudit::storage

@@ -1,0 +1,118 @@
+#include "storage/dht.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "primitives/sha256.hpp"
+
+namespace dsaudit::storage {
+
+NodeId ring_hash(const std::string& name) {
+  auto h = primitives::Sha256::hash(name);
+  NodeId id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | h[i];
+  return id;
+}
+
+NodeId ChordRing::join(const std::string& name) {
+  NodeId id = ring_hash(name);
+  while (nodes_.count(id)) ++id;  // astronomically unlikely; keep ids unique
+  nodes_.emplace(id, Node{name, {}});
+  stabilize();
+  return id;
+}
+
+void ChordRing::leave(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::invalid_argument("ChordRing::leave: unknown node");
+  nodes_.erase(it);
+  stabilize();
+}
+
+std::optional<std::string> ChordRing::node_name(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.name;
+}
+
+NodeId ChordRing::successor_of(NodeId key) const {
+  auto it = nodes_.lower_bound(key);
+  if (it == nodes_.end()) it = nodes_.begin();  // wrap around
+  return it->first;
+}
+
+void ChordRing::stabilize() {
+  for (auto& [id, node] : nodes_) {
+    node.fingers.assign(kFingerBits, 0);
+    for (int i = 0; i < kFingerBits; ++i) {
+      node.fingers[i] = successor_of(id + (std::uint64_t{1} << i));
+    }
+  }
+}
+
+namespace {
+/// True if x is in the half-open clockwise interval (a, b] on the ring.
+bool in_interval(NodeId x, NodeId a, NodeId b) {
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped
+}
+}  // namespace
+
+ChordRing::LookupResult ChordRing::lookup(NodeId key,
+                                          std::optional<NodeId> start) const {
+  if (nodes_.empty()) throw std::logic_error("ChordRing::lookup: empty ring");
+  NodeId current = start.value_or(nodes_.begin()->first);
+  if (!nodes_.count(current)) {
+    throw std::invalid_argument("ChordRing::lookup: unknown start node");
+  }
+  LookupResult res;
+  res.path.push_back(current);
+  // Canonical Chord find_successor: if the key falls between us and our
+  // immediate successor, the successor is responsible; otherwise forward to
+  // the closest preceding finger.
+  for (;;) {
+    if (current == key) {  // we ARE successor(key)
+      res.responsible = current;
+      return res;
+    }
+    const Node& node = nodes_.at(current);
+    NodeId succ = node.fingers[0];  // finger[0] = immediate successor
+    if (in_interval(key, current, succ)) {
+      res.responsible = succ;
+      if (succ != current) {
+        res.path.push_back(succ);
+        ++res.hops;
+      }
+      return res;
+    }
+    NodeId next = succ;  // closest_preceding_node fallback
+    for (int i = kFingerBits - 1; i >= 0; --i) {
+      NodeId f = node.fingers[i];
+      if (f != current && in_interval(f, current, key)) {
+        next = f;
+        break;
+      }
+    }
+    current = next;
+    res.path.push_back(current);
+    ++res.hops;
+    if (res.hops > nodes_.size()) {
+      throw std::logic_error("ChordRing::lookup: routing loop");
+    }
+  }
+}
+
+std::vector<NodeId> ChordRing::successors(NodeId key, std::size_t count) const {
+  if (nodes_.empty()) throw std::logic_error("ChordRing::successors: empty ring");
+  count = std::min(count, nodes_.size());
+  std::vector<NodeId> out;
+  auto it = nodes_.lower_bound(key);
+  while (out.size() < count) {
+    if (it == nodes_.end()) it = nodes_.begin();
+    out.push_back(it->first);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace dsaudit::storage

@@ -1,0 +1,67 @@
+// Chord-style distributed hash table (paper §III-A: "the data owner looks up
+// the storage provider candidates using the distributed hash table and uses
+// this table for routing", citing Chord [16]).
+//
+// Single-process simulation: nodes live on a 64-bit identifier ring with
+// finger tables; lookups walk real finger-table hops so routing complexity
+// (O(log n) hops) is measurable, and join/leave re-wires the ring the way a
+// real deployment would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dsaudit::storage {
+
+using NodeId = std::uint64_t;
+
+/// Hash arbitrary names (provider addresses, file identifiers) onto the ring.
+NodeId ring_hash(const std::string& name);
+
+class ChordRing {
+ public:
+  ChordRing() = default;
+
+  /// Add a node; returns its ring identifier. Names must be unique.
+  NodeId join(const std::string& name);
+  /// Remove a node. Keys it was responsible for fall to its successor.
+  void leave(NodeId id);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool contains(NodeId id) const { return nodes_.count(id) > 0; }
+  std::optional<std::string> node_name(NodeId id) const;
+
+  struct LookupResult {
+    NodeId responsible = 0;  // successor(key)
+    std::size_t hops = 0;    // finger-table hops taken
+    std::vector<NodeId> path;
+  };
+
+  /// Route from an arbitrary start node to successor(key) via finger tables.
+  /// Throws std::logic_error on an empty ring.
+  LookupResult lookup(NodeId key, std::optional<NodeId> start = std::nullopt) const;
+
+  /// The first `count` distinct successors of key (clockwise) — the natural
+  /// provider-selection primitive for placing erasure-coded shards.
+  std::vector<NodeId> successors(NodeId key, std::size_t count) const;
+
+  /// Rebuild all finger tables (called automatically by join/leave; exposed
+  /// for tests that mutate many nodes at once).
+  void stabilize();
+
+ private:
+  static constexpr int kFingerBits = 64;
+  struct Node {
+    std::string name;
+    std::vector<NodeId> fingers;  // finger[i] = successor(id + 2^i)
+  };
+
+  NodeId successor_of(NodeId key) const;
+
+  std::map<NodeId, Node> nodes_;  // ordered ring
+};
+
+}  // namespace dsaudit::storage

@@ -1,0 +1,67 @@
+#include "strawman/merkle.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dsaudit::strawman {
+
+MerkleTree::MerkleTree(std::span<const std::uint8_t> data) {
+  std::size_t n_leaves = (data.size() + 31) / 32;
+  if (n_leaves == 0) n_leaves = 1;
+  // Round up to a power of two.
+  std::size_t pow2 = 1;
+  while (pow2 < n_leaves) pow2 <<= 1;
+  std::vector<Digest32> leaves(pow2);
+  for (std::size_t i = 0; i < pow2; ++i) {
+    std::uint8_t block[32] = {0};
+    std::size_t off = i * 32;
+    if (off < data.size()) {
+      std::memcpy(block, data.data() + off, std::min<std::size_t>(32, data.size() - off));
+    }
+    // Hash the raw block into the leaf (standard leaf = H(block)).
+    leaves[i] = primitives::Sha256::hash(std::span<const std::uint8_t>(block, 32));
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest32> next(prev.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = hash_pair(prev[2 * i], prev[2 * i + 1]);
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+Digest32 MerkleTree::hash_pair(const Digest32& a, const Digest32& b) {
+  primitives::Sha256 h;
+  h.update(a);
+  h.update(b);
+  return h.finalize();
+}
+
+MerkleTree::Path MerkleTree::path(std::size_t leaf_index) const {
+  if (leaf_index >= leaf_count()) {
+    throw std::out_of_range("MerkleTree::path: leaf index out of range");
+  }
+  Path p;
+  p.leaf_index = leaf_index;
+  std::size_t idx = leaf_index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    p.siblings.push_back(levels_[level][idx ^ 1]);
+    idx >>= 1;
+  }
+  return p;
+}
+
+bool MerkleTree::verify_path(const Digest32& root, const Digest32& leaf,
+                             const Path& path) {
+  Digest32 acc = leaf;
+  std::size_t idx = path.leaf_index;
+  for (const auto& sib : path.siblings) {
+    acc = (idx & 1) ? hash_pair(sib, acc) : hash_pair(acc, sib);
+    idx >>= 1;
+  }
+  return acc == root;
+}
+
+}  // namespace dsaudit::strawman

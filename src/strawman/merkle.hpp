@@ -1,0 +1,46 @@
+// SHA-256 Merkle tree — the real audit logic inside the §IV strawman.
+//
+// The strawman proves storage by opening challenged leaves against an
+// on-chain root. (Sia-style; the paper's critique is that the challenge
+// space is small and proofs leak the leaf, which the ZK-SNARK wrapper then
+// has to hide at great cost.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "primitives/sha256.hpp"
+
+namespace dsaudit::strawman {
+
+using primitives::Digest32;
+
+class MerkleTree {
+ public:
+  /// Build from 32-byte leaf blocks; data is padded with zero bytes to a
+  /// power-of-two number of 32-byte leaves (at least one).
+  explicit MerkleTree(std::span<const std::uint8_t> data);
+
+  const Digest32& root() const { return levels_.back()[0]; }
+  std::size_t leaf_count() const { return levels_[0].size(); }
+  std::size_t depth() const { return levels_.size() - 1; }
+  const Digest32& leaf(std::size_t i) const { return levels_[0].at(i); }
+
+  struct Path {
+    std::size_t leaf_index = 0;
+    std::vector<Digest32> siblings;  // bottom-up
+  };
+  Path path(std::size_t leaf_index) const;
+
+  /// Stateless verification against a root (what the contract / the SNARK
+  /// circuit's statement checks).
+  static bool verify_path(const Digest32& root, const Digest32& leaf,
+                          const Path& path);
+
+ private:
+  static Digest32 hash_pair(const Digest32& a, const Digest32& b);
+  std::vector<std::vector<Digest32>> levels_;  // levels_[0] = leaves
+};
+
+}  // namespace dsaudit::strawman

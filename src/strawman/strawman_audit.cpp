@@ -1,0 +1,59 @@
+#include "strawman/strawman_audit.hpp"
+
+namespace dsaudit::strawman {
+
+MerkleCircuit MerkleCircuit::for_file(std::size_t file_bytes) {
+  std::size_t n_leaves = (file_bytes + 31) / 32;
+  if (n_leaves == 0) n_leaves = 1;
+  std::size_t pow2 = 1;
+  MerkleCircuit c;
+  while (pow2 < n_leaves) {
+    pow2 <<= 1;
+    ++c.depth;
+  }
+  // Leaf hash (32-byte input: 1 compression) + depth pair-hashes (64-byte
+  // input: 2 compressions each, data + padding block).
+  c.constraints = kConstraintsPerCompression * (1 + 2 * c.depth);
+  return c;
+}
+
+StrawmanAuditor::StrawmanAuditor(std::span<const std::uint8_t> data)
+    : tree_(data), circuit_(MerkleCircuit::for_file(data.size())) {}
+
+std::size_t StrawmanAuditor::challenge_leaf(std::uint64_t randomness) const {
+  return randomness % tree_.leaf_count();
+}
+
+StrawmanProof StrawmanAuditor::prove(std::size_t leaf_index) const {
+  StrawmanProof p;
+  p.leaf_index = leaf_index;
+  p.leaf = tree_.leaf(leaf_index);
+  p.path = tree_.path(leaf_index);
+  p.proof_bytes = model_.proof_bytes;
+  p.prove_ms_model = model_.prove_ms(circuit_.constraints);
+  return p;
+}
+
+bool StrawmanAuditor::verify(const Digest32& root, const StrawmanProof& proof) {
+  return MerkleTree::verify_path(root, proof.leaf, proof.path);
+}
+
+std::optional<StrawmanProof> CheatingStrawmanProvider::respond(
+    std::size_t leaf_index) {
+  if (has_file_) {
+    cache_.insert(leaf_index);
+    return honest_.prove(leaf_index);
+  }
+  if (cache_.count(leaf_index)) {
+    return honest_.prove(leaf_index);  // replayed from its stash
+  }
+  return std::nullopt;  // caught: it no longer stores this leaf
+}
+
+std::size_t CheatingStrawmanProvider::storage_bytes() const {
+  // Each cached entry: 32-byte leaf + depth sibling hashes.
+  std::size_t per_entry = 32 + 32 * honest_.circuit().depth;
+  return cache_.size() * per_entry;
+}
+
+}  // namespace dsaudit::strawman

@@ -1,0 +1,75 @@
+// The §IV strawman auditor: Merkle-tree storage proofs wrapped in a
+// (simulated) ZK-SNARK for on-chain privacy, plus the cheating provider that
+// exploits its limited challenge entropy (§IV-D / Table I's "low storage
+// guarantees" for Merkle-based designs).
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "strawman/merkle.hpp"
+#include "strawman/snark_sim.hpp"
+
+namespace dsaudit::strawman {
+
+/// What goes on chain per strawman audit: the (simulated) SNARK proof that
+/// "challenged leaf + path lead to rt". The leaf/path themselves stay
+/// off-chain — that is the whole point of the wrapper — but we carry them in
+/// the struct so the simulation can execute the statement for real.
+struct StrawmanProof {
+  std::size_t leaf_index = 0;
+  Digest32 leaf{};
+  MerkleTree::Path path;
+  std::size_t proof_bytes = 0;   // modeled SNARK proof size (384)
+  double prove_ms_model = 0;     // modeled Groth16 proving time
+};
+
+class StrawmanAuditor {
+ public:
+  /// Build the tree and the (simulated) trusted setup for its circuit.
+  explicit StrawmanAuditor(std::span<const std::uint8_t> data);
+
+  const Digest32& root() const { return tree_.root(); }
+  std::size_t leaf_count() const { return tree_.leaf_count(); }
+  const MerkleCircuit& circuit() const { return circuit_; }
+  const Groth16CostModel& cost_model() const { return model_; }
+
+  /// Map challenge randomness to a leaf index (the strawman's PRF step).
+  std::size_t challenge_leaf(std::uint64_t randomness) const;
+
+  /// Honest prover.
+  StrawmanProof prove(std::size_t leaf_index) const;
+
+  /// Verifier: executes the SNARK statement (the Merkle check) for real;
+  /// verification time on chain is modeled as cost_model().verify_ms.
+  static bool verify(const Digest32& root, const StrawmanProof& proof);
+
+ private:
+  MerkleTree tree_;
+  MerkleCircuit circuit_;
+  Groth16CostModel model_;
+};
+
+/// §IV-D: "the storage provider can reuse the proofs for challenged blocks
+/// ... instead of honestly storing all data". This provider drops the file
+/// and keeps only (leaf, path) pairs it has been challenged on before.
+class CheatingStrawmanProvider {
+ public:
+  explicit CheatingStrawmanProvider(const StrawmanAuditor& honest)
+      : honest_(honest) {}
+
+  /// While the provider still "has" the file it answers and caches; after
+  /// drop_file() it can only answer challenges it has seen.
+  void drop_file() { has_file_ = false; }
+  std::optional<StrawmanProof> respond(std::size_t leaf_index);
+  std::size_t cached_leaves() const { return cache_.size(); }
+  /// Bytes of storage the cheater actually uses (leaves + paths).
+  std::size_t storage_bytes() const;
+
+ private:
+  const StrawmanAuditor& honest_;
+  bool has_file_ = true;
+  std::set<std::size_t> cache_;
+};
+
+}  // namespace dsaudit::strawman

@@ -1,0 +1,437 @@
+// End-to-end tests of the main auditing protocol (§V): completeness of
+// Eq. 1 / Eq. 2, soundness against corruption and tampering, tag acceptance,
+// batching, and the exact paper wire sizes.
+#include <gtest/gtest.h>
+
+#include "audit/protocol.hpp"
+#include "audit/serialize.hpp"
+#include "pairing/pairing.hpp"
+
+namespace dsaudit::audit {
+namespace {
+
+using primitives::SecureRng;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, SecureRng& rng) {
+  std::vector<std::uint8_t> v(n);
+  rng.fill(v);
+  return v;
+}
+
+struct Scenario {
+  KeyPair kp;
+  storage::EncodedFile file;
+  FileTag tag;
+  Fr name;
+};
+
+Scenario make_scenario(std::size_t file_size, std::size_t s, SecureRng& rng,
+                       unsigned threads = 1) {
+  Scenario sc;
+  sc.kp = keygen(s, rng);
+  auto data = random_bytes(file_size, rng);
+  sc.file = storage::encode_file(data, s);
+  sc.name = Fr::random(rng);
+  sc.tag = generate_tags(sc.kp.sk, sc.kp.pk, sc.file, sc.name, threads);
+  return sc;
+}
+
+Challenge make_challenge(SecureRng& rng, std::size_t k) {
+  Challenge c;
+  c.c1 = rng.bytes32();
+  c.c2 = rng.bytes32();
+  c.r = Fr::random(rng);
+  c.k = k;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Completeness, parameterized over (file size, s, k).
+// ---------------------------------------------------------------------------
+
+struct Params {
+  std::size_t file_size;
+  std::size_t s;
+  std::size_t k;
+};
+
+class AuditCompleteness : public ::testing::TestWithParam<Params> {};
+
+TEST_P(AuditCompleteness, BasicProofVerifies) {
+  auto [file_size, s, k] = GetParam();
+  auto rng = SecureRng::deterministic(200 + file_size + s + k);
+  Scenario sc = make_scenario(file_size, s, rng);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+  Challenge chal = make_challenge(rng, k);
+  ProofBasic proof = prover.prove(chal);
+  EXPECT_TRUE(verify(sc.kp.pk, sc.name, sc.file.num_chunks(), chal, proof));
+}
+
+TEST_P(AuditCompleteness, PrivateProofVerifies) {
+  auto [file_size, s, k] = GetParam();
+  auto rng = SecureRng::deterministic(300 + file_size + s + k);
+  Scenario sc = make_scenario(file_size, s, rng);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+  Challenge chal = make_challenge(rng, k);
+  ProofPrivate proof = prover.prove_private(chal, rng);
+  EXPECT_TRUE(verify_private(sc.kp.pk, sc.name, sc.file.num_chunks(), chal, proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, AuditCompleteness,
+    ::testing::Values(Params{1, 1, 1},        // single block, s = 1 edge
+                      Params{100, 1, 3},      // s = 1 (classic HLA, no chunks)
+                      Params{100, 4, 2},      // tiny
+                      Params{1000, 2, 5},     // more chunks than blocks/chunk
+                      Params{5000, 10, 8},    // k < d
+                      Params{5000, 10, 999},  // k > d: challenge all chunks
+                      Params{20000, 50, 13},  // paper's preferred s = 50
+                      Params{3100, 100, 1}),  // single challenged chunk
+    [](const auto& info) {
+      return "file" + std::to_string(info.param.file_size) + "_s" +
+             std::to_string(info.param.s) + "_k" + std::to_string(info.param.k);
+    });
+
+// ---------------------------------------------------------------------------
+// Soundness / failure injection.
+// ---------------------------------------------------------------------------
+
+class AuditSoundness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<SecureRng>(SecureRng::deterministic(400));
+    sc_ = make_scenario(4000, 8, *rng_);
+  }
+  std::unique_ptr<SecureRng> rng_;
+  Scenario sc_;
+};
+
+TEST_F(AuditSoundness, CorruptedBlockFailsBasic) {
+  // Flip one block, keep the (now stale) tags: every challenge touching the
+  // chunk must fail.
+  storage::EncodedFile bad = sc_.file;
+  bad.chunks[0][0] += Fr::one();
+  Prover prover(sc_.kp.pk, bad, sc_.tag);
+  int failures = 0, rounds = 0;
+  for (int i = 0; i < 10; ++i) {
+    Challenge chal = make_challenge(*rng_, bad.num_chunks());  // challenge all
+    ProofBasic proof = prover.prove(chal);
+    ++rounds;
+    if (!verify(sc_.kp.pk, sc_.name, bad.num_chunks(), chal, proof)) ++failures;
+  }
+  EXPECT_EQ(failures, rounds);  // k = d always hits chunk 0
+}
+
+TEST_F(AuditSoundness, CorruptedBlockFailsPrivate) {
+  storage::EncodedFile bad = sc_.file;
+  bad.chunks[2][3] += Fr::from_u64(7);
+  Prover prover(sc_.kp.pk, bad, sc_.tag);
+  Challenge chal = make_challenge(*rng_, bad.num_chunks());
+  ProofPrivate proof = prover.prove_private(chal, *rng_);
+  EXPECT_FALSE(verify_private(sc_.kp.pk, sc_.name, bad.num_chunks(), chal, proof));
+}
+
+TEST_F(AuditSoundness, DroppedChunkDetectedWithSamplingProbability) {
+  // Provider silently zeroes one chunk; with k < d, detection happens iff the
+  // challenge samples it. Over many rounds, both outcomes must occur and the
+  // verifier must never accept a proof computed over the corrupted chunk.
+  storage::EncodedFile bad = sc_.file;
+  std::size_t victim = 5;
+  for (auto& b : bad.chunks[victim]) b = Fr::zero();
+  ASSERT_NE(bad.chunks[victim], sc_.file.chunks[victim]);
+  Prover prover(sc_.kp.pk, bad, sc_.tag);
+  int detected = 0, sampled = 0;
+  for (int i = 0; i < 30; ++i) {
+    Challenge chal = make_challenge(*rng_, 4);
+    auto ex = expand_challenge(chal, bad.num_chunks());
+    bool hits = std::find(ex.indices.begin(), ex.indices.end(), victim) !=
+                ex.indices.end();
+    ProofBasic proof = prover.prove(chal);
+    bool ok = verify(sc_.kp.pk, sc_.name, bad.num_chunks(), chal, proof);
+    if (hits) ++sampled;
+    if (!ok) ++detected;
+    EXPECT_EQ(ok, !hits);  // fails exactly when the victim chunk is sampled
+  }
+  EXPECT_GT(sampled, 0);
+  EXPECT_EQ(detected, sampled);
+}
+
+TEST_F(AuditSoundness, TamperedProofElementsFail) {
+  Prover prover(sc_.kp.pk, sc_.file, sc_.tag);
+  Challenge chal = make_challenge(*rng_, 5);
+  ProofBasic good = prover.prove(chal);
+  ASSERT_TRUE(verify(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, good));
+
+  ProofBasic bad = good;
+  bad.sigma = bad.sigma + curve::G1::generator();
+  EXPECT_FALSE(verify(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, bad));
+
+  bad = good;
+  bad.y += Fr::one();
+  EXPECT_FALSE(verify(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, bad));
+
+  bad = good;
+  bad.psi = bad.psi.dbl();
+  EXPECT_FALSE(verify(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, bad));
+}
+
+TEST_F(AuditSoundness, TamperedPrivateProofElementsFail) {
+  Prover prover(sc_.kp.pk, sc_.file, sc_.tag);
+  Challenge chal = make_challenge(*rng_, 5);
+  ProofPrivate good = prover.prove_private(chal, *rng_);
+  ASSERT_TRUE(verify_private(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, good));
+
+  ProofPrivate bad = good;
+  bad.y_prime += Fr::one();
+  EXPECT_FALSE(verify_private(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, bad));
+
+  bad = good;
+  bad.big_r = bad.big_r * bad.big_r;  // different commitment, stale y'
+  EXPECT_FALSE(verify_private(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, bad));
+
+  bad = good;
+  bad.sigma = -bad.sigma;
+  EXPECT_FALSE(verify_private(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal, bad));
+}
+
+TEST_F(AuditSoundness, ReplayedProofFromOldChallengeFails) {
+  Prover prover(sc_.kp.pk, sc_.file, sc_.tag);
+  Challenge chal1 = make_challenge(*rng_, 5);
+  Challenge chal2 = make_challenge(*rng_, 5);
+  ProofBasic old_proof = prover.prove(chal1);
+  EXPECT_TRUE(verify(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal1, old_proof));
+  EXPECT_FALSE(verify(sc_.kp.pk, sc_.name, sc_.file.num_chunks(), chal2, old_proof));
+}
+
+TEST_F(AuditSoundness, WrongFileNameFails) {
+  Prover prover(sc_.kp.pk, sc_.file, sc_.tag);
+  Challenge chal = make_challenge(*rng_, 5);
+  ProofBasic proof = prover.prove(chal);
+  EXPECT_FALSE(verify(sc_.kp.pk, sc_.name + Fr::one(), sc_.file.num_chunks(), chal, proof));
+}
+
+// ---------------------------------------------------------------------------
+// Tag acceptance (the provider's Initialize-phase check).
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditSoundness, HonestTagsAccepted) {
+  EXPECT_TRUE(verify_tags(sc_.kp.pk, sc_.file, sc_.tag));
+}
+
+TEST_F(AuditSoundness, ForgedTagRejected) {
+  // A cheating owner who corrupts one authenticator (to later frame the
+  // provider) is caught at acceptance time.
+  FileTag bad = sc_.tag;
+  bad.sigmas[1] = bad.sigmas[1] + curve::G1::generator();
+  EXPECT_FALSE(verify_tags(sc_.kp.pk, sc_.file, bad));
+}
+
+TEST_F(AuditSoundness, TagForDifferentDataRejected) {
+  storage::EncodedFile other = sc_.file;
+  other.chunks[0][0] += Fr::one();
+  EXPECT_FALSE(verify_tags(sc_.kp.pk, other, sc_.tag));
+}
+
+TEST_F(AuditSoundness, StructuralMismatchesRejected) {
+  FileTag bad = sc_.tag;
+  bad.sigmas.pop_back();
+  bad.num_chunks--;
+  EXPECT_FALSE(verify_tags(sc_.kp.pk, sc_.file, bad));
+  auto rng2 = SecureRng::deterministic(401);
+  auto other_kp = keygen(sc_.kp.pk.s + 1, rng2);
+  EXPECT_FALSE(verify_tags(other_kp.pk, sc_.file, sc_.tag));
+}
+
+TEST(AuditTags, ParallelMatchesSerial) {
+  auto rng = SecureRng::deterministic(402);
+  auto kp = keygen(5, rng);
+  auto data = std::vector<std::uint8_t>(2000, 0xab);
+  auto file = storage::encode_file(data, 5);
+  Fr name = Fr::random(rng);
+  FileTag serial = generate_tags(kp.sk, kp.pk, file, name, 1);
+  FileTag parallel = generate_tags(kp.sk, kp.pk, file, name, 4);
+  ASSERT_EQ(serial.sigmas.size(), parallel.sigmas.size());
+  for (std::size_t i = 0; i < serial.sigmas.size(); ++i) {
+    EXPECT_EQ(serial.sigmas[i], parallel.sigmas[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch verification.
+// ---------------------------------------------------------------------------
+
+TEST(AuditBatch, ManyRoundsVerifyTogether) {
+  auto rng = SecureRng::deterministic(403);
+  Scenario sc = make_scenario(3000, 6, rng);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+  std::vector<BasicInstance> instances;
+  for (int i = 0; i < 8; ++i) {
+    BasicInstance inst;
+    inst.name = sc.name;
+    inst.num_chunks = sc.file.num_chunks();
+    inst.challenge = make_challenge(rng, 4);
+    inst.proof = prover.prove(inst.challenge);
+    instances.push_back(inst);
+  }
+  EXPECT_TRUE(verify_batch(sc.kp.pk, instances, rng));
+}
+
+TEST(AuditBatch, SingleBadProofPoisonsBatch) {
+  auto rng = SecureRng::deterministic(404);
+  Scenario sc = make_scenario(3000, 6, rng);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+  std::vector<BasicInstance> instances;
+  for (int i = 0; i < 5; ++i) {
+    BasicInstance inst;
+    inst.name = sc.name;
+    inst.num_chunks = sc.file.num_chunks();
+    inst.challenge = make_challenge(rng, 4);
+    inst.proof = prover.prove(inst.challenge);
+    instances.push_back(inst);
+  }
+  instances[3].proof.y += Fr::one();
+  EXPECT_FALSE(verify_batch(sc.kp.pk, instances, rng));
+  EXPECT_TRUE(verify_batch(sc.kp.pk, std::span<const BasicInstance>{}, rng));
+}
+
+// ---------------------------------------------------------------------------
+// Wire formats.
+// ---------------------------------------------------------------------------
+
+TEST(AuditWire, ProofSizesMatchPaper) {
+  auto rng = SecureRng::deterministic(405);
+  Scenario sc = make_scenario(2000, 10, rng);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+  Challenge chal = make_challenge(rng, 5);
+  auto basic = serialize(prover.prove(chal));
+  EXPECT_EQ(basic.size(), 96u);  // Fig. 5 "w/o on-chain privacy"
+  auto priv = serialize(prover.prove_private(chal, rng));
+  EXPECT_EQ(priv.size(), 288u);  // Table II / Fig. 5 "w/ on-chain privacy"
+}
+
+TEST(AuditWire, ProofRoundTrip) {
+  auto rng = SecureRng::deterministic(406);
+  Scenario sc = make_scenario(2000, 10, rng);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+  Challenge chal = make_challenge(rng, 5);
+
+  ProofBasic basic = prover.prove(chal);
+  auto basic_bytes = serialize(basic);
+  auto basic2 = deserialize_basic(basic_bytes);
+  ASSERT_TRUE(basic2.has_value());
+  EXPECT_EQ(basic2->sigma, basic.sigma);
+  EXPECT_EQ(basic2->y, basic.y);
+  EXPECT_EQ(basic2->psi, basic.psi);
+  EXPECT_TRUE(verify(sc.kp.pk, sc.name, sc.file.num_chunks(), chal, *basic2));
+
+  ProofPrivate priv = prover.prove_private(chal, rng);
+  auto priv_bytes = serialize(priv);
+  auto priv2 = deserialize_private(priv_bytes);
+  ASSERT_TRUE(priv2.has_value());
+  EXPECT_EQ(priv2->big_r, priv.big_r);
+  EXPECT_TRUE(verify_private(sc.kp.pk, sc.name, sc.file.num_chunks(), chal, *priv2));
+}
+
+TEST(AuditWire, MalformedProofRejected) {
+  std::vector<std::uint8_t> junk(96, 0xff);
+  EXPECT_FALSE(deserialize_basic(junk).has_value());
+  EXPECT_FALSE(deserialize_basic(std::vector<std::uint8_t>(95)).has_value());
+  std::vector<std::uint8_t> junk288(288, 0xff);
+  EXPECT_FALSE(deserialize_private(junk288).has_value());
+}
+
+TEST(AuditWire, GtCompressionRoundTrip) {
+  auto rng = SecureRng::deterministic(407);
+  for (int i = 0; i < 3; ++i) {
+    // Any pairing output is unit-norm.
+    Fp12 g = ::dsaudit::pairing::pairing(curve::g1_random(rng), curve::g2_random(rng));
+    auto bytes = gt_compress(g);
+    auto back = gt_decompress(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, g);
+  }
+  // Identity (b = 0 path).
+  auto one_bytes = gt_compress(Fp12::one());
+  auto one_back = gt_decompress(one_bytes);
+  ASSERT_TRUE(one_back.has_value());
+  EXPECT_TRUE(one_back->is_one());
+  // Non-unit-norm elements are rejected at compression time.
+  Fp12 not_gt = Fp12::random(rng);
+  EXPECT_THROW(gt_compress(not_gt), std::invalid_argument);
+}
+
+TEST(AuditWire, PublicKeyRoundTripAndFig4Sizes) {
+  auto rng = SecureRng::deterministic(408);
+  for (std::size_t s : {10u, 20u, 50u, 100u}) {
+    auto kp = keygen(s, rng);
+    for (bool priv : {false, true}) {
+      auto bytes = serialize(kp.pk, priv);
+      EXPECT_EQ(bytes.size(), kp.pk.serialized_size(priv));
+      auto back = deserialize_public_key(bytes);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(back->s, s);
+      EXPECT_EQ(back->epsilon, kp.pk.epsilon);
+      EXPECT_EQ(back->delta, kp.pk.delta);
+      ASSERT_EQ(back->g1_alpha_powers.size(), kp.pk.g1_alpha_powers.size());
+      if (priv) {
+        EXPECT_EQ(back->e_g1_epsilon, kp.pk.e_g1_epsilon);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Misc protocol pieces.
+// ---------------------------------------------------------------------------
+
+TEST(AuditMisc, ChunksForConfidenceMatchesPaper) {
+  // §VI-A: "setting k to 300 can give D storage assurance of 95% if only 1%
+  // of entire data is tampered" — ln(0.05)/ln(0.99) = 298.07 -> 299.
+  std::size_t k95 = chunks_for_confidence(0.95, 0.01);
+  EXPECT_GE(k95, 295u);
+  EXPECT_LE(k95, 300u);
+  // Fig. 9's sweep endpoints.
+  EXPECT_NEAR(static_cast<double>(chunks_for_confidence(0.91, 0.01)), 240.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(chunks_for_confidence(0.99, 0.01)), 460.0, 5.0);
+  EXPECT_THROW(chunks_for_confidence(1.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(chunks_for_confidence(0.95, 0.0), std::invalid_argument);
+}
+
+TEST(AuditMisc, ExpandChallengeDeterministicAndDistinct) {
+  auto rng = SecureRng::deterministic(409);
+  Challenge c = make_challenge(rng, 50);
+  auto a = expand_challenge(c, 200);
+  auto b = expand_challenge(c, 200);
+  EXPECT_EQ(a.indices, b.indices);
+  for (std::size_t i = 0; i < a.coefficients.size(); ++i) {
+    EXPECT_EQ(a.coefficients[i], b.coefficients[i]);
+  }
+  EXPECT_EQ(a.indices.size(), 50u);
+  EXPECT_THROW(expand_challenge(c, 0), std::invalid_argument);
+  Challenge zero_k = c;
+  zero_k.k = 0;
+  EXPECT_THROW(expand_challenge(zero_k, 10), std::invalid_argument);
+}
+
+TEST(AuditMisc, HashGtIsDeterministicAndSensitive) {
+  auto rng = SecureRng::deterministic(410);
+  Fp12 a = Fp12::random(rng);
+  Fp12 b = Fp12::random(rng);
+  EXPECT_EQ(hash_gt_to_fr(a), hash_gt_to_fr(a));
+  EXPECT_NE(hash_gt_to_fr(a), hash_gt_to_fr(b));
+}
+
+TEST(AuditMisc, KeygenValidatesS) {
+  auto rng = SecureRng::deterministic(411);
+  EXPECT_THROW(keygen(0, rng), std::invalid_argument);
+  auto kp = keygen(1, rng);
+  EXPECT_EQ(kp.pk.g1_alpha_powers.size(), 1u);
+  auto kp50 = keygen(50, rng);
+  EXPECT_EQ(kp50.pk.g1_alpha_powers.size(), 49u);
+  // e(g1, epsilon) consistency.
+  EXPECT_EQ(kp50.pk.e_g1_epsilon,
+            ::dsaudit::pairing::pairing(curve::G1::generator(), kp50.pk.epsilon));
+}
+
+}  // namespace
+}  // namespace dsaudit::audit

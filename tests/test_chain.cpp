@@ -1,0 +1,184 @@
+// Blockchain simulator, gas model and randomness beacon tests.
+#include <gtest/gtest.h>
+
+#include "chain/beacon.hpp"
+#include "chain/blockchain.hpp"
+
+namespace dsaudit::chain {
+namespace {
+
+TEST(Gas, CalibrationReproducesPaperAnchor) {
+  // §VII-B: "approximately 589,000 gases per auditing (7.2 ms for
+  // verification, proof size 288 bytes)".
+  GasSchedule g = GasSchedule::calibrated();
+  EXPECT_EQ(g.audit_tx_gas(288, 48, 7.2), 589000u);
+  // The 96-byte non-private proof at the same verify time is cheaper by the
+  // calldata delta.
+  EXPECT_EQ(g.audit_tx_gas(288, 48, 7.2) - g.audit_tx_gas(96, 48, 7.2),
+            (288u - 96u) * 16u);
+}
+
+TEST(Gas, CalldataDistinguishesZeroBytes) {
+  GasSchedule g = GasSchedule::calibrated();
+  std::vector<std::uint8_t> zeros(10, 0), ones(10, 1);
+  EXPECT_EQ(g.calldata_gas(zeros), 10 * g.calldata_zero_byte);
+  EXPECT_EQ(g.calldata_gas(ones), 10 * g.calldata_nonzero_byte);
+  EXPECT_THROW(GasSchedule::calibrated(100, 7.2), std::invalid_argument);
+  EXPECT_THROW(GasSchedule::calibrated(589000, 0.0), std::invalid_argument);
+}
+
+TEST(Gas, PriceModelPaperFootnote) {
+  PriceModel price;
+  // 589k gas at 5 Gwei, 143 USD/ETH ~ $0.42 per audit; Fig. 6's daily-audit
+  // year then costs ~$150 — "the same level of most cloud storage providers'
+  // annual storage fees".
+  double per_audit = price.usd(589000);
+  EXPECT_NEAR(per_audit, 0.42, 0.01);
+  EXPECT_NEAR(per_audit * 365, 153.7, 2.0);
+}
+
+TEST(Blockchain, MinesOnInterval) {
+  Blockchain bc({.block_interval_s = 15});
+  bc.advance(60);
+  EXPECT_EQ(bc.blocks().size(), 4u);
+  EXPECT_EQ(bc.now(), 60u);
+  EXPECT_EQ(bc.blocks()[0].timestamp, 15u);
+}
+
+TEST(Blockchain, TransactionLifecycle) {
+  Blockchain bc;
+  Transaction tx;
+  tx.from = "alice";
+  tx.description = "prove";
+  tx.payload_bytes = 288;
+  tx.gas_used = 589000;
+  bc.submit(tx);
+  EXPECT_EQ(bc.pending_count(), 1u);
+  bc.advance(15);
+  EXPECT_EQ(bc.pending_count(), 0u);
+  const auto& mined = bc.transactions()[0];
+  EXPECT_EQ(mined.block_number, 1u);
+  EXPECT_EQ(mined.mined_at, 15u);
+  EXPECT_EQ(bc.total_gas_used(), 589000u);
+}
+
+TEST(Blockchain, BlockSizeBudgetDefersTransactions) {
+  // 18 KB blocks with ~400-byte audit txs: the §VII-D throughput ceiling.
+  ChainConfig cfg;
+  cfg.max_block_bytes = 18 * 1024;
+  Blockchain bc(cfg);
+  for (int i = 0; i < 100; ++i) {
+    Transaction tx;
+    tx.from = "p" + std::to_string(i);
+    tx.payload_bytes = 288 + 48;
+    tx.gas_used = 589000;
+    bc.submit(tx);
+  }
+  bc.advance(15);
+  std::size_t first_block = bc.blocks()[0].tx_indices.size();
+  // (18*1024 - 500 overhead) / (336 + 110) = ~40 txs per block -> ~2.7 tx/s,
+  // the right order for the paper's "2 transactions per second".
+  EXPECT_GT(first_block, 30u);
+  EXPECT_LT(first_block, 50u);
+  EXPECT_GT(bc.pending_count(), 0u);
+  bc.advance(15 * 10);
+  EXPECT_EQ(bc.pending_count(), 0u);
+}
+
+TEST(Blockchain, LedgerTransfers) {
+  Blockchain bc;
+  bc.mint("alice", 100);
+  bc.transfer("alice", "bob", 60);
+  EXPECT_EQ(bc.balance("alice"), 40u);
+  EXPECT_EQ(bc.balance("bob"), 60u);
+  EXPECT_THROW(bc.transfer("alice", "bob", 41), std::runtime_error);
+  EXPECT_EQ(bc.balance("nobody"), 0u);
+}
+
+TEST(Blockchain, SchedulerFiresInOrder) {
+  Blockchain bc;
+  std::vector<int> fired;
+  bc.schedule(100, [&](Timestamp) { fired.push_back(1); });
+  bc.schedule(50, [&](Timestamp) { fired.push_back(0); });
+  bc.schedule(150, [&](Timestamp) { fired.push_back(2); });
+  bc.advance(120);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+  bc.advance(40);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Blockchain, ScheduledTaskCanSubmitAndReschedule) {
+  Blockchain bc;
+  int rounds = 0;
+  std::function<void(Timestamp)> periodic = [&](Timestamp now) {
+    ++rounds;
+    Transaction tx;
+    tx.from = "bot";
+    tx.payload_bytes = 48;
+    tx.gas_used = 21000;
+    bc.submit(tx);
+    if (rounds < 5) bc.schedule(now + 100, periodic);
+  };
+  bc.schedule(100, periodic);
+  bc.advance(1000);
+  EXPECT_EQ(rounds, 5);
+  EXPECT_EQ(bc.transactions().size(), 5u);
+  EXPECT_EQ(bc.pending_count(), 0u);
+}
+
+TEST(Beacon, TrustedDeterministicPerRound) {
+  std::array<std::uint8_t, 32> seed{};
+  seed[0] = 1;
+  TrustedBeacon a(seed), b(seed);
+  EXPECT_EQ(a.randomness(0), b.randomness(0));
+  EXPECT_NE(a.randomness(0), a.randomness(1));
+  EXPECT_GT(a.cost_usd_per_round(), 0.0);
+}
+
+TEST(Beacon, CommitRevealHonestMatchesAllParticipants) {
+  std::array<std::uint8_t, 32> seed{};
+  seed[1] = 2;
+  CommitRevealBeacon honest(seed, 5);
+  EXPECT_EQ(honest.withhold_count(), 0u);
+  auto r0 = honest.randomness(0);
+  EXPECT_EQ(honest.withhold_count(), 0u);
+  EXPECT_NE(r0, honest.randomness(1));
+  EXPECT_THROW(CommitRevealBeacon(seed, 1), std::invalid_argument);
+}
+
+TEST(Beacon, LastRevealerCanBiasCommitReveal) {
+  // The adversary prefers outputs whose first byte is even; by withholding
+  // it gets ~75% instead of 50% — the [36] bias that motivates VDF beacons.
+  std::array<std::uint8_t, 32> seed{};
+  seed[2] = 3;
+  auto prefer_even = [](const BeaconOutput& with, const BeaconOutput& without) {
+    bool with_even = (with[0] & 1) == 0;
+    bool without_even = (without[0] & 1) == 0;
+    if (with_even == without_even) return true;  // indifferent: reveal
+    return with_even;
+  };
+  CommitRevealBeacon biased(seed, 5, prefer_even);
+  int even = 0;
+  constexpr int kRounds = 400;
+  for (int i = 0; i < kRounds; ++i) {
+    even += (biased.randomness(i)[0] & 1) == 0;
+  }
+  EXPECT_GT(biased.withhold_count(), 0u);
+  // Expect ~300/400; far outside binomial noise of a fair beacon.
+  EXPECT_GT(even, kRounds * 0.65);
+}
+
+TEST(Beacon, VdfIsDeterministicAndSlowable) {
+  std::array<std::uint8_t, 32> seed{};
+  seed[3] = 4;
+  VdfBeacon a(seed, 1000), b(seed, 1000), other(seed, 1001);
+  EXPECT_EQ(a.randomness(7), b.randomness(7));
+  EXPECT_NE(a.randomness(7), other.randomness(7));  // delay is part of the fn
+  // The VDF itself composes: vdf(x, a+b) == vdf(vdf(x, a), b).
+  std::array<std::uint8_t, 32> x{};
+  x[0] = 9;
+  EXPECT_EQ(VdfBeacon::vdf(x, 30), VdfBeacon::vdf(VdfBeacon::vdf(x, 10), 20));
+}
+
+}  // namespace
+}  // namespace dsaudit::chain

@@ -1,0 +1,257 @@
+// Field-arithmetic tests: Montgomery Fp/Fr, the Fp2/Fp6/Fp12 tower,
+// Frobenius maps and Tonelli–Shanks square roots.
+#include <gtest/gtest.h>
+
+#include "field/fp12.hpp"
+#include "field/sqrt.hpp"
+
+namespace dsaudit::ff {
+namespace {
+
+using primitives::SecureRng;
+
+// ---------------------------------------------------------------------------
+// Generic field axioms, parameterized over the tower levels via typed tests.
+// ---------------------------------------------------------------------------
+
+template <typename F>
+class FieldAxioms : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<Fp, Fr, Fp2, Fp6, Fp12>;
+TYPED_TEST_SUITE(FieldAxioms, FieldTypes);
+
+TYPED_TEST(FieldAxioms, AdditiveGroup) {
+  auto rng = SecureRng::deterministic(21);
+  for (int i = 0; i < 25; ++i) {
+    TypeParam a = TypeParam::random(rng);
+    TypeParam b = TypeParam::random(rng);
+    TypeParam c = TypeParam::random(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + TypeParam::zero(), a);
+    EXPECT_EQ(a + (-a), TypeParam::zero());
+    EXPECT_EQ(a - b, a + (-b));
+  }
+}
+
+TYPED_TEST(FieldAxioms, MultiplicativeGroup) {
+  auto rng = SecureRng::deterministic(22);
+  for (int i = 0; i < 25; ++i) {
+    TypeParam a = TypeParam::random(rng);
+    TypeParam b = TypeParam::random(rng);
+    TypeParam c = TypeParam::random(rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * TypeParam::one(), a);
+    EXPECT_EQ(a * TypeParam::zero(), TypeParam::zero());
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inverse(), TypeParam::one());
+    }
+  }
+}
+
+TYPED_TEST(FieldAxioms, Distributivity) {
+  auto rng = SecureRng::deterministic(23);
+  for (int i = 0; i < 25; ++i) {
+    TypeParam a = TypeParam::random(rng);
+    TypeParam b = TypeParam::random(rng);
+    TypeParam c = TypeParam::random(rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TYPED_TEST(FieldAxioms, SquareMatchesMul) {
+  auto rng = SecureRng::deterministic(24);
+  for (int i = 0; i < 25; ++i) {
+    TypeParam a = TypeParam::random(rng);
+    EXPECT_EQ(a.square(), a * a);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Base-field specifics.
+// ---------------------------------------------------------------------------
+
+TEST(Fp, CanonicalRoundTrip) {
+  auto rng = SecureRng::deterministic(25);
+  for (int i = 0; i < 50; ++i) {
+    Fp a = Fp::random(rng);
+    EXPECT_EQ(Fp::from_u256(a.to_u256()), a);
+  }
+  EXPECT_EQ(Fp::from_u64(5).to_dec(), "5");
+  EXPECT_TRUE(Fp::zero().to_u256().is_zero());
+  EXPECT_EQ(Fp::one().to_dec(), "1");
+}
+
+TEST(Fp, ReductionOfLargeValues) {
+  // from_u256 of p itself must be zero; of p+1 must be one.
+  U256 p = Fp::modulus();
+  EXPECT_TRUE(Fp::from_u256(p).is_zero());
+  U256 p1;
+  bigint::add_with_carry(p, U256{1}, p1);
+  EXPECT_TRUE(Fp::from_u256(p1).is_one());
+}
+
+TEST(Fp, MulAgainstSlowPath) {
+  auto rng = SecureRng::deterministic(26);
+  for (int i = 0; i < 100; ++i) {
+    Fp a = Fp::random(rng), b = Fp::random(rng);
+    U256 expect = bigint::mul_mod_slow(a.to_u256(), b.to_u256(), Fp::modulus());
+    EXPECT_EQ((a * b).to_u256(), expect);
+  }
+}
+
+TEST(Fp, FermatLittleTheorem) {
+  auto rng = SecureRng::deterministic(27);
+  Fp a = Fp::random(rng);
+  U256 pm1;
+  bigint::sub_with_borrow(Fp::modulus(), U256{1}, pm1);
+  EXPECT_TRUE(a.pow_u256(pm1).is_one());
+}
+
+TEST(Fp, SqrtOfSquares) {
+  auto rng = SecureRng::deterministic(28);
+  for (int i = 0; i < 25; ++i) {
+    Fp a = Fp::random(rng);
+    Fp sq = a.square();
+    auto root = sq.sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == -a);
+  }
+  // -1 is a non-residue for p = 3 mod 4.
+  EXPECT_FALSE((-Fp::one()).sqrt().has_value());
+  EXPECT_EQ((-Fp::one()).legendre(), -1);
+  EXPECT_EQ(Fp::one().legendre(), 1);
+  EXPECT_EQ(Fp::zero().legendre(), 0);
+}
+
+TEST(Fr, ModulusMatchesPaperGroupOrder) {
+  EXPECT_EQ(Fr::modulus().to_dec(),
+            "21888242871839275222246405745257275088548364400416034343698204186575808495617");
+}
+
+TEST(Fr, FromBeBytesModReducesConsistently) {
+  // 2^256 - 1 mod r, cross-checked with VarUInt.
+  std::array<std::uint8_t, 32> all_ff;
+  all_ff.fill(0xff);
+  Fr got = Fr::from_be_bytes_mod(all_ff);
+  VarUInt v = VarUInt{1}.shl(256) - VarUInt{1};
+  VarUInt expect = VarUInt::divmod(v, VarUInt{Fr::modulus()}).second;
+  EXPECT_EQ(VarUInt{got.to_u256()}, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Tower specifics.
+// ---------------------------------------------------------------------------
+
+TEST(Fp2Tower, USquaredIsMinusOne) {
+  Fp2 u{Fp::zero(), Fp::one()};
+  EXPECT_EQ(u.square(), -Fp2::one());
+}
+
+TEST(Fp2Tower, MulByXiMatchesMul) {
+  auto rng = SecureRng::deterministic(29);
+  for (int i = 0; i < 20; ++i) {
+    Fp2 a = Fp2::random(rng);
+    EXPECT_EQ(a.mul_by_xi(), a * xi());
+  }
+}
+
+TEST(Fp2Tower, FrobeniusIsPthPower) {
+  auto rng = SecureRng::deterministic(30);
+  Fp2 a = Fp2::random(rng);
+  Fp2 frob = a.frobenius();
+  Fp2 pth = pow_var(a, VarUInt{Fp::modulus()});
+  EXPECT_EQ(frob, pth);
+}
+
+TEST(Fp6Tower, VCubedIsXi) {
+  Fp6 v{Fp2::zero(), Fp2::one(), Fp2::zero()};
+  Fp6 v3 = v * v * v;
+  EXPECT_EQ(v3, Fp6(xi(), Fp2::zero(), Fp2::zero()));
+}
+
+TEST(Fp6Tower, MulByVMatchesMul) {
+  auto rng = SecureRng::deterministic(31);
+  Fp6 v{Fp2::zero(), Fp2::one(), Fp2::zero()};
+  for (int i = 0; i < 20; ++i) {
+    Fp6 a = Fp6::random(rng);
+    EXPECT_EQ(a.mul_by_v(), a * v);
+  }
+}
+
+TEST(Fp12Tower, WSquaredIsV) {
+  Fp12 w{Fp6::zero(), Fp6::one()};
+  Fp6 v{Fp2::zero(), Fp2::one(), Fp2::zero()};
+  EXPECT_EQ(w.square(), Fp12(v, Fp6::zero()));
+}
+
+TEST(Fp12Tower, FrobeniusIsPthPower) {
+  auto rng = SecureRng::deterministic(32);
+  Fp12 a = Fp12::random(rng);
+  EXPECT_EQ(a.frobenius(), pow_var(a, VarUInt{Fp::modulus()}));
+}
+
+TEST(Fp12Tower, FrobeniusOrderTwelve) {
+  auto rng = SecureRng::deterministic(33);
+  Fp12 a = Fp12::random(rng);
+  EXPECT_EQ(a.frobenius_pow(12), a);
+  EXPECT_NE(a.frobenius_pow(6), a);  // overwhelming probability for random a
+  EXPECT_EQ(a.frobenius_pow(6), Fp12(a.c0, -a.c1));  // p^6 Frobenius == conjugate
+}
+
+TEST(Fp12Tower, PowHomomorphism) {
+  auto rng = SecureRng::deterministic(34);
+  Fp12 a = Fp12::random(rng);
+  EXPECT_EQ(a.pow_u64(3) * a.pow_u64(5), a.pow_u64(8));
+  EXPECT_EQ(a.pow_u64(0), Fp12::one());
+  U256 e1{123456789}, e2{987654321};
+  U256 sum;
+  bigint::add_with_carry(e1, e2, sum);
+  EXPECT_EQ(a.pow_u256(e1) * a.pow_u256(e2), a.pow_u256(sum));
+}
+
+// ---------------------------------------------------------------------------
+// Square roots in extensions.
+// ---------------------------------------------------------------------------
+
+TEST(Sqrt, Fp2RoundTrip) {
+  auto rng = SecureRng::deterministic(35);
+  int residues = 0;
+  for (int i = 0; i < 10; ++i) {
+    Fp2 a = Fp2::random(rng);
+    Fp2 sq = a.square();
+    auto root = sqrt(sq);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == -a);
+    if (sqrt(a).has_value()) ++residues;
+  }
+  // Roughly half of random elements are squares; just ensure both kinds occur.
+  EXPECT_GT(residues, 0);
+  EXPECT_LT(residues, 10);
+}
+
+TEST(Sqrt, Fp6RoundTrip) {
+  auto rng = SecureRng::deterministic(36);
+  for (int i = 0; i < 4; ++i) {
+    Fp6 a = Fp6::random(rng);
+    Fp6 sq = a.square();
+    auto root = sqrt(sq);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == -a);
+  }
+  EXPECT_EQ(sqrt(Fp6::zero()).value(), Fp6::zero());
+}
+
+TEST(TowerConsts, GammaConsistency) {
+  const auto& tc = tower_consts();
+  // gamma[k] = gamma[1]^k and gamma[1]^6 = xi^{p-1}.
+  EXPECT_EQ(tc.gamma[2], tc.gamma[1] * tc.gamma[1]);
+  EXPECT_EQ(tc.gamma[3], tc.gamma[2] * tc.gamma[1]);
+  Fp2 g6 = tc.gamma[3] * tc.gamma[3];
+  VarUInt pm1 = VarUInt{Fp::modulus()} - VarUInt{1};
+  EXPECT_EQ(g6, pow_var(xi(), pm1));
+}
+
+}  // namespace
+}  // namespace dsaudit::ff

@@ -1,0 +1,100 @@
+// KZG commitment tests: correctness, homomorphism, and soundness smoke tests.
+#include <gtest/gtest.h>
+
+#include "kzg/kzg.hpp"
+
+namespace dsaudit::kzg {
+namespace {
+
+using poly::Polynomial;
+using primitives::SecureRng;
+
+class KzgTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kMaxDegree = 32;
+  void SetUp() override {
+    rng_ = std::make_unique<SecureRng>(SecureRng::deterministic(80));
+    alpha_ = Fr::random(*rng_);
+    srs_ = make_srs(alpha_, kMaxDegree);
+  }
+  std::unique_ptr<SecureRng> rng_;
+  Fr alpha_;
+  Srs srs_;
+};
+
+TEST_F(KzgTest, CommitMatchesDirectExponentiation) {
+  Polynomial p = Polynomial::random(10, *rng_);
+  // C should equal g1^{P(alpha)} — checkable since the test knows alpha.
+  EXPECT_EQ(commit(srs_, p), curve::G1::generator().mul(p.evaluate(alpha_)));
+}
+
+TEST_F(KzgTest, OpenVerifiesAtRandomPoints) {
+  for (std::size_t deg : {0u, 1u, 7u, 32u}) {
+    Polynomial p = Polynomial::random(deg, *rng_);
+    G1 c = commit(srs_, p);
+    Fr r = Fr::random(*rng_);
+    Opening o = open(srs_, p, r);
+    EXPECT_EQ(o.value, p.evaluate(r));
+    EXPECT_TRUE(verify(srs_, c, o)) << "deg=" << deg;
+  }
+}
+
+TEST_F(KzgTest, RejectsWrongValue) {
+  Polynomial p = Polynomial::random(8, *rng_);
+  G1 c = commit(srs_, p);
+  Opening o = open(srs_, p, Fr::from_u64(42));
+  o.value += Fr::one();
+  EXPECT_FALSE(verify(srs_, c, o));
+}
+
+TEST_F(KzgTest, RejectsWrongWitness) {
+  Polynomial p = Polynomial::random(8, *rng_);
+  G1 c = commit(srs_, p);
+  Opening o = open(srs_, p, Fr::from_u64(42));
+  o.witness = o.witness + curve::G1::generator();
+  EXPECT_FALSE(verify(srs_, c, o));
+}
+
+TEST_F(KzgTest, RejectsCommitmentOfDifferentPolynomial) {
+  Polynomial p = Polynomial::random(8, *rng_);
+  Polynomial q = Polynomial::random(8, *rng_);
+  ASSERT_NE(p, q);
+  G1 c_wrong = commit(srs_, q);
+  Opening o = open(srs_, p, Fr::from_u64(7));
+  EXPECT_FALSE(verify(srs_, c_wrong, o));
+}
+
+TEST_F(KzgTest, CommitmentIsHomomorphic) {
+  // commit(P + Q) = commit(P) + commit(Q): the algebraic property the HLA
+  // aggregation in the audit protocol relies on.
+  Polynomial p = Polynomial::random(6, *rng_);
+  Polynomial q = Polynomial::random(9, *rng_);
+  EXPECT_EQ(commit(srs_, p + q), commit(srs_, p) + commit(srs_, q));
+  Fr s = Fr::random(*rng_);
+  EXPECT_EQ(commit(srs_, p.scale(s)), commit(srs_, p).mul(s));
+}
+
+TEST_F(KzgTest, ZeroPolynomialEdgeCases) {
+  EXPECT_TRUE(commit(srs_, Polynomial::zero()).is_infinity());
+  Opening o = open(srs_, Polynomial::zero(), Fr::from_u64(3));
+  EXPECT_TRUE(o.value.is_zero());
+  EXPECT_TRUE(verify(srs_, curve::G1::infinity(), o));
+}
+
+TEST_F(KzgTest, DegreeBoundEnforced) {
+  Polynomial too_big = Polynomial::monomial(kMaxDegree + 1);
+  EXPECT_THROW(commit(srs_, too_big), std::invalid_argument);
+}
+
+TEST_F(KzgTest, OpeningAtAlphaStillVerifies) {
+  // Degenerate-but-legal case: the evaluation point happens to equal alpha.
+  // Then psi commits to Q of the same polynomial and e(..) holds trivially;
+  // the code must not divide by zero.
+  Polynomial p = Polynomial::random(5, *rng_);
+  G1 c = commit(srs_, p);
+  Opening o = open(srs_, p, alpha_);
+  EXPECT_TRUE(verify(srs_, c, o));
+}
+
+}  // namespace
+}  // namespace dsaudit::kzg

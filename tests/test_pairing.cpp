@@ -1,0 +1,122 @@
+// Pairing correctness: bilinearity, non-degeneracy, final-exponentiation
+// cross-check, multi-pairing consistency. These tests gate everything above
+// them — if the pairing is right, the audit protocol's algebra follows.
+#include <gtest/gtest.h>
+
+#include "pairing/pairing.hpp"
+
+namespace dsaudit::pairing {
+namespace {
+
+using ff::Fr;
+using primitives::SecureRng;
+
+TEST(Pairing, NonDegenerate) {
+  Fp12 e = pairing(G1::generator(), G2::generator());
+  EXPECT_FALSE(e.is_one());
+  EXPECT_FALSE(e.is_zero());
+  // Result has order dividing r: e^r == 1.
+  EXPECT_TRUE(e.pow_u256(Fr::modulus()).is_one());
+}
+
+TEST(Pairing, InfinityGivesOne) {
+  auto rng = SecureRng::deterministic(60);
+  EXPECT_TRUE(pairing(G1::infinity(), curve::g2_random(rng)).is_one());
+  EXPECT_TRUE(pairing(curve::g1_random(rng), G2::infinity()).is_one());
+}
+
+TEST(Pairing, BilinearLeft) {
+  auto rng = SecureRng::deterministic(61);
+  G1 p = curve::g1_random(rng);
+  G2 q = curve::g2_random(rng);
+  Fr a = Fr::random(rng);
+  EXPECT_EQ(pairing(p.mul(a), q), pairing(p, q).pow_u256(a.to_u256()));
+}
+
+TEST(Pairing, BilinearRight) {
+  auto rng = SecureRng::deterministic(62);
+  G1 p = curve::g1_random(rng);
+  G2 q = curve::g2_random(rng);
+  Fr b = Fr::random(rng);
+  EXPECT_EQ(pairing(p, q.mul(b)), pairing(p, q).pow_u256(b.to_u256()));
+}
+
+TEST(Pairing, FullBilinearity) {
+  auto rng = SecureRng::deterministic(63);
+  G1 p = curve::g1_random(rng);
+  G2 q = curve::g2_random(rng);
+  Fr a = Fr::random(rng), b = Fr::random(rng);
+  EXPECT_EQ(pairing(p.mul(a), q.mul(b)), pairing(p.mul(b), q.mul(a)));
+  EXPECT_EQ(pairing(p.mul(a), q.mul(b)), pairing(p, q).pow_u256((a * b).to_u256()));
+}
+
+TEST(Pairing, AdditiveInFirstArgument) {
+  auto rng = SecureRng::deterministic(64);
+  G1 p1 = curve::g1_random(rng), p2 = curve::g1_random(rng);
+  G2 q = curve::g2_random(rng);
+  EXPECT_EQ(pairing(p1 + p2, q), pairing(p1, q) * pairing(p2, q));
+}
+
+TEST(Pairing, AdditiveInSecondArgument) {
+  auto rng = SecureRng::deterministic(65);
+  G1 p = curve::g1_random(rng);
+  G2 q1 = curve::g2_random(rng), q2 = curve::g2_random(rng);
+  EXPECT_EQ(pairing(p, q1 + q2), pairing(p, q1) * pairing(p, q2));
+}
+
+TEST(Pairing, InverseRelation) {
+  auto rng = SecureRng::deterministic(66);
+  G1 p = curve::g1_random(rng);
+  G2 q = curve::g2_random(rng);
+  EXPECT_TRUE((pairing(p, q) * pairing(-p, q)).is_one());
+  EXPECT_TRUE((pairing(p, q) * pairing(p, -q)).is_one());
+}
+
+TEST(FinalExp, FastMatchesSlow) {
+  auto rng = SecureRng::deterministic(67);
+  for (int i = 0; i < 3; ++i) {
+    Fp12 f = Fp12::random(rng);
+    if (f.is_zero()) continue;
+    EXPECT_EQ(final_exponentiation(f), final_exponentiation_slow(f));
+  }
+  // And on an actual Miller-loop output.
+  Fp12 m = miller_loop(G1::generator(), G2::generator());
+  EXPECT_EQ(final_exponentiation(m), final_exponentiation_slow(m));
+  EXPECT_THROW(final_exponentiation(Fp12::zero()), std::domain_error);
+}
+
+TEST(MultiPairing, MatchesProductOfPairings) {
+  auto rng = SecureRng::deterministic(68);
+  std::vector<std::pair<G1, G2>> pairs;
+  Fp12 expect = Fp12::one();
+  for (int i = 0; i < 4; ++i) {
+    pairs.emplace_back(curve::g1_random(rng), curve::g2_random(rng));
+    expect *= pairing(pairs.back().first, pairs.back().second);
+  }
+  EXPECT_EQ(multi_pairing(pairs), expect);
+}
+
+TEST(MultiPairing, ProductIsOneDetection) {
+  auto rng = SecureRng::deterministic(69);
+  G1 p = curve::g1_random(rng);
+  G2 q = curve::g2_random(rng);
+  // e(P,Q) * e(-P,Q) = 1, and with a third random pair it is not 1.
+  std::vector<std::pair<G1, G2>> good{{p, q}, {-p, q}};
+  EXPECT_TRUE(pairing_product_is_one(good));
+  std::vector<std::pair<G1, G2>> bad{{p, q}, {-p, q},
+                                     {curve::g1_random(rng), curve::g2_random(rng)}};
+  EXPECT_FALSE(pairing_product_is_one(bad));
+}
+
+TEST(Pairing, KnownExponentPairingIdentity) {
+  // e(aG1, G2) == e(G1, aG2) for several small a — catches scalar/loop-count
+  // mixups that bilinearity with random scalars might mask.
+  for (ff::u64 a : {2ULL, 3ULL, 65537ULL}) {
+    EXPECT_EQ(pairing(G1::generator().mul(Fr::from_u64(a)), G2::generator()),
+              pairing(G1::generator(), G2::generator().mul(Fr::from_u64(a))))
+        << "a=" << a;
+  }
+}
+
+}  // namespace
+}  // namespace dsaudit::pairing

@@ -1,0 +1,144 @@
+// Polynomial arithmetic, interpolation and linear-algebra tests.
+#include <gtest/gtest.h>
+
+#include "poly/polynomial.hpp"
+
+namespace dsaudit::poly {
+namespace {
+
+using primitives::SecureRng;
+
+TEST(Polynomial, EvaluateKnownValues) {
+  // p(x) = 3 + 2x + x^2
+  Polynomial p({Fr::from_u64(3), Fr::from_u64(2), Fr::from_u64(1)});
+  EXPECT_EQ(p.evaluate(Fr::zero()), Fr::from_u64(3));
+  EXPECT_EQ(p.evaluate(Fr::from_u64(1)), Fr::from_u64(6));
+  EXPECT_EQ(p.evaluate(Fr::from_u64(10)), Fr::from_u64(123));
+  EXPECT_EQ(p.degree(), 2u);
+}
+
+TEST(Polynomial, NormalizationStripsLeadingZeros) {
+  Polynomial p({Fr::from_u64(1), Fr::zero(), Fr::zero()});
+  EXPECT_EQ(p.degree(), 0u);
+  EXPECT_EQ(p, Polynomial::constant(Fr::one()));
+  EXPECT_TRUE(Polynomial({Fr::zero()}).is_zero());
+  EXPECT_TRUE(Polynomial::zero().evaluate(Fr::from_u64(7)).is_zero());
+}
+
+TEST(Polynomial, RingAxioms) {
+  auto rng = SecureRng::deterministic(70);
+  for (int i = 0; i < 10; ++i) {
+    Polynomial a = Polynomial::random(5, rng);
+    Polynomial b = Polynomial::random(7, rng);
+    Polynomial c = Polynomial::random(3, rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) - b, a);
+    // Evaluation is a ring homomorphism.
+    Fr x = Fr::random(rng);
+    EXPECT_EQ((a * b).evaluate(x), a.evaluate(x) * b.evaluate(x));
+    EXPECT_EQ((a + b).evaluate(x), a.evaluate(x) + b.evaluate(x));
+  }
+}
+
+TEST(Polynomial, MulDegrees) {
+  auto rng = SecureRng::deterministic(71);
+  Polynomial a = Polynomial::random(4, rng);
+  Polynomial b = Polynomial::random(6, rng);
+  EXPECT_EQ((a * b).degree(), 10u);
+  EXPECT_TRUE((a * Polynomial::zero()).is_zero());
+  EXPECT_EQ(Polynomial::monomial(3).degree(), 3u);
+}
+
+TEST(Polynomial, DivideByLinearIdentity) {
+  auto rng = SecureRng::deterministic(72);
+  for (int i = 0; i < 20; ++i) {
+    Polynomial p = Polynomial::random(10, rng);
+    Fr r = Fr::random(rng);
+    auto [q, rem] = p.divide_by_linear(r);
+    EXPECT_EQ(rem, p.evaluate(r));
+    // P(x) == Q(x)(x - r) + rem
+    Polynomial reconstructed = q * Polynomial({-r, Fr::one()}) +
+                               Polynomial::constant(rem);
+    EXPECT_EQ(reconstructed, p);
+    EXPECT_EQ(q.degree(), 9u);
+  }
+}
+
+TEST(Polynomial, DivideByLinearAtRoot) {
+  // (x - 5)(x + 3) divided by (x - 5) leaves remainder 0.
+  Fr five = Fr::from_u64(5), three = Fr::from_u64(3);
+  Polynomial p = Polynomial({-five, Fr::one()}) * Polynomial({three, Fr::one()});
+  auto [q, rem] = p.divide_by_linear(five);
+  EXPECT_TRUE(rem.is_zero());
+  EXPECT_EQ(q, Polynomial({three, Fr::one()}));
+}
+
+TEST(Interpolation, RecoversPolynomial) {
+  auto rng = SecureRng::deterministic(73);
+  for (std::size_t deg : {0u, 1u, 5u, 20u}) {
+    Polynomial p = Polynomial::random(deg, rng);
+    std::vector<Fr> xs, ys;
+    for (std::size_t i = 0; i <= deg; ++i) {
+      xs.push_back(Fr::from_u64(i + 1));
+      ys.push_back(p.evaluate(xs.back()));
+    }
+    EXPECT_EQ(lagrange_interpolate(xs, ys), p) << "deg=" << deg;
+  }
+}
+
+TEST(Interpolation, FailsOnDuplicateX) {
+  std::vector<Fr> xs{Fr::one(), Fr::one()};
+  std::vector<Fr> ys{Fr::one(), Fr::from_u64(2)};
+  EXPECT_THROW(lagrange_interpolate(xs, ys), std::invalid_argument);
+  std::vector<Fr> short_ys{Fr::one()};
+  EXPECT_THROW(lagrange_interpolate(xs, short_ys), std::invalid_argument);
+}
+
+TEST(Interpolation, UnderdeterminedStaysLowDegree) {
+  // Interpolating s points of a higher-degree polynomial gives the unique
+  // degree < s interpolant — this is why the §V-C adversary needs exactly
+  // s distinct challenge points to pin down P_k.
+  auto rng = SecureRng::deterministic(74);
+  Polynomial p = Polynomial::random(9, rng);
+  std::vector<Fr> xs, ys;
+  for (std::size_t i = 0; i < 5; ++i) {
+    xs.push_back(Fr::from_u64(i + 1));
+    ys.push_back(p.evaluate(xs.back()));
+  }
+  Polynomial wrong = lagrange_interpolate(xs, ys);
+  EXPECT_LE(wrong.degree(), 4u);
+  EXPECT_NE(wrong, p);
+}
+
+TEST(LinearSystem, SolvesRandomSystems) {
+  auto rng = SecureRng::deterministic(75);
+  for (std::size_t n : {1u, 2u, 5u, 20u}) {
+    std::vector<std::vector<Fr>> a(n, std::vector<Fr>(n));
+    std::vector<Fr> x_true(n);
+    for (auto& xi : x_true) xi = Fr::random(rng);
+    for (auto& row : a) {
+      for (auto& v : row) v = Fr::random(rng);
+    }
+    std::vector<Fr> b(n, Fr::zero());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a[i][j] * x_true[j];
+    }
+    auto x = solve_linear_system(a, b);
+    ASSERT_EQ(x.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], x_true[i]);
+  }
+}
+
+TEST(LinearSystem, DetectsSingular) {
+  // Two identical rows.
+  std::vector<std::vector<Fr>> a{{Fr::one(), Fr::one()}, {Fr::one(), Fr::one()}};
+  std::vector<Fr> b{Fr::one(), Fr::one()};
+  EXPECT_TRUE(solve_linear_system(a, b).empty());
+  std::vector<Fr> bad_b{Fr::one()};
+  EXPECT_THROW(solve_linear_system(a, bad_b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsaudit::poly

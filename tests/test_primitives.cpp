@@ -1,0 +1,183 @@
+// Tests for hashes, cipher, RNG and the challenge-expansion PRP/PRF.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "primitives/chacha20.hpp"
+#include "primitives/keccak256.hpp"
+#include "primitives/prp.hpp"
+#include "primitives/random.hpp"
+#include "primitives/sha256.hpp"
+
+namespace dsaudit::primitives {
+namespace {
+
+std::string to_hex(std::span<const std::uint8_t> d) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (auto b : d) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  auto oneshot = Sha256::hash(data);
+  for (std::size_t split : {1u, 63u, 64u, 65u, 500u, 999u}) {
+    Sha256 h;
+    h.update(std::span(data).first(split));
+    h.update(std::span(data).subspan(split));
+    EXPECT_EQ(h.finalize(), oneshot) << "split=" << split;
+  }
+}
+
+TEST(Sha256, MillionA) {
+  // FIPS 180-4 long-message vector.
+  Sha256 h;
+  std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacSha256, Rfc4231Vector1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  std::string msg = "Hi There";
+  auto mac = hmac_sha256(key, std::span<const std::uint8_t>(
+                                  reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                  msg.size()));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Keccak256, EthereumVectors) {
+  // Keccak-256 of the empty string is Ethereum's well-known constant.
+  EXPECT_EQ(to_hex(Keccak256::hash("")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+  EXPECT_EQ(to_hex(Keccak256::hash("abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(500);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  auto oneshot = Keccak256::hash(data);
+  Keccak256 h;
+  h.update(std::span(data).first(136));
+  h.update(std::span(data).subspan(136, 1));
+  h.update(std::span(data).subspan(137));
+  EXPECT_EQ(h.finalize(), oneshot);
+}
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 §2.4.2 test vector: keystream for the canonical key/nonce.
+  std::array<std::uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 12> nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20 c(key, nonce, 1);
+  auto ks = c.keystream(16);
+  EXPECT_EQ(to_hex(ks), "224f51f3401bd9e12fde276fb8631ded");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = 0xaa;
+  std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> plain(1777);
+  for (std::size_t i = 0; i < plain.size(); ++i) plain[i] = static_cast<std::uint8_t>(i * 3);
+  std::vector<std::uint8_t> buf = plain;
+  ChaCha20(key, nonce, 0).crypt(buf);
+  EXPECT_NE(buf, plain);
+  ChaCha20(key, nonce, 0).crypt(buf);
+  EXPECT_EQ(buf, plain);
+}
+
+TEST(SecureRng, DeterministicIsReproducible) {
+  auto a = SecureRng::deterministic(42);
+  auto b = SecureRng::deterministic(42);
+  auto c = SecureRng::deterministic(43);
+  EXPECT_EQ(a.bytes32(), b.bytes32());
+  EXPECT_NE(SecureRng::deterministic(42).bytes32(), c.bytes32());
+}
+
+TEST(SecureRng, UniformBounds) {
+  auto rng = SecureRng::deterministic(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(FeistelPrp, IsPermutation) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = 1;
+  for (std::uint64_t domain : {2ULL, 10ULL, 100ULL, 1000ULL, 4096ULL}) {
+    FeistelPrp prp(key, domain);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t x = 0; x < domain; ++x) {
+      std::uint64_t y = prp.permute(x);
+      EXPECT_LT(y, domain);
+      EXPECT_TRUE(seen.insert(y).second) << "collision in domain " << domain;
+    }
+  }
+}
+
+TEST(FeistelPrp, KeyDependence) {
+  std::array<std::uint8_t, 32> k1{}, k2{};
+  k2[0] = 1;
+  FeistelPrp p1(k1, 1000), p2(k2, 1000);
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (p1.permute(x) != p2.permute(x)) ++differing;
+  }
+  EXPECT_GT(differing, 900);  // different keys give (almost) disjoint behaviour
+}
+
+TEST(FeistelPrp, RejectsOutOfDomain) {
+  std::array<std::uint8_t, 32> key{};
+  FeistelPrp prp(key, 100);
+  EXPECT_THROW(prp.permute(100), std::out_of_range);
+  EXPECT_THROW(FeistelPrp(key, 1), std::invalid_argument);
+}
+
+TEST(ChallengeIndices, DistinctAndInRange) {
+  std::array<std::uint8_t, 32> c1{};
+  c1[5] = 0x77;
+  auto idx = challenge_indices(c1, 1000, 300);
+  EXPECT_EQ(idx.size(), 300u);
+  std::set<std::uint64_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 300u);
+  EXPECT_LT(*std::max_element(idx.begin(), idx.end()), 1000u);
+}
+
+TEST(ChallengeIndices, ClampsToDomain) {
+  std::array<std::uint8_t, 32> c1{};
+  auto idx = challenge_indices(c1, 5, 300);
+  EXPECT_EQ(idx.size(), 5u);
+  auto one = challenge_indices(c1, 1, 300);
+  EXPECT_EQ(one, std::vector<std::uint64_t>{0});
+  EXPECT_THROW(challenge_indices(c1, 0, 1), std::invalid_argument);
+}
+
+TEST(PrfBytes, DeterministicAndCounterSensitive) {
+  std::array<std::uint8_t, 32> c2{};
+  c2[0] = 9;
+  EXPECT_EQ(prf_bytes(c2, 0), prf_bytes(c2, 0));
+  EXPECT_NE(prf_bytes(c2, 0), prf_bytes(c2, 1));
+}
+
+}  // namespace
+}  // namespace dsaudit::primitives

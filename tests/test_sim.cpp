@@ -1,0 +1,151 @@
+// Network-simulation tests: population-scale behaviour of the full system —
+// audit outcomes, money conservation, chain growth, failure recovery.
+#include <gtest/gtest.h>
+
+#include "sim/network_sim.hpp"
+
+namespace dsaudit::sim {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig c;
+  c.num_owners = 4;
+  c.num_providers = 5;
+  c.file_bytes = 1200;
+  c.s = 5;
+  c.erasure_data = 2;
+  c.erasure_parity = 1;
+  c.num_audits = 3;
+  c.challenged_chunks = 999;  // challenge every chunk: deterministic outcomes
+  c.private_proofs = true;
+  return c;
+}
+
+TEST(NetworkSim, AllHonestEveryAuditPasses) {
+  NetworkSim net(small_config());
+  net.deploy();
+  net.run_to_completion();
+  auto st = net.stats();
+  // 4 owners x 3 shards x 3 audits.
+  EXPECT_EQ(st.total_rounds, 4u * 3u * 3u);
+  EXPECT_EQ(st.passes, st.total_rounds);
+  EXPECT_EQ(st.fails, 0u);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_GT(st.total_gas, 0u);
+  EXPECT_GT(st.chain_bytes, 0u);
+  for (std::size_t o = 0; o < 4; ++o) EXPECT_TRUE(net.owner_can_recover(o));
+}
+
+TEST(NetworkSim, MoneyIsConserved) {
+  NetworkSim net(small_config());
+  net.deploy();
+  std::uint64_t before = net.total_money();
+  net.run_to_completion();
+  EXPECT_EQ(net.total_money(), before);
+}
+
+TEST(NetworkSim, DataDroppingProviderIsCaughtAndSlashed) {
+  NetworkConfig c = small_config();
+  NetworkSim net(c);
+  net.set_behavior("provider-0", ProviderBehavior::DropsData);
+  net.deploy();
+  // Balance snapshot is post-freeze: the collateral is already escrowed.
+  std::uint64_t post_freeze = net.balance("provider-0");
+  net.run_to_completion();
+  auto st = net.stats();
+  // provider-0's contracts fail every round (all chunks challenged); others
+  // pass.
+  auto bad_contracts = net.contracts_of("provider-0");
+  std::uint64_t expected_fails = 0;
+  for (const auto* ctr : bad_contracts) {
+    EXPECT_EQ(ctr->fails(), c.num_audits);
+    expected_fails += ctr->fails();
+  }
+  EXPECT_EQ(st.fails, expected_fails);
+  if (!bad_contracts.empty()) {
+    // All rounds failed: no rewards earned and no collateral returned, so the
+    // balance stays at the post-freeze floor — strictly below what honesty
+    // would have paid out.
+    std::uint64_t if_honest =
+        post_freeze + bad_contracts.size() * c.num_audits *
+                          (c.reward_per_audit + c.penalty_per_fail);
+    EXPECT_EQ(net.balance("provider-0"), post_freeze);
+    EXPECT_LT(net.balance("provider-0"), if_honest);
+  }
+  EXPECT_EQ(st.passes + st.fails, st.total_rounds);
+}
+
+TEST(NetworkSim, UnresponsiveProviderTimesOutEverywhere) {
+  NetworkSim net(small_config());
+  net.set_behavior("provider-1", ProviderBehavior::Unresponsive);
+  net.deploy();
+  net.run_to_completion();
+  for (const auto* ctr : net.contracts_of("provider-1")) {
+    EXPECT_EQ(ctr->timeouts(), ctr->rounds_completed());
+  }
+}
+
+TEST(NetworkSim, ErasureCodingSurvivesOneBadProvider) {
+  // 2-of-3 coding: losing any single provider's shards must not lose data.
+  NetworkSim net(small_config());
+  net.set_behavior("provider-2", ProviderBehavior::DropsData);
+  net.deploy();
+  net.run_to_completion();
+  for (std::size_t o = 0; o < 4; ++o) {
+    EXPECT_TRUE(net.owner_can_recover(o)) << "owner " << o;
+  }
+}
+
+TEST(NetworkSim, TooManyBadProvidersLosesSomeone) {
+  // With every provider dropping data, recovery must fail.
+  NetworkSim net(small_config());
+  for (int p = 0; p < 5; ++p) {
+    net.set_behavior("provider-" + std::to_string(p), ProviderBehavior::DropsData);
+  }
+  net.deploy();
+  net.run_to_completion();
+  for (std::size_t o = 0; o < 4; ++o) {
+    EXPECT_FALSE(net.owner_can_recover(o));
+  }
+}
+
+TEST(NetworkSim, ChainGrowthScalesWithPopulation) {
+  NetworkConfig small = small_config();
+  small.num_owners = 2;
+  NetworkConfig big = small_config();
+  big.num_owners = 6;
+  NetworkSim a(small), b(big);
+  a.deploy();
+  a.run_to_completion();
+  b.deploy();
+  b.run_to_completion();
+  // 3x the owners => ~3x the audit transactions; block overhead damps the
+  // byte ratio but it must clearly grow.
+  EXPECT_GT(b.stats().total_gas, 2 * a.stats().total_gas);
+  EXPECT_GT(b.stats().chain_bytes, a.stats().chain_bytes);
+}
+
+TEST(NetworkSim, Validation) {
+  NetworkConfig c = small_config();
+  c.num_owners = 0;
+  EXPECT_THROW(NetworkSim{c}, std::invalid_argument);
+  NetworkSim ok(small_config());
+  EXPECT_THROW(ok.run_to_completion(), std::logic_error);  // before deploy
+  ok.deploy();
+  EXPECT_THROW(ok.deploy(), std::logic_error);  // double deploy
+  EXPECT_THROW(ok.set_behavior("provider-0", ProviderBehavior::Honest),
+               std::logic_error);  // after deploy
+}
+
+TEST(NetworkSim, NonPrivateModeAlsoRuns) {
+  NetworkConfig c = small_config();
+  c.private_proofs = false;
+  c.num_owners = 2;
+  NetworkSim net(c);
+  net.deploy();
+  net.run_to_completion();
+  EXPECT_EQ(net.stats().passes, net.stats().total_rounds);
+}
+
+}  // namespace
+}  // namespace dsaudit::sim
