@@ -52,6 +52,24 @@ void BM_G1ScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_G1ScalarMul);
 
+void BM_G1ScalarMulNaive(benchmark::State& state) {
+  curve::G1 p = curve::g1_random(rng());
+  ff::Fr k = ff::Fr::random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul_naive(k));
+  }
+}
+BENCHMARK(BM_G1ScalarMulNaive);
+
+void BM_G1FixedBaseMul(benchmark::State& state) {
+  curve::g1_generator_table();  // build outside the timed region
+  ff::Fr k = ff::Fr::random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::g1_mul_generator(k));
+  }
+}
+BENCHMARK(BM_G1FixedBaseMul);
+
 void BM_HashToG1(benchmark::State& state) {
   std::uint64_t ctr = 0;
   for (auto _ : state) {
@@ -72,7 +90,7 @@ void BM_MsmG1(benchmark::State& state) {
     benchmark::DoNotOptimize(curve::msm<curve::G1>(pts, sc));
   }
 }
-BENCHMARK(BM_MsmG1)->Arg(50)->Arg(300)->Arg(1000);
+BENCHMARK(BM_MsmG1)->Arg(50)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_Pairing(benchmark::State& state) {
   curve::G1 p = curve::g1_random(rng());
@@ -94,14 +112,47 @@ void BM_MultiPairing4(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiPairing4);
 
+kzg::Srs& srs4096() {
+  static kzg::Srs srs = kzg::make_srs(ff::Fr::random(rng()), 4096);
+  return srs;
+}
+
+void BM_MakeSrs(benchmark::State& state) {
+  ff::Fr alpha = ff::Fr::random(rng());
+  std::size_t deg = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kzg::make_srs(alpha, deg));
+  }
+}
+BENCHMARK(BM_MakeSrs)->Arg(256)->Arg(4096);
+
+/// Commit through the cold MSM path (no prepared key).
 void BM_KzgCommit(benchmark::State& state) {
-  static kzg::Srs srs = kzg::make_srs(ff::Fr::random(rng()), 256);
-  poly::Polynomial p = poly::Polynomial::random(256, rng());
+  std::size_t deg = static_cast<std::size_t>(state.range(0));
+  static kzg::Srs srs256 = kzg::make_srs(ff::Fr::random(rng()), 256);
+  kzg::Srs& srs = deg <= 256 ? srs256 : srs4096();
+  poly::Polynomial p = poly::Polynomial::random(deg, rng());
   for (auto _ : state) {
     benchmark::DoNotOptimize(kzg::commit(srs, p));
   }
 }
-BENCHMARK(BM_KzgCommit);
+BENCHMARK(BM_KzgCommit)->Arg(256)->Arg(4096);
+
+/// Commit with Srs::prepare()'s shifted-base key (the production path for
+/// anything that commits more than a handful of times).
+void BM_KzgCommitPrepared(benchmark::State& state) {
+  static kzg::Srs srs = [] {
+    kzg::Srs s = srs4096();
+    s.prepare();
+    return s;
+  }();
+  std::size_t deg = static_cast<std::size_t>(state.range(0));
+  poly::Polynomial p = poly::Polynomial::random(deg, rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kzg::commit(srs, p));
+  }
+}
+BENCHMARK(BM_KzgCommitPrepared)->Arg(256)->Arg(4096);
 
 struct ProveFixture {
   benchutil::Scenario sc;

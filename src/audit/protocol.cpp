@@ -33,8 +33,8 @@ KeyPair keygen(std::size_t s, primitives::SecureRng& rng) {
   while (kp.sk.alpha.is_zero()) kp.sk.alpha = Fr::random(rng);
 
   kp.pk.s = s;
-  kp.pk.epsilon = G2::generator().mul(kp.sk.x);
-  kp.pk.delta = G2::generator().mul(kp.sk.alpha * kp.sk.x);
+  kp.pk.epsilon = curve::g2_mul_generator(kp.sk.x);
+  kp.pk.delta = curve::g2_mul_generator(kp.sk.alpha * kp.sk.x);
   // Powers g1^{alpha^j}: j = 0..s-2 suffice for the prover's quotient
   // commitment (degree <= s-2). For s = 1 we still publish g1 (= alpha^0)
   // so the tag-acceptance check has a base point.
@@ -42,7 +42,7 @@ KeyPair keygen(std::size_t s, primitives::SecureRng& rng) {
   kp.pk.g1_alpha_powers.reserve(count);
   Fr power = Fr::one();
   for (std::size_t j = 0; j < count; ++j) {
-    kp.pk.g1_alpha_powers.push_back(G1::generator().mul(power));
+    kp.pk.g1_alpha_powers.push_back(curve::g1_mul_generator(power));
     power *= kp.sk.alpha;
   }
   kp.pk.e_g1_epsilon = pairing::pairing(G1::generator(), kp.pk.epsilon);
@@ -71,7 +71,7 @@ FileTag generate_tags(const SecretKey& sk, const PublicKey& pk,
       }
       // sigma_i = (g1^{M_i(alpha)} * H(name||i))^x
       //         = g1^{x * M_i(alpha)} + [x] H(name||i).
-      G1 data_part = G1::generator().mul(m_alpha * sk.x);
+      G1 data_part = curve::g1_mul_generator(m_alpha * sk.x);
       G1 index_part = chunk_hash(name, i).mul(sk.x);
       tag.sigmas[i] = data_part + index_part;
     }
@@ -233,7 +233,7 @@ bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
   //   e(sigma, g2) * e(-(y g1 + chi), eps) * e(-psi, delta * eps^{-r}) == 1
   std::vector<std::pair<G1, G2>> pairs{
       {proof.sigma, G2::generator()},
-      {-(G1::generator().mul(proof.y) + chi), pk.epsilon},
+      {-(curve::g1_mul_generator(proof.y) + chi), pk.epsilon},
       {-proof.psi, delta_minus_r(pk, chal.r)},
   };
   return pairing::pairing_product_is_one(pairs);
@@ -251,7 +251,7 @@ bool verify_private(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
   //     * e(-zeta psi, delta * eps^{-r}) == R^{-1}
   std::vector<std::pair<G1, G2>> pairs{
       {proof.sigma.mul(zeta), G2::generator()},
-      {-(G1::generator().mul(proof.y_prime) + chi.mul(zeta)), pk.epsilon},
+      {-(curve::g1_mul_generator(proof.y_prime) + chi.mul(zeta)), pk.epsilon},
       {-(proof.psi.mul(zeta)), delta_minus_r(pk, chal.r)},
   };
   Fp12 lhs = pairing::multi_pairing(pairs);
@@ -275,7 +275,7 @@ bool verify_batch(const PublicKey& pk, std::span<const BasicInstance> instances,
     ExpandedChallenge ex = expand_challenge(inst.challenge, inst.num_chunks);
     G1 chi = compute_chi(inst.name, ex);
     sigma_agg += inst.proof.sigma.mul(rho);
-    eps_agg += (G1::generator().mul(inst.proof.y) + chi).mul(rho);
+    eps_agg += (curve::g1_mul_generator(inst.proof.y) + chi).mul(rho);
     pairs.emplace_back(-(inst.proof.psi.mul(rho)),
                        delta_minus_r(pk, inst.challenge.r));
   }

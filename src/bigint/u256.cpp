@@ -101,79 +101,6 @@ unsigned U256::bit_length() const {
   return 0;
 }
 
-int cmp(const U256& a, const U256& b) {
-  for (int i = 3; i >= 0; --i) {
-    if (a.limb[i] < b.limb[i]) return -1;
-    if (a.limb[i] > b.limb[i]) return 1;
-  }
-  return 0;
-}
-
-bool lt(const U256& a, const U256& b) { return cmp(a, b) < 0; }
-bool lte(const U256& a, const U256& b) { return cmp(a, b) <= 0; }
-
-u64 add_with_carry(const U256& a, const U256& b, U256& out) {
-  u128 carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    u128 v = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
-    out.limb[i] = static_cast<u64>(v);
-    carry = v >> 64;
-  }
-  return static_cast<u64>(carry);
-}
-
-u64 sub_with_borrow(const U256& a, const U256& b, U256& out) {
-  u128 borrow = 0;
-  for (int i = 0; i < 4; ++i) {
-    u128 v = static_cast<u128>(a.limb[i]) - b.limb[i] - borrow;
-    out.limb[i] = static_cast<u64>(v);
-    borrow = (v >> 64) & 1;  // two's-complement borrow propagates in bit 64
-  }
-  return static_cast<u64>(borrow);
-}
-
-U256 add_mod(const U256& a, const U256& b, const U256& m) {
-  U256 sum;
-  u64 carry = add_with_carry(a, b, sum);
-  if (carry || !lt(sum, m)) {
-    U256 reduced;
-    sub_with_borrow(sum, m, reduced);
-    return reduced;
-  }
-  return sum;
-}
-
-U256 sub_mod(const U256& a, const U256& b, const U256& m) {
-  U256 diff;
-  u64 borrow = sub_with_borrow(a, b, diff);
-  if (borrow) {
-    U256 fixed;
-    add_with_carry(diff, m, fixed);
-    return fixed;
-  }
-  return diff;
-}
-
-U256 shl1(const U256& a) {
-  U256 r;
-  u64 carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    r.limb[i] = (a.limb[i] << 1) | carry;
-    carry = a.limb[i] >> 63;
-  }
-  return r;
-}
-
-U256 shr1(const U256& a) {
-  U256 r;
-  u64 carry = 0;
-  for (int i = 3; i >= 0; --i) {
-    r.limb[i] = (a.limb[i] >> 1) | (carry << 63);
-    carry = a.limb[i] & 1;
-  }
-  return r;
-}
-
 U512 mul_wide(const U256& a, const U256& b) {
   U512 r;
   for (int i = 0; i < 4; ++i) {

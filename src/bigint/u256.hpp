@@ -48,29 +48,109 @@ struct U256 {
   bool is_zero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
   bool is_odd() const { return limb[0] & 1; }
   bool bit(unsigned i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+
+  /// Bits [bit_offset, bit_offset + width) as an integer, width <= 64. Bits
+  /// at or past 256 read as zero, so callers can scan fixed-width windows off
+  /// the top without clamping. This is the MSM window-digit extractor: one
+  /// shift (or two, straddling a limb boundary) instead of `width` bit()
+  /// probes.
+  u64 extract_window(unsigned bit_offset, unsigned width) const {
+    if (bit_offset >= 256 || width == 0) return 0;
+    unsigned idx = bit_offset / 64;
+    unsigned shift = bit_offset % 64;
+    u64 v = limb[idx] >> shift;
+    if (shift != 0 && idx + 1 < 4) v |= limb[idx + 1] << (64 - shift);
+    u64 mask = width >= 64 ? ~u64{0} : (u64{1} << width) - 1;
+    return v & mask;
+  }
+
   /// Number of significant bits (0 for zero).
   unsigned bit_length() const;
 
   friend bool operator==(const U256& a, const U256& b) = default;
 };
 
+// The carry/borrow/compare/shift primitives below are the inner loop of every
+// Montgomery field operation, so they live in the header where they inline
+// into call sites (measurably faster than out-of-line calls for 4-limb work).
+
+inline int cmp(const U256& a, const U256& b) {  // -1, 0, +1
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) return -1;
+    if (a.limb[i] > b.limb[i]) return 1;
+  }
+  return 0;
+}
+
 /// a < b, a <= b as unsigned 256-bit integers.
-bool lt(const U256& a, const U256& b);
-bool lte(const U256& a, const U256& b);
-int cmp(const U256& a, const U256& b);  // -1, 0, +1
+inline bool lt(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+inline bool lte(const U256& a, const U256& b) { return cmp(a, b) <= 0; }
 
 /// out = a + b; returns carry-out (0 or 1).
-u64 add_with_carry(const U256& a, const U256& b, U256& out);
+inline u64 add_with_carry(const U256& a, const U256& b, U256& out) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 v = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<u64>(v);
+    carry = v >> 64;
+  }
+  return static_cast<u64>(carry);
+}
+
 /// out = a - b; returns borrow-out (0 or 1).
-u64 sub_with_borrow(const U256& a, const U256& b, U256& out);
+inline u64 sub_with_borrow(const U256& a, const U256& b, U256& out) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 v = static_cast<u128>(a.limb[i]) - b.limb[i] - borrow;
+    out.limb[i] = static_cast<u64>(v);
+    borrow = (v >> 64) & 1;  // two's-complement borrow propagates in bit 64
+  }
+  return static_cast<u64>(borrow);
+}
 
 /// (a + b) mod m; requires a, b < m.
-U256 add_mod(const U256& a, const U256& b, const U256& m);
-/// (a - b) mod m; requires a, b < m.
-U256 sub_mod(const U256& a, const U256& b, const U256& m);
+inline U256 add_mod(const U256& a, const U256& b, const U256& m) {
+  U256 sum;
+  u64 carry = add_with_carry(a, b, sum);
+  if (carry || !lt(sum, m)) {
+    U256 reduced;
+    sub_with_borrow(sum, m, reduced);
+    return reduced;
+  }
+  return sum;
+}
 
-U256 shl1(const U256& a);  // a << 1 (mod 2^256)
-U256 shr1(const U256& a);  // a >> 1
+/// (a - b) mod m; requires a, b < m.
+inline U256 sub_mod(const U256& a, const U256& b, const U256& m) {
+  U256 diff;
+  u64 borrow = sub_with_borrow(a, b, diff);
+  if (borrow) {
+    U256 fixed;
+    add_with_carry(diff, m, fixed);
+    return fixed;
+  }
+  return diff;
+}
+
+inline U256 shl1(const U256& a) {  // a << 1 (mod 2^256)
+  U256 r;
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    r.limb[i] = (a.limb[i] << 1) | carry;
+    carry = a.limb[i] >> 63;
+  }
+  return r;
+}
+
+inline U256 shr1(const U256& a) {  // a >> 1
+  U256 r;
+  u64 carry = 0;
+  for (int i = 3; i >= 0; --i) {
+    r.limb[i] = (a.limb[i] >> 1) | (carry << 63);
+    carry = a.limb[i] & 1;
+  }
+  return r;
+}
 
 /// 512-bit unsigned integer, little-endian limbs.
 struct U512 {

@@ -1,0 +1,65 @@
+// Fixed-base scalar multiplication via precomputed window tables.
+//
+// For a base point B fixed for the lifetime of the process (the G1/G2
+// generators here), store d * 2^{w*i} * B for every w-bit window position i
+// and every digit d = 1..2^w-1, batch-normalized to affine. A scalar
+// multiplication is then ceil(256/w) mixed additions and *zero* doublings —
+// ~15x faster than the generic wNAF ladder at w = 8, for ~0.5 MB per G1
+// table. make_srs, kzg::verify and the audit protocol's generator
+// multiplications all sit on this.
+#pragma once
+
+#include "curve/point.hpp"
+
+namespace dsaudit::curve {
+
+template <typename P>
+class FixedBaseTable {
+ public:
+  using Affine = typename P::Affine;
+
+  /// Builds the table: (2^width - 1) * ceil(256/width) precomputed points,
+  /// one group addition each, normalized to affine with a single inversion.
+  explicit FixedBaseTable(const P& base, unsigned width = 8) : width_(width) {
+    if (width_ == 0 || width_ > 16) {
+      throw std::invalid_argument("FixedBaseTable: width out of range");
+    }
+    // Cover all 256 scalar bits so any canonical U256 is valid, even though
+    // Fr scalars stop at 254 — the top windows just stay unused.
+    windows_ = (256 + width_ - 1) / width_;
+    per_window_ = (std::size_t{1} << width_) - 1;
+    std::vector<P> jac;
+    jac.reserve(windows_ * per_window_);
+    P window_base = base;  // 2^{width*i} * B
+    for (unsigned i = 0; i < windows_; ++i) {
+      P acc = window_base;
+      for (std::size_t d = 1; d <= per_window_; ++d) {
+        jac.push_back(acc);      // acc == d * window_base
+        acc += window_base;
+      }
+      window_base = acc;  // (2^width) * previous window base
+    }
+    table_ = P::batch_to_affine(jac);
+  }
+
+  /// k * base, one mixed addition per nonzero window digit.
+  P mul(const U256& k) const {
+    P acc = P::infinity();
+    for (unsigned i = 0; i < windows_; ++i) {
+      bigint::u64 d = k.extract_window(i * width_, width_);
+      if (d != 0) acc = acc.mixed_add(table_[i * per_window_ + d - 1]);
+    }
+    return acc;
+  }
+  P mul(const Fr& k) const { return mul(k.to_u256()); }
+
+  unsigned width() const { return width_; }
+
+ private:
+  unsigned width_;
+  unsigned windows_;
+  std::size_t per_window_;
+  std::vector<Affine> table_;
+};
+
+}  // namespace dsaudit::curve

@@ -14,8 +14,15 @@ const G1& G1Tag::generator() {
   return g;
 }
 
+const FixedBaseTable<G1>& g1_generator_table() {
+  static const FixedBaseTable<G1> table(G1::generator());
+  return table;
+}
+
+G1 g1_mul_generator(const ff::Fr& k) { return g1_generator_table().mul(k); }
+
 G1 g1_random(primitives::SecureRng& rng) {
-  return G1::generator().mul(Fr::random(rng));
+  return g1_mul_generator(Fr::random(rng));
 }
 
 G1 hash_to_g1(std::span<const std::uint8_t> data) {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string_view>
 
+#include "curve/fixed_base.hpp"
 #include "curve/point.hpp"
 #include "field/fp.hpp"
 
@@ -23,6 +24,11 @@ struct G1Tag {
 };
 
 using G1 = Point<Fp, G1Tag>;
+
+/// Process-wide fixed-base window table for the G1 generator (built lazily,
+/// thread-safe). Use g1_mul_generator for k * g1 on any hot path.
+const FixedBaseTable<G1>& g1_generator_table();
+G1 g1_mul_generator(const ff::Fr& k);
 
 /// Uniform-enough random group element (random scalar times the generator).
 G1 g1_random(primitives::SecureRng& rng);

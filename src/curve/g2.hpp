@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "curve/fixed_base.hpp"
 #include "curve/point.hpp"
 #include "field/fp2.hpp"
 
@@ -19,6 +20,11 @@ struct G2Tag {
 };
 
 using G2 = Point<Fp2, G2Tag>;
+
+/// Process-wide fixed-base window table for the G2 generator (built lazily,
+/// thread-safe). Use g2_mul_generator for k * g2 on any hot path.
+const FixedBaseTable<G2>& g2_generator_table();
+G2 g2_mul_generator(const ff::Fr& k);
 
 G2 g2_random(primitives::SecureRng& rng);
 

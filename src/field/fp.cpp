@@ -20,6 +20,7 @@ MontParams make_mont_params(const U256& modulus) {
   P.r2_mod = VarUInt::divmod(r * r, m).second.to_u256();
   P.r3_mod = VarUInt::divmod(r * r * r, m).second.to_u256();
   P.n0_inv = bigint::mont_n0_inv(modulus);
+  P.no_carry = modulus.limb[3] < (u64{1} << 62);
   U256 one{1};
   bigint::sub_with_borrow(modulus, one, P.p_minus_2);
   bigint::sub_with_borrow(P.p_minus_2, one, P.p_minus_2);
@@ -37,7 +38,7 @@ MontParams make_mont_params(const U256& modulus) {
 
 namespace detail {
 
-U256 mont_mul(const U256& a, const U256& b, const MontParams& P) {
+U256 mont_mul_generic(const U256& a, const U256& b, const MontParams& P) {
   using bigint::u128;
   u64 t[5] = {0, 0, 0, 0, 0};
   for (int i = 0; i < 4; ++i) {

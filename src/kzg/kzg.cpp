@@ -9,14 +9,23 @@ namespace dsaudit::kzg {
 Srs make_srs(const Fr& alpha, std::size_t max_degree) {
   Srs srs;
   srs.g1_powers.reserve(max_degree + 1);
+  // Every SRS power is a multiple of the fixed generator, so each one is a
+  // handful of mixed additions against the cached window table instead of a
+  // full double-and-add ladder.
   Fr power = Fr::one();
   for (std::size_t j = 0; j <= max_degree; ++j) {
-    srs.g1_powers.push_back(G1::generator().mul(power));
+    srs.g1_powers.push_back(curve::g1_mul_generator(power));
     power *= alpha;
   }
   srs.g2 = G2::generator();
-  srs.g2_alpha = G2::generator().mul(alpha);
+  srs.g2_alpha = curve::g2_mul_generator(alpha);
   return srs;
+}
+
+void Srs::prepare() {
+  if (commit_key) return;
+  commit_key = std::make_shared<const curve::MsmBasesTable<G1>>(
+      curve::msm_precompute<G1>(g1_powers));
 }
 
 G1 commit(const Srs& srs, const Polynomial& p) {
@@ -25,6 +34,7 @@ G1 commit(const Srs& srs, const Polynomial& p) {
     throw std::invalid_argument("kzg::commit: polynomial exceeds SRS degree");
   }
   auto coeffs = p.coefficients();
+  if (srs.commit_key) return curve::msm_precomputed(*srs.commit_key, coeffs);
   return curve::msm<G1>(std::span<const G1>(srs.g1_powers.data(), coeffs.size()),
                         coeffs);
 }
@@ -40,8 +50,12 @@ Opening open(const Srs& srs, const Polynomial& p, const Fr& r) {
 
 bool verify(const Srs& srs, const G1& commitment, const Opening& opening) {
   // e(C - [y]g1, g2) * e(-psi, [alpha]g2 - [r]g2) == 1
-  G1 c_minus_y = commitment - G1::generator().mul(opening.value);
-  G2 alpha_minus_r = srs.g2_alpha - srs.g2.mul(opening.point);
+  G1 c_minus_y = commitment - curve::g1_mul_generator(opening.value);
+  // srs.g2 is the group generator by construction (make_srs); the equality
+  // check keeps the fixed-base shortcut honest for hand-built SRS values.
+  G2 r_g2 = srs.g2 == G2::generator() ? curve::g2_mul_generator(opening.point)
+                                      : srs.g2.mul(opening.point);
+  G2 alpha_minus_r = srs.g2_alpha - r_g2;
   std::vector<std::pair<G1, G2>> pairs{
       {c_minus_y, srs.g2},
       {-opening.witness, alpha_minus_r},

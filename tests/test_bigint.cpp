@@ -141,6 +141,36 @@ TEST(U256, MontN0Inv) {
   EXPECT_EQ(m.limb[0] * n0, ~0ULL);
 }
 
+TEST(U256, ExtractWindowMatchesBitLoop) {
+  auto rng = SecureRng::deterministic(15);
+  for (int i = 0; i < 50; ++i) {
+    U256 v = random_u256(rng);
+    for (unsigned width : {1u, 3u, 8u, 13u, 16u, 31u, 64u}) {
+      for (unsigned off = 0; off < 260; off += 7) {
+        u64 expect = 0;
+        for (unsigned b = 0; b < width && off + b < 256; ++b) {
+          if (v.bit(off + b)) expect |= u64{1} << b;
+        }
+        EXPECT_EQ(v.extract_window(off, width), expect)
+            << "off=" << off << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(U256, ExtractWindowEdges) {
+  U256 ones{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  EXPECT_EQ(ones.extract_window(0, 64), ~0ULL);
+  EXPECT_EQ(ones.extract_window(192, 64), ~0ULL);
+  EXPECT_EQ(ones.extract_window(255, 8), 1u);   // bits past 255 read as zero
+  EXPECT_EQ(ones.extract_window(256, 8), 0u);   // fully out of range
+  EXPECT_EQ(ones.extract_window(1000, 4), 0u);
+  EXPECT_EQ(ones.extract_window(10, 0), 0u);    // zero width
+  // Limb-straddling window: bits 60..67 of a value with limb0=2^63, limb1=5.
+  U256 v{u64{1} << 63, 5, 0, 0};
+  EXPECT_EQ(v.extract_window(60, 8), (5u << 4) | 0x8u);
+}
+
 TEST(U256, BitLength) {
   EXPECT_EQ(U256{}.bit_length(), 0u);
   EXPECT_EQ(U256{1}.bit_length(), 1u);

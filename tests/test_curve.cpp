@@ -180,6 +180,121 @@ TEST(G2Frobenius, MatchesScalarP) {
   EXPECT_TRUE(g2_frobenius(G2::infinity()).is_infinity());
 }
 
+// ---------------------------------------------------------------------------
+// Fast-path differential tests: every optimized route must be bit-identical
+// to the retained naive reference.
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(GroupLaw, WnafMulMatchesDoubleAndAdd) {
+  auto rng = SecureRng::deterministic(53);
+  TypeParam p = this->random(rng);
+  // Random scalars plus the adversarial shapes for signed-digit recoding:
+  // all-ones windows, single bits, values near the modulus, and the full
+  // 256-bit range (wNAF must handle the transient overflow past 2^256).
+  std::vector<ff::U256> ks;
+  for (int i = 0; i < 10; ++i) ks.push_back(Fr::random(rng).to_u256());
+  ks.push_back(ff::U256{0});
+  ks.push_back(ff::U256{1});
+  ks.push_back(ff::U256{31});   // 11111b: max-magnitude wNAF digit
+  ks.push_back(ff::U256{0xffffffffffffffffULL, 0xffffffffffffffffULL,
+                        0xffffffffffffffffULL, 0xffffffffffffffffULL});
+  ks.push_back(Fr::modulus());
+  for (unsigned b : {1u, 63u, 64u, 127u, 254u, 255u}) {
+    ff::U256 k;
+    k.limb[b / 64] = std::uint64_t{1} << (b % 64);
+    ks.push_back(k);
+  }
+  for (const auto& k : ks) {
+    EXPECT_EQ(p.mul(k), p.mul_naive(k)) << "k=" << k.to_hex();
+  }
+  EXPECT_TRUE(TypeParam::infinity().mul(ks[0]).is_infinity());
+}
+
+TYPED_TEST(GroupLaw, MixedAddMatchesGeneralAdd) {
+  auto rng = SecureRng::deterministic(54);
+  TypeParam p = this->random(rng);
+  TypeParam q = this->random(rng);
+  auto qa = q.to_affine_point();
+  EXPECT_EQ(p.mixed_add(qa), p + q);
+  // Edge cases: infinity operands, doubling, cancellation.
+  EXPECT_EQ(TypeParam::infinity().mixed_add(qa), q);
+  EXPECT_EQ(p.mixed_add(typename TypeParam::Affine{}), p);
+  EXPECT_EQ(q.mixed_add(qa), q.dbl());
+  EXPECT_TRUE((-q).mixed_add(qa).is_infinity());
+}
+
+TYPED_TEST(GroupLaw, BatchToAffineMatchesElementwise) {
+  auto rng = SecureRng::deterministic(55);
+  std::vector<TypeParam> pts;
+  for (int i = 0; i < 9; ++i) {
+    pts.push_back(this->random(rng));
+    if (i % 3 == 1) pts.push_back(TypeParam::infinity());
+  }
+  auto affs = TypeParam::batch_to_affine(pts);
+  ASSERT_EQ(affs.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(affs[i].is_infinity(), pts[i].is_infinity());
+    EXPECT_EQ(TypeParam::from_affine(affs[i]), pts[i]);
+  }
+}
+
+TEST(FixedBase, MatchesGenericMul) {
+  auto rng = SecureRng::deterministic(56);
+  for (int i = 0; i < 10; ++i) {
+    Fr k = Fr::random(rng);
+    EXPECT_EQ(g1_mul_generator(k), G1::generator().mul_naive(k));
+    EXPECT_EQ(g2_mul_generator(k), G2::generator().mul_naive(k));
+  }
+  EXPECT_TRUE(g1_mul_generator(Fr::zero()).is_infinity());
+  EXPECT_EQ(g1_mul_generator(Fr::one()), G1::generator());
+  EXPECT_TRUE(g2_mul_generator(Fr::zero()).is_infinity());
+  EXPECT_EQ(g2_mul_generator(Fr::one()), G2::generator());
+  // Non-default widths agree too.
+  FixedBaseTable<G1> narrow(G1::generator(), 4);
+  Fr k = Fr::random(rng);
+  EXPECT_EQ(narrow.mul(k), g1_mul_generator(k));
+}
+
+TEST(Msm, DuplicatePointsAndStructuredScalars) {
+  // Duplicate bases with equal scalars force same-bucket doublings and
+  // cancellations through the batched-affine accumulator.
+  auto rng = SecureRng::deterministic(57);
+  G1 p = g1_random(rng);
+  for (std::size_t n : {2u, 5u, 33u, 200u}) {
+    std::vector<G1> pts(n, p);
+    std::vector<Fr> sc(n, Fr::from_u64(7));
+    EXPECT_EQ(msm<G1>(pts, sc), p.mul_naive(ff::U256{7 * n})) << "n=" << n;
+    // Alternating k and -k over the same point cancels to infinity.
+    if (n % 2 == 0) {
+      Fr k = Fr::random(rng);
+      for (std::size_t i = 0; i < n; ++i) sc[i] = i % 2 ? k : -k;
+      EXPECT_TRUE(msm<G1>(pts, sc).is_infinity()) << "n=" << n;
+    }
+  }
+}
+
+TEST(Msm, PrecomputedMatchesCold) {
+  auto rng = SecureRng::deterministic(58);
+  for (std::size_t n : {1u, 2u, 30u, 300u}) {
+    std::vector<G1> pts;
+    std::vector<Fr> sc;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(i % 7 == 3 ? G1::infinity() : g1_random(rng));
+      sc.push_back(i % 5 == 2 ? Fr::zero() : Fr::random(rng));
+    }
+    auto tbl = msm_precompute<G1>(pts);
+    EXPECT_EQ(msm_precomputed(tbl, sc), msm<G1>(pts, sc)) << "n=" << n;
+    // Fewer scalars than table bases commits against a prefix.
+    if (n > 2) {
+      std::span<const Fr> prefix(sc.data(), n - 2);
+      std::span<const G1> ppts(pts.data(), n - 2);
+      EXPECT_EQ(msm_precomputed(tbl, prefix), msm<G1>(ppts, prefix));
+    }
+    std::vector<Fr> too_many(tbl.n + 1, Fr::one());
+    EXPECT_THROW(msm_precomputed(tbl, too_many), std::invalid_argument);
+  }
+}
+
 TEST(Msm, MatchesNaive) {
   auto rng = SecureRng::deterministic(50);
   for (std::size_t n : {1u, 2u, 3u, 17u, 64u, 200u}) {

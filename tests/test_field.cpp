@@ -2,6 +2,7 @@
 // Frobenius maps and Tonelli–Shanks square roots.
 #include <gtest/gtest.h>
 
+#include "field/batch_inverse.hpp"
 #include "field/fp12.hpp"
 #include "field/sqrt.hpp"
 
@@ -241,6 +242,50 @@ TEST(Sqrt, Fp6RoundTrip) {
     EXPECT_TRUE(*root == a || *root == -a);
   }
   EXPECT_EQ(sqrt(Fp6::zero()).value(), Fp6::zero());
+}
+
+// ---------------------------------------------------------------------------
+// batch_inverse (Montgomery's trick) vs. per-element inverse().
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(FieldAxioms, BatchInverseMatchesElementwise) {
+  auto rng = SecureRng::deterministic(27);
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 257u}) {
+    std::vector<TypeParam> xs(n);
+    std::vector<TypeParam> expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = TypeParam::random(rng);
+      expect[i] = xs[i].inverse();
+    }
+    batch_inverse(xs);
+    EXPECT_EQ(xs, expect) << "n=" << n;
+  }
+}
+
+TYPED_TEST(FieldAxioms, BatchInverseSkipsZeros) {
+  auto rng = SecureRng::deterministic(28);
+  // Zeros interleaved at every position pattern, including all-zero.
+  for (int pattern = 0; pattern < 8; ++pattern) {
+    std::vector<TypeParam> xs(3);
+    std::vector<TypeParam> expect(3);
+    for (int i = 0; i < 3; ++i) {
+      xs[i] = (pattern >> i) & 1 ? TypeParam::random(rng) : TypeParam::zero();
+      expect[i] = xs[i].inverse();  // inverse() returns zero for zero
+    }
+    batch_inverse(xs);
+    EXPECT_EQ(xs, expect) << "pattern=" << pattern;
+  }
+}
+
+TEST(BatchInverse, LargeSetSingleInversionIsConsistent) {
+  auto rng = SecureRng::deterministic(29);
+  std::vector<Fp> xs(1000);
+  for (auto& x : xs) x = Fp::random(rng);
+  std::vector<Fp> orig = xs;
+  batch_inverse(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(orig[i] * xs[i], Fp::one());
+  }
 }
 
 TEST(TowerConsts, GammaConsistency) {

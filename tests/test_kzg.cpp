@@ -28,6 +28,28 @@ TEST_F(KzgTest, CommitMatchesDirectExponentiation) {
   EXPECT_EQ(commit(srs_, p), curve::G1::generator().mul(p.evaluate(alpha_)));
 }
 
+TEST_F(KzgTest, PreparedCommitMatchesCold) {
+  // prepare() installs the shifted-base commitment key; commits must be
+  // bit-identical to the cold MSM path on every degree.
+  Srs prepared = srs_;
+  prepared.prepare();
+  ASSERT_NE(prepared.commit_key, nullptr);
+  for (std::size_t deg : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          kMaxDegree}) {
+    Polynomial p = Polynomial::random(deg, *rng_);
+    EXPECT_EQ(commit(prepared, p), commit(srs_, p)) << "deg=" << deg;
+  }
+  // Openings verify against prepared commitments.
+  Polynomial p = Polynomial::random(12, *rng_);
+  auto c = commit(prepared, p);
+  auto o = open(prepared, p, Fr::random(*rng_));
+  EXPECT_TRUE(verify(prepared, c, o));
+  // prepare() is idempotent.
+  auto key = prepared.commit_key;
+  prepared.prepare();
+  EXPECT_EQ(prepared.commit_key, key);
+}
+
 TEST_F(KzgTest, OpenVerifiesAtRandomPoints) {
   for (std::size_t deg : {0u, 1u, 7u, 32u}) {
     Polynomial p = Polynomial::random(deg, *rng_);
