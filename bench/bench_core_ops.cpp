@@ -101,6 +101,42 @@ void BM_Pairing(benchmark::State& state) {
 }
 BENCHMARK(BM_Pairing);
 
+void BM_PairingTextbook(benchmark::State& state) {
+  curve::G1 p = curve::g1_random(rng());
+  curve::G2 q = curve::g2_random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::pairing_textbook(p, q));
+  }
+}
+BENCHMARK(BM_PairingTextbook);
+
+void BM_G2Prepare(benchmark::State& state) {
+  curve::G2 q = curve::g2_random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::G2Prepared(q));
+  }
+}
+BENCHMARK(BM_G2Prepare);
+
+/// Pairing against a cached line table — the per-call cost a prepared
+/// verifier key pays.
+void BM_PairingPrepared(benchmark::State& state) {
+  curve::G1 p = curve::g1_random(rng());
+  pairing::G2Prepared q(curve::g2_random(rng()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::pairing(p, q));
+  }
+}
+BENCHMARK(BM_PairingPrepared);
+
+void BM_FinalExp(benchmark::State& state) {
+  ff::Fp12 m = pairing::miller_loop(curve::g1_random(rng()), curve::g2_random(rng()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::final_exponentiation(m));
+  }
+}
+BENCHMARK(BM_FinalExp);
+
 void BM_MultiPairing4(benchmark::State& state) {
   std::vector<std::pair<curve::G1, curve::G2>> pairs;
   for (int i = 0; i < 4; ++i) {
@@ -111,6 +147,23 @@ void BM_MultiPairing4(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiPairing4);
+
+/// The verification-equation shape: 4 Miller loops over fixed, prepared G2
+/// points, lock-step squarings, one final exponentiation.
+void BM_MultiPairing4Prepared(benchmark::State& state) {
+  std::vector<pairing::G2Prepared> prep;
+  std::vector<curve::G1> g1s;
+  for (int i = 0; i < 4; ++i) {
+    prep.emplace_back(curve::g2_random(rng()));
+    g1s.push_back(curve::g1_random(rng()));
+  }
+  std::vector<pairing::PreparedPair> pairs;
+  for (int i = 0; i < 4; ++i) pairs.push_back({g1s[i], &prep[i]});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::multi_pairing(pairs));
+  }
+}
+BENCHMARK(BM_MultiPairing4Prepared);
 
 kzg::Srs& srs4096() {
   static kzg::Srs srs = kzg::make_srs(ff::Fr::random(rng()), 4096);
@@ -206,6 +259,59 @@ void BM_VerifyPrivate_k300(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VerifyPrivate_k300);
+
+/// The production verifier: G2 line tables prepared once per public key and
+/// the chunk-hash table once per file, amortized over every round (the
+/// contract's steady state).
+void BM_VerifyBasicPrepared_k300(benchmark::State& state) {
+  auto& f = fixture();
+  static audit::Verifier verifier(fixture().sc.kp.pk);
+  static audit::PreparedFile file_ctx =
+      audit::prepare_file(fixture().sc.name, fixture().sc.file.num_chunks());
+  auto proof = f.prover->prove(f.chal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(file_ctx, f.chal, proof));
+  }
+}
+BENCHMARK(BM_VerifyBasicPrepared_k300);
+
+void BM_VerifyPrivatePrepared_k300(benchmark::State& state) {
+  auto& f = fixture();
+  static audit::Verifier verifier(fixture().sc.kp.pk);
+  static audit::PreparedFile file_ctx =
+      audit::prepare_file(fixture().sc.name, fixture().sc.file.num_chunks());
+  auto proof = f.prover->prove_private(f.chal, rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify_private(file_ctx, f.chal, proof));
+  }
+}
+BENCHMARK(BM_VerifyPrivatePrepared_k300);
+
+void BM_KzgVerify(benchmark::State& state) {
+  static kzg::Srs srs = kzg::make_srs(ff::Fr::random(rng()), 256);
+  poly::Polynomial p = poly::Polynomial::random(200, rng());
+  auto c = kzg::commit(srs, p);
+  auto o = kzg::open(srs, p, ff::Fr::random(rng()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kzg::verify(srs, c, o));
+  }
+}
+BENCHMARK(BM_KzgVerify);
+
+void BM_KzgVerifyPrepared(benchmark::State& state) {
+  static kzg::Srs srs = [] {
+    kzg::Srs s = kzg::make_srs(ff::Fr::random(rng()), 256);
+    s.prepare();
+    return s;
+  }();
+  poly::Polynomial p = poly::Polynomial::random(200, rng());
+  auto c = kzg::commit(srs, p);
+  auto o = kzg::open(srs, p, ff::Fr::random(rng()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kzg::verify(srs, c, o));
+  }
+}
+BENCHMARK(BM_KzgVerifyPrepared);
 
 void BM_GtCompress(benchmark::State& state) {
   ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));

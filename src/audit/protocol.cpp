@@ -17,11 +17,6 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// delta * epsilon^{-r} — the G2 element the KZG witness is paired against.
-G2 delta_minus_r(const PublicKey& pk, const Fr& r) {
-  return pk.delta + pk.epsilon.mul(-r);
-}
-
 }  // namespace
 
 KeyPair keygen(std::size_t s, primitives::SecureRng& rng) {
@@ -96,55 +91,18 @@ FileTag generate_tags(const SecretKey& sk, const PublicKey& pk,
 
 bool verify_tags(const PublicKey& pk, const storage::EncodedFile& file,
                  const FileTag& tag) {
-  if (file.s != pk.s || tag.s != pk.s) return false;
-  if (tag.num_chunks != file.num_chunks() || tag.sigmas.size() != tag.num_chunks) {
-    return false;
-  }
-  const std::size_t d = tag.num_chunks;
-  const std::size_t s = pk.s;
-  // Random-weight batch: sum_i rho_i * [check_i] == 0 catches any bad
-  // authenticator except with probability ~1/r. The degree-(s-1) coefficient
-  // has no published g1 power; it is folded through delta = g2^{alpha x}
-  // against g1^{alpha^{s-2}} instead.
-  auto rng = primitives::SecureRng::from_os();
-  std::vector<Fr> rho(d);
-  for (auto& w : rho) w = Fr::random(rng);
-
-  G1 sigma_agg = curve::msm<G1>(tag.sigmas, rho);
-
-  // Weighted low coefficients (paired with epsilon) and, for s >= 2, the
-  // weighted top coefficient (paired with delta).
-  std::size_t low_count = s >= 2 ? s - 1 : 1;
-  std::vector<Fr> low(low_count, Fr::zero());
-  Fr top = Fr::zero();
-  for (std::size_t i = 0; i < d; ++i) {
-    const auto& chunk = file.chunks[i];
-    if (s >= 2) {
-      for (std::size_t j = 0; j + 1 < s; ++j) low[j] += rho[i] * chunk[j];
-      top += rho[i] * chunk[s - 1];
-    } else {
-      low[0] += rho[i] * chunk[0];
-    }
-  }
-  G1 low_pt = curve::msm<G1>(pk.g1_alpha_powers, low);
-  std::vector<G1> hashes(d);
-  for (std::size_t i = 0; i < d; ++i) hashes[i] = chunk_hash(tag.name, i);
-  G1 chi = curve::msm<G1>(hashes, rho);
-
-  std::vector<std::pair<G1, G2>> pairs;
-  pairs.emplace_back(sigma_agg, G2::generator());
-  pairs.emplace_back(-(low_pt + chi), pk.epsilon);
-  if (s >= 2 && !top.is_zero()) {
-    pairs.emplace_back(-(pk.g1_alpha_powers.back().mul(top)), pk.delta);
-  }
-  return pairing::pairing_product_is_one(pairs);
+  return Verifier(pk).verify_tags(file, tag);
 }
 
 Prover::Prover(const PublicKey& pk, const storage::EncodedFile& file,
-               const FileTag& tag)
+               const FileTag& tag, bool prepare_psi)
     : pk_(pk), file_(file), tag_(tag) {
   if (file.s != pk.s || tag.num_chunks != file.num_chunks()) {
     throw std::invalid_argument("Prover: inconsistent pk/file/tag");
+  }
+  if (prepare_psi && pk.g1_alpha_powers.size() >= 2) {
+    psi_key_ = std::make_shared<const curve::MsmBasesTable<G1>>(
+        curve::msm_precompute<G1>(pk.g1_alpha_powers));
   }
 }
 
@@ -180,8 +138,11 @@ Prover::Core Prover::core(const Challenge& chal, ProverTimings* timings) const {
     if (qc.size() > pk_.g1_alpha_powers.size()) {
       throw std::logic_error("Prover: quotient exceeds SRS (corrupt input?)");
     }
-    c.psi = curve::msm<G1>(
-        std::span<const G1>(pk_.g1_alpha_powers.data(), qc.size()), qc);
+    c.psi = psi_key_ ? curve::msm_precomputed(*psi_key_, qc)
+                     : curve::msm<G1>(
+                           std::span<const G1>(pk_.g1_alpha_powers.data(),
+                                               qc.size()),
+                           qc);
   }
   if (timings) {
     timings->zp_ms = zp;
@@ -203,7 +164,8 @@ ProofPrivate Prover::prove_private(const Challenge& chal,
   // Sigma-protocol hiding (§V-D step 1): commit R = e(g1, eps)^z, derive the
   // challenge-independent mask zeta = H'(R), publish y' = zeta*y + z.
   Fr z = Fr::random(rng);
-  Fp12 big_r = pk_.e_g1_epsilon.pow_u256(z.to_u256());
+  // e(g1, eps) is a GT element, so the cyclotomic squaring chain applies.
+  Fp12 big_r = pk_.e_g1_epsilon.cyclotomic_pow_u256(z.to_u256());
   Fr zeta = hash_gt_to_fr(big_r);
   Fr y_prime = zeta * c.y + z;
   if (timings) timings->gt_ms = ms_since(t0);
@@ -224,64 +186,178 @@ G1 compute_chi(const Fr& name, const ExpandedChallenge& ex) {
 
 }  // namespace
 
-bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
-            const Challenge& chal, const ProofBasic& proof) {
-  if (num_chunks == 0 || chal.k == 0) return false;
-  ExpandedChallenge ex = expand_challenge(chal, num_chunks);
-  G1 chi = compute_chi(name, ex);
-  // Eq. 1 rearranged to a product-of-pairings == 1:
-  //   e(sigma, g2) * e(-(y g1 + chi), eps) * e(-psi, delta * eps^{-r}) == 1
-  std::vector<std::pair<G1, G2>> pairs{
-      {proof.sigma, G2::generator()},
-      {-(curve::g1_mul_generator(proof.y) + chi), pk.epsilon},
-      {-proof.psi, delta_minus_r(pk, chal.r)},
+Verifier::Verifier(const PublicKey& pk)
+    : pk_(pk),
+      g2_(G2::generator()),
+      epsilon_(pk.epsilon),
+      delta_(pk.delta) {}
+
+bool Verifier::verify_tags(const storage::EncodedFile& file,
+                           const FileTag& tag) const {
+  if (file.s != pk_.s || tag.s != pk_.s) return false;
+  if (tag.num_chunks != file.num_chunks() || tag.sigmas.size() != tag.num_chunks) {
+    return false;
+  }
+  const std::size_t d = tag.num_chunks;
+  const std::size_t s = pk_.s;
+  // Random-weight batch: sum_i rho_i * [check_i] == 0 catches any bad
+  // authenticator except with probability ~1/r. The degree-(s-1) coefficient
+  // has no published g1 power; it is folded through delta = g2^{alpha x}
+  // against g1^{alpha^{s-2}} instead.
+  auto rng = primitives::SecureRng::from_os();
+  std::vector<Fr> rho(d);
+  for (auto& w : rho) w = Fr::random(rng);
+
+  G1 sigma_agg = curve::msm<G1>(tag.sigmas, rho);
+
+  // Weighted low coefficients (paired with epsilon) and, for s >= 2, the
+  // weighted top coefficient (paired with delta).
+  std::size_t low_count = s >= 2 ? s - 1 : 1;
+  std::vector<Fr> low(low_count, Fr::zero());
+  Fr top = Fr::zero();
+  for (std::size_t i = 0; i < d; ++i) {
+    const auto& chunk = file.chunks[i];
+    if (s >= 2) {
+      for (std::size_t j = 0; j + 1 < s; ++j) low[j] += rho[i] * chunk[j];
+      top += rho[i] * chunk[s - 1];
+    } else {
+      low[0] += rho[i] * chunk[0];
+    }
+  }
+  G1 low_pt = curve::msm<G1>(pk_.g1_alpha_powers, low);
+  std::vector<G1> hashes(d);
+  for (std::size_t i = 0; i < d; ++i) hashes[i] = chunk_hash(tag.name, i);
+  G1 chi = curve::msm<G1>(hashes, rho);
+
+  std::vector<pairing::PreparedPair> pairs;
+  pairs.reserve(3);
+  pairs.push_back({sigma_agg, &g2_});
+  pairs.push_back({-(low_pt + chi), &epsilon_});
+  if (s >= 2 && !top.is_zero()) {
+    pairs.push_back({-(pk_.g1_alpha_powers.back().mul(top)), &delta_});
+  }
+  return pairing::pairing_product_is_one(pairs);
+}
+
+bool Verifier::check_basic(const G1& chi, const Challenge& chal,
+                           const ProofBasic& proof) const {
+  // Eq. 1 rearranged to a product-of-pairings == 1 over the fixed key
+  // points, with e(-psi, delta * eps^{-r}) = e(-psi, delta) * e([r]psi, eps):
+  //   e(sigma, g2) * e([r]psi - y g1 - chi, eps) * e(-psi, delta) == 1.
+  std::array<pairing::PreparedPair, 3> pairs{
+      pairing::PreparedPair{proof.sigma, &g2_},
+      pairing::PreparedPair{
+          proof.psi.mul(chal.r) - curve::g1_mul_generator(proof.y) - chi,
+          &epsilon_},
+      pairing::PreparedPair{-proof.psi, &delta_},
   };
   return pairing::pairing_product_is_one(pairs);
 }
 
-bool verify_private(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
-                    const Challenge& chal, const ProofPrivate& proof) {
-  if (num_chunks == 0 || chal.k == 0) return false;
-  if (proof.big_r.is_zero()) return false;
-  ExpandedChallenge ex = expand_challenge(chal, num_chunks);
-  G1 chi = compute_chi(name, ex);
+bool Verifier::check_private(const G1& chi, const Challenge& chal,
+                             const ProofPrivate& proof) const {
   Fr zeta = hash_gt_to_fr(proof.big_r);
-  // Eq. 2 rearranged:
-  //   e(sigma^zeta, g2) * e(-(y' g1 + zeta chi), eps)
-  //     * e(-zeta psi, delta * eps^{-r}) == R^{-1}
-  std::vector<std::pair<G1, G2>> pairs{
-      {proof.sigma.mul(zeta), G2::generator()},
-      {-(curve::g1_mul_generator(proof.y_prime) + chi.mul(zeta)), pk.epsilon},
-      {-(proof.psi.mul(zeta)), delta_minus_r(pk, chal.r)},
+  // Eq. 2 rearranged the same way (all scalars on G1, fixed G2 points):
+  //   e(sigma^zeta, g2) * e([zeta r]psi - y' g1 - zeta chi, eps)
+  //     * e(-zeta psi, delta) == R^{-1}
+  G1 zeta_psi = proof.psi.mul(zeta);
+  std::array<pairing::PreparedPair, 3> pairs{
+      pairing::PreparedPair{proof.sigma.mul(zeta), &g2_},
+      pairing::PreparedPair{zeta_psi.mul(chal.r) -
+                                curve::g1_mul_generator(proof.y_prime) -
+                                chi.mul(zeta),
+                            &epsilon_},
+      pairing::PreparedPair{-zeta_psi, &delta_},
   };
-  Fp12 lhs = pairing::multi_pairing(pairs);
+  Fp12 lhs = pairing::multi_pairing(std::span<const pairing::PreparedPair>(pairs));
   return (lhs * proof.big_r).is_one();
 }
 
-bool verify_batch(const PublicKey& pk, std::span<const BasicInstance> instances,
-                  primitives::SecureRng& rng) {
+bool Verifier::verify(const Fr& name, std::size_t num_chunks,
+                      const Challenge& chal, const ProofBasic& proof) const {
+  if (num_chunks == 0 || chal.k == 0) return false;
+  ExpandedChallenge ex = expand_challenge(chal, num_chunks);
+  return check_basic(compute_chi(name, ex), chal, proof);
+}
+
+bool Verifier::verify(const PreparedFile& file, const Challenge& chal,
+                      const ProofBasic& proof) const {
+  if (file.num_chunks == 0 || chal.k == 0) return false;
+  ExpandedChallenge ex = expand_challenge(chal, file.num_chunks);
+  G1 chi = curve::msm_precomputed(file.hashes, ex.indices, ex.coefficients);
+  return check_basic(chi, chal, proof);
+}
+
+bool Verifier::verify_private(const Fr& name, std::size_t num_chunks,
+                              const Challenge& chal,
+                              const ProofPrivate& proof) const {
+  if (num_chunks == 0 || chal.k == 0) return false;
+  if (proof.big_r.is_zero()) return false;
+  ExpandedChallenge ex = expand_challenge(chal, num_chunks);
+  return check_private(compute_chi(name, ex), chal, proof);
+}
+
+bool Verifier::verify_private(const PreparedFile& file, const Challenge& chal,
+                              const ProofPrivate& proof) const {
+  if (file.num_chunks == 0 || chal.k == 0) return false;
+  if (proof.big_r.is_zero()) return false;
+  ExpandedChallenge ex = expand_challenge(chal, file.num_chunks);
+  G1 chi = curve::msm_precomputed(file.hashes, ex.indices, ex.coefficients);
+  return check_private(chi, chal, proof);
+}
+
+PreparedFile prepare_file(const Fr& name, std::size_t num_chunks) {
+  PreparedFile pf;
+  pf.name = name;
+  pf.num_chunks = num_chunks;
+  std::vector<G1> hashes(num_chunks);
+  for (std::size_t i = 0; i < num_chunks; ++i) hashes[i] = chunk_hash(name, i);
+  pf.hashes = curve::msm_precompute<G1>(hashes);
+  return pf;
+}
+
+bool Verifier::verify_batch(std::span<const BasicInstance> instances,
+                            primitives::SecureRng& rng) const {
   if (instances.empty()) return true;
-  // Random linear combination: sum_t rho_t * (Eq.1 check_t) == 0.
-  // The g2 and epsilon terms aggregate across instances; the KZG term keeps
-  // one pair per instance (its G2 side depends on r_t). Total pairings:
-  // N + 2 instead of 3N, with a single shared final exponentiation.
+  // Random linear combination: sum_t rho_t * (Eq.1 check_t) == 0. With the
+  // challenge scalars moved to G1 ([rho_t r_t]psi_t folds into the epsilon
+  // term), EVERY term aggregates per fixed G2 point: 3 pairings total for
+  // any number of instances — the old variable-G2 path needed N + 2.
   G1 sigma_agg = G1::infinity();
   G1 eps_agg = G1::infinity();
-  std::vector<std::pair<G1, G2>> pairs;
-  pairs.reserve(instances.size() + 2);
+  G1 delta_agg = G1::infinity();
   for (const auto& inst : instances) {
     if (inst.num_chunks == 0 || inst.challenge.k == 0) return false;
     Fr rho = Fr::random(rng);
     ExpandedChallenge ex = expand_challenge(inst.challenge, inst.num_chunks);
     G1 chi = compute_chi(inst.name, ex);
+    G1 rho_psi = inst.proof.psi.mul(rho);
     sigma_agg += inst.proof.sigma.mul(rho);
-    eps_agg += (curve::g1_mul_generator(inst.proof.y) + chi).mul(rho);
-    pairs.emplace_back(-(inst.proof.psi.mul(rho)),
-                       delta_minus_r(pk, inst.challenge.r));
+    eps_agg += (curve::g1_mul_generator(inst.proof.y) + chi).mul(rho) -
+               rho_psi.mul(inst.challenge.r);
+    delta_agg += rho_psi;
   }
-  pairs.emplace_back(sigma_agg, G2::generator());
-  pairs.emplace_back(-eps_agg, pk.epsilon);
+  std::array<pairing::PreparedPair, 3> pairs{
+      pairing::PreparedPair{sigma_agg, &g2_},
+      pairing::PreparedPair{-eps_agg, &epsilon_},
+      pairing::PreparedPair{-delta_agg, &delta_},
+  };
   return pairing::pairing_product_is_one(pairs);
+}
+
+bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+            const Challenge& chal, const ProofBasic& proof) {
+  return Verifier(pk).verify(name, num_chunks, chal, proof);
+}
+
+bool verify_private(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+                    const Challenge& chal, const ProofPrivate& proof) {
+  return Verifier(pk).verify_private(name, num_chunks, chal, proof);
+}
+
+bool verify_batch(const PublicKey& pk, std::span<const BasicInstance> instances,
+                  primitives::SecureRng& rng) {
+  return Verifier(pk).verify_batch(instances, rng);
 }
 
 }  // namespace dsaudit::audit

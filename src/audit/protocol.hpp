@@ -2,7 +2,11 @@
 // protocol, both without on-chain privacy (Eq. 1) and with it (Eq. 2).
 #pragma once
 
+#include <memory>
+
 #include "audit/types.hpp"
+#include "curve/point.hpp"
+#include "pairing/pairing.hpp"
 #include "primitives/random.hpp"
 
 namespace dsaudit::audit {
@@ -35,8 +39,12 @@ class Prover {
  public:
   /// Borrows all three for the Prover's lifetime; the caller must keep them
   /// alive AND at stable addresses (beware std::vector reallocation of
-  /// KeyPair/EncodedFile/FileTag holders).
-  Prover(const PublicKey& pk, const storage::EncodedFile& file, const FileTag& tag);
+  /// KeyPair/EncodedFile/FileTag holders). Construction also builds the
+  /// prepared shifted-base MSM tables for pk.g1_alpha_powers (the psi MSM),
+  /// a one-time ~254 doublings per SRS power that every prove() amortizes;
+  /// pass prepare_psi = false to skip it for one-shot provers.
+  Prover(const PublicKey& pk, const storage::EncodedFile& file,
+         const FileTag& tag, bool prepare_psi = true);
 
   /// Non-private response (Eq. 1 inputs).
   ProofBasic prove(const Challenge& chal, ProverTimings* timings = nullptr) const;
@@ -58,15 +66,8 @@ class Prover {
   const PublicKey& pk_;
   const storage::EncodedFile& file_;
   const FileTag& tag_;
+  std::shared_ptr<const curve::MsmBasesTable<G1>> psi_key_;
 };
-
-/// The smart contract's Eq. 1 check (4 pairings, shared final exp).
-bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
-            const Challenge& chal, const ProofBasic& proof);
-
-/// The smart contract's Eq. 2 check (§V-D step 2).
-bool verify_private(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
-                    const Challenge& chal, const ProofPrivate& proof);
 
 /// One audit instance for batch verification (same pk, e.g. one provider
 /// holding many files of one owner, or sequential rounds settled together).
@@ -77,9 +78,83 @@ struct BasicInstance {
   ProofBasic proof;
 };
 
-/// Verify many Eq. 1 instances with a single shared final exponentiation
-/// and random linear weighting (a forged proof escapes detection only with
-/// probability ~1/r). The "batch auditing [24]" the paper cites in §VII-D.
+/// Per-file verification context: the d chunk hash points H(name||i) with a
+/// shifted-base MSM table over them. Each round's chi = prod H(name||i)^{c_i}
+/// becomes a table-driven subset MSM instead of d hash-to-curve evaluations
+/// plus a cold MSM — with the prepared pairings, this is the other half of
+/// making repeated rounds cheap. Build cost is one hash + ~254 doublings per
+/// chunk; memory is ~positions * d * 72 bytes (a few MB per 10k chunks), paid
+/// once per audited file (the contract holds one for its lifetime).
+struct PreparedFile {
+  // Identity of the file the table was built for. verify() trusts the
+  // context it is handed (the hashes already encode the name), so callers
+  // routing several audited files must key their lookup on this field — a
+  // wrong context makes honest proofs fail with no other diagnostic.
+  Fr name;
+  std::size_t num_chunks = 0;
+  curve::MsmBasesTable<G1> hashes;  // bases: H(name||i), i = 0..d-1
+};
+PreparedFile prepare_file(const Fr& name, std::size_t num_chunks);
+
+/// The prepared verification engine for one public key: caches the Miller
+/// line tables of the three fixed G2 points (g2, epsilon, delta) once and
+/// routes all four audit checks through them. Every verification equation is
+/// rearranged with e(-psi, delta * eps^{-r}) = e(-psi, delta) * e([r]psi,
+/// eps), which moves the per-round challenge scalar to the cheap G1 side —
+/// so no check ever pairs against a fresh G2 point or performs a G2 scalar
+/// multiplication. This is the object a contract (or any service auditing
+/// many rounds against one key) should hold for its lifetime.
+///
+/// Borrows the PublicKey — the caller keeps it alive and at a stable
+/// address, the same contract as Prover.
+class Verifier {
+ public:
+  explicit Verifier(const PublicKey& pk);
+
+  const PublicKey& pk() const { return pk_; }
+
+  /// S's tag-acceptance check (see free verify_tags below).
+  bool verify_tags(const storage::EncodedFile& file, const FileTag& tag) const;
+
+  /// The smart contract's Eq. 1 check (3 prepared pairings, shared
+  /// squarings, one final exp).
+  bool verify(const Fr& name, std::size_t num_chunks, const Challenge& chal,
+              const ProofBasic& proof) const;
+  /// Same check against a prepared per-file context (cached hash table).
+  bool verify(const PreparedFile& file, const Challenge& chal,
+              const ProofBasic& proof) const;
+
+  /// The smart contract's Eq. 2 check (§V-D step 2).
+  bool verify_private(const Fr& name, std::size_t num_chunks,
+                      const Challenge& chal, const ProofPrivate& proof) const;
+  bool verify_private(const PreparedFile& file, const Challenge& chal,
+                      const ProofPrivate& proof) const;
+
+  /// Batch Eq. 1 verification; with the challenge scalars folded into G1,
+  /// ALL terms aggregate per fixed G2 point — 3 pairings total for any
+  /// number of instances (the old path needed N + 2).
+  bool verify_batch(std::span<const BasicInstance> instances,
+                    primitives::SecureRng& rng) const;
+
+ private:
+  /// Eq. 1 / Eq. 2 pairing checks with chi already aggregated.
+  bool check_basic(const G1& chi, const Challenge& chal,
+                   const ProofBasic& proof) const;
+  bool check_private(const G1& chi, const Challenge& chal,
+                     const ProofPrivate& proof) const;
+
+  const PublicKey& pk_;
+  pairing::G2Prepared g2_;       // generator
+  pairing::G2Prepared epsilon_;  // g2^x
+  pairing::G2Prepared delta_;    // g2^{alpha x}
+};
+
+/// One-shot wrappers over Verifier (they prepare the key's G2 points per
+/// call; repeated verification against one key should construct a Verifier).
+bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+            const Challenge& chal, const ProofBasic& proof);
+bool verify_private(const PublicKey& pk, const Fr& name, std::size_t num_chunks,
+                    const Challenge& chal, const ProofPrivate& proof);
 bool verify_batch(const PublicKey& pk, std::span<const BasicInstance> instances,
                   primitives::SecureRng& rng);
 

@@ -27,6 +27,7 @@ AuditContract::AuditContract(chain::Blockchain& chain,
       beacon_(beacon),
       terms_(std::move(terms)),
       pk_(std::move(pk)),
+      verifier_(pk_),
       file_name_(file_name),
       num_chunks_(num_chunks),
       address_("contract-" + std::to_string(++contract_counter)) {
@@ -34,6 +35,7 @@ AuditContract::AuditContract(chain::Blockchain& chain,
   require(num_chunks_ > 0, "empty file");
   require(terms_.response_window_s < terms_.audit_period_s,
           "response window must fit inside the audit period");
+  file_ctx_ = audit::prepare_file(file_name_, num_chunks_);
 }
 
 void AuditContract::emit(const std::string& what) {
@@ -166,12 +168,10 @@ void AuditContract::on_verify_due(Timestamp /*now*/) {
     bool ok = false;
     if (terms_.private_proofs) {
       auto proof = audit::deserialize_private(*pending_proof_);
-      ok = proof && audit::verify_private(pk_, file_name_, num_chunks_,
-                                          rec.challenge, *proof);
+      ok = proof && verifier_.verify_private(file_ctx_, rec.challenge, *proof);
     } else {
       auto proof = audit::deserialize_basic(*pending_proof_);
-      ok = proof &&
-           audit::verify(pk_, file_name_, num_chunks_, rec.challenge, *proof);
+      ok = proof && verifier_.verify(file_ctx_, rec.challenge, *proof);
     }
     rec.verify_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)

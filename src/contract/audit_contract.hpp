@@ -80,6 +80,11 @@ class AuditContract {
                 ContractTerms terms, PublicKey pk, audit::Fr file_name,
                 std::size_t num_chunks);
 
+  // Self-referential (verifier_ borrows pk_) and scheduled callbacks capture
+  // `this`: copying or moving would leave either pointing into the source.
+  AuditContract(const AuditContract&) = delete;
+  AuditContract& operator=(const AuditContract&) = delete;
+
   // --- Initialize phase (Fig. 2 top) ---------------------------------------
   /// D deploys agreements + params + metadata; pays the one-time storage tx.
   void negotiated();
@@ -116,8 +121,15 @@ class AuditContract {
   chain::RandomnessBeacon& beacon_;
   ContractTerms terms_;
   PublicKey pk_;
+  // One prepared verifier serving every audit round of this contract: the
+  // G2 line tables for pk_ are cached once at deployment. Declared after
+  // pk_ (it borrows it) and initialized from it in the constructor.
+  audit::Verifier verifier_;
   audit::Fr file_name_;
   std::size_t num_chunks_;
+  // Per-file context (chunk hash points + shifted-base table), also built
+  // once at deployment and reused by every round's chi aggregation.
+  audit::PreparedFile file_ctx_;
   Address address_;
 
   State state_ = State::Uninitialized;

@@ -395,6 +395,178 @@ std::size_t batch_affine_add_round(std::vector<AffinePoint<F, Tag>>& pts,
   return pair_count;
 }
 
+/// Signed window digit extraction shared by msm and msm_precomputed:
+/// digits[t * n + i] is scalar i's signed digit in [-half, half] at window
+/// position t (position-major so every later pass is a linear scan; digit 0
+/// never touches a bucket). Returns the number of positions actually used —
+/// the highest position holding any nonzero digit plus one, 0 when every
+/// scalar is zero.
+inline unsigned extract_signed_digits(std::span<const Fr> scalars, unsigned c,
+                                      unsigned positions,
+                                      std::vector<std::int32_t>& digits) {
+  const std::size_t n = scalars.size();
+  const bigint::u64 half = bigint::u64{1} << (c - 1);
+  digits.resize(std::size_t{positions} * n);
+  unsigned used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    U256 k = scalars[i].to_u256();
+    bigint::u64 carry = 0;
+    for (unsigned t = 0; t < positions; ++t) {
+      bigint::u64 raw = k.extract_window(t * c, c) + carry;
+      std::int32_t d;
+      if (raw > half) {
+        d = static_cast<std::int32_t>(raw) - (1 << c);
+        carry = 1;
+      } else {
+        d = static_cast<std::int32_t>(raw);
+        carry = 0;
+      }
+      digits[std::size_t{t} * n + i] = d;
+      if (d != 0 && t + 1 > used) used = t + 1;
+    }
+  }
+  return used;
+}
+
+/// The whole bucket pipeline shared by msm and msm_precomputed, from signed
+/// digits to the final point: counting-sort of the nonzero digits into bucket
+/// runs, shared-round batched-affine tree reduction, the row/column
+/// (w_d = u*K + v) gather and reduction, and the final combine.
+///
+/// Parameterized by the two things that differ between the callers:
+///   - runs per position: with `per_position_buckets` every window position
+///     owns its own bucket space and the combine runs Horner over positions
+///     with c doublings per step (cold msm); without, all positions share one
+///     bucket space — the precomputed table's shifted bases bake the 2^{ct}
+///     weights in, so no doublings remain (msm_precomputed);
+///   - the base lookup `base(t, i)`: position-independent bases for the cold
+///     path, tbl.pts[t * n + i] for the shifted-base table.
+template <typename P, typename BaseFn>
+P msm_from_digits(const std::vector<std::int32_t>& digits, std::size_t n,
+                  unsigned used, unsigned c, bool per_position_buckets,
+                  BaseFn&& base) {
+  using F = typename P::Field;
+  using A = typename P::Affine;
+  using u32 = std::uint32_t;
+  const u32 half = u32{1} << (c - 1);
+  // Row/column split of the bucket weight: w_d = b + 1 = u*K + v.
+  const unsigned kbits = c / 2;
+  const u32 K = u32{1} << kbits;
+  const u32 R = half / K + 1;
+  const unsigned spaces = per_position_buckets ? used : 1;
+
+  // Counting-sort of all positions' nonzero digits into bucket runs;
+  // bucket id = space * half + |digit| - 1.
+  const std::size_t nb = std::size_t{spaces} * half;
+  std::vector<u32> counts(nb, 0);
+  for (unsigned t = 0; t < used; ++t) {
+    const std::int32_t* dt = digits.data() + std::size_t{t} * n;
+    const std::size_t wb = per_position_buckets ? std::size_t{t} * half : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t d = dt[i];
+      if (d != 0) ++counts[wb + (d > 0 ? d : -d) - 1];
+    }
+  }
+  std::vector<u32> offsets(nb), len(nb, 0), active;
+  u32 entries = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    offsets[b] = entries;
+    entries += counts[b];
+    if (counts[b] > 1) active.push_back(static_cast<u32>(b));
+  }
+  std::vector<A> sorted(entries);
+  for (unsigned t = 0; t < used; ++t) {
+    const std::int32_t* dt = digits.data() + std::size_t{t} * n;
+    const std::size_t wb = per_position_buckets ? std::size_t{t} * half : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t d = dt[i];
+      if (d == 0) continue;
+      std::size_t b = wb + (d > 0 ? d : -d) - 1;
+      sorted[offsets[b] + len[b]++] = d > 0 ? base(t, i) : -base(t, i);
+    }
+  }
+
+  // Tree-reduce every bucket to a single point, all spaces in shared batched
+  // rounds.
+  std::vector<F> dens, inv_scratch;
+  while (batch_affine_add_round<F, typename P::TagType>(sorted, offsets, len,
+                                                        active, dens,
+                                                        inv_scratch) > 0) {
+  }
+
+  // Gather bucket sums into row runs (u = w_d / K, skipping the weight-0 row
+  // u = 0) and column runs (v = w_d % K, skipping v = 0), then tree-reduce
+  // those with the same shared batched rounds. Run ids: rows at w * R + u,
+  // columns at spaces * R + w * K + v. Both gathers visit run ids in
+  // ascending order, so the runs come out contiguous.
+  const std::size_t n_row_runs = std::size_t{spaces} * R;
+  const std::size_t n_runs = n_row_runs + std::size_t{spaces} * K;
+  std::vector<u32> g_off(n_runs, 0), g_len(n_runs, 0);
+  std::vector<A> gathered;
+  gathered.reserve(std::min<std::size_t>(entries, nb) + 16);
+  active.clear();
+  for (unsigned w = 0; w < spaces; ++w) {
+    const std::size_t wb = std::size_t{w} * half;
+    for (u32 b = 0; b < half; ++b) {
+      if (len[wb + b] == 0) continue;
+      const u32 u = (b + 1) >> kbits;
+      if (u == 0) continue;
+      const std::size_t run = std::size_t{w} * R + u;
+      if (g_len[run] == 0) g_off[run] = static_cast<u32>(gathered.size());
+      ++g_len[run];
+      gathered.push_back(sorted[offsets[wb + b]]);
+    }
+  }
+  for (unsigned w = 0; w < spaces; ++w) {
+    const std::size_t wb = std::size_t{w} * half;
+    for (u32 v = 1; v < K; ++v) {
+      const std::size_t run = n_row_runs + std::size_t{w} * K + v;
+      for (u32 u = 0; u * K + v - 1 < half; ++u) {
+        const std::size_t b = wb + u * K + v - 1;
+        if (len[b] == 0) continue;
+        if (g_len[run] == 0) g_off[run] = static_cast<u32>(gathered.size());
+        ++g_len[run];
+        gathered.push_back(sorted[offsets[b]]);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n_runs; ++r) {
+    if (g_len[r] > 1) active.push_back(static_cast<u32>(r));
+  }
+  while (batch_affine_add_round<F, typename P::TagType>(gathered, g_off, g_len,
+                                                        active, dens,
+                                                        inv_scratch) > 0) {
+  }
+
+  // Per-space combine: acc_w = K * sum_u u*Row_u + sum_v v*Col_v via two
+  // short running sums (the only sequential Jacobian work left), then Horner
+  // over the positions with c doublings per step (a no-op for the shared
+  // bucket space, whose shifted bases already carry the weights).
+  P total = P::infinity();
+  for (unsigned w = spaces; w-- > 0;) {
+    if (per_position_buckets) {
+      for (unsigned i = 0; i < c; ++i) total = total.dbl();
+    }
+    P run = P::infinity();
+    P s1 = P::infinity();
+    for (u32 u = R; u-- > 1;) {
+      const std::size_t r = std::size_t{w} * R + u;
+      if (g_len[r]) run = run.mixed_add(gathered[g_off[r]]);
+      s1 += run;
+    }
+    run = P::infinity();
+    P s2 = P::infinity();
+    for (u32 v = K; v-- > 1;) {
+      const std::size_t r = n_row_runs + std::size_t{w} * K + v;
+      if (g_len[r]) run = run.mixed_add(gathered[g_off[r]]);
+      s2 += run;
+    }
+    for (unsigned i = 0; i < kbits; ++i) s1 = s1.dbl();
+    total += s1 + s2;
+  }
+  return total;
+}
+
 }  // namespace detail
 
 /// Multi-scalar multiplication via Pippenger bucketing: returns
@@ -416,9 +588,7 @@ std::size_t batch_affine_add_round(std::vector<AffinePoint<F, Tag>>& pts,
 ///     additions too. That makes wide windows cheap, cutting total work.
 template <typename P>
 P msm(std::span<const P> points, std::span<const Fr> scalars) {
-  using F = typename P::Field;
   using A = typename P::Affine;
-  using u32 = std::uint32_t;
   if (points.size() != scalars.size()) {
     throw std::invalid_argument("msm: size mismatch");
   }
@@ -436,143 +606,15 @@ P msm(std::span<const P> points, std::span<const Fr> scalars) {
   // Scalars are canonical Fr values: bounded by the 254-bit modulus, not 256.
   const unsigned scalar_bits = Fr::modulus().bit_length();
   const unsigned windows = (scalar_bits + c - 1) / c + 1;  // +1: signed carry
-  const u32 half = u32{1} << (c - 1);
-  // Row/column split of the bucket weight: w_d = b + 1 = u*K + v.
-  const unsigned kbits = c / 2;
-  const u32 K = u32{1} << kbits;
-  const u32 R = half / K + 1;
 
-  // Signed window digits in [-half, half], limb-extracted, stored
-  // window-major so every later pass is a linear scan. digit == 0 never
-  // touches a bucket.
-  std::vector<std::int32_t> digits(std::size_t{windows} * n);
-  unsigned used_windows = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    U256 k = scalars[i].to_u256();
-    bigint::u64 carry = 0;
-    for (unsigned w = 0; w < windows; ++w) {
-      bigint::u64 raw = k.extract_window(w * c, c) + carry;
-      std::int32_t d;
-      if (raw > half) {
-        d = static_cast<std::int32_t>(raw) - (1 << c);
-        carry = 1;
-      } else {
-        d = static_cast<std::int32_t>(raw);
-        carry = 0;
-      }
-      digits[std::size_t{w} * n + i] = d;
-      if (d != 0 && w + 1 > used_windows) used_windows = w + 1;
-    }
-  }
-  if (used_windows == 0) return P::infinity();
+  std::vector<std::int32_t> digits;
+  const unsigned used = detail::extract_signed_digits(scalars, c, windows, digits);
+  if (used == 0) return P::infinity();
 
   const std::vector<A> base = P::batch_to_affine(points);
-
-  // Global counting-sort of all windows' nonzero digits into bucket runs;
-  // bucket id = window * half + |digit| - 1.
-  const std::size_t nb = std::size_t{used_windows} * half;
-  std::vector<u32> counts(nb, 0);
-  for (unsigned w = 0; w < used_windows; ++w) {
-    const std::int32_t* dw = digits.data() + std::size_t{w} * n;
-    const std::size_t wb = std::size_t{w} * half;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::int32_t d = dw[i];
-      if (d != 0) ++counts[wb + (d > 0 ? d : -d) - 1];
-    }
-  }
-  std::vector<u32> offsets(nb), len(nb, 0), active;
-  u32 entries = 0;
-  for (std::size_t b = 0; b < nb; ++b) {
-    offsets[b] = entries;
-    entries += counts[b];
-    if (counts[b] > 1) active.push_back(static_cast<u32>(b));
-  }
-  std::vector<A> sorted(entries);
-  for (unsigned w = 0; w < used_windows; ++w) {
-    const std::int32_t* dw = digits.data() + std::size_t{w} * n;
-    const std::size_t wb = std::size_t{w} * half;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::int32_t d = dw[i];
-      if (d == 0) continue;
-      std::size_t b = wb + (d > 0 ? d : -d) - 1;
-      sorted[offsets[b] + len[b]++] = d > 0 ? base[i] : -base[i];
-    }
-  }
-
-  // Tree-reduce every bucket to a single point, all windows in shared
-  // batched rounds.
-  std::vector<F> dens, inv_scratch;
-  while (detail::batch_affine_add_round<F, typename P::TagType>(
-             sorted, offsets, len, active, dens, inv_scratch) > 0) {
-  }
-
-  // Gather bucket sums into row runs (u = w_d / K, skipping the weight-0 row
-  // u = 0) and column runs (v = w_d % K, skipping v = 0), then tree-reduce
-  // those with the same shared batched rounds. Run ids: rows at
-  // w * R + u, columns at used_windows * R + w * K + v. Both gathers visit
-  // run ids in ascending order, so the runs come out contiguous.
-  const std::size_t n_row_runs = std::size_t{used_windows} * R;
-  const std::size_t n_runs = n_row_runs + std::size_t{used_windows} * K;
-  std::vector<u32> g_off(n_runs, 0), g_len(n_runs, 0);
-  std::vector<A> gathered;
-  gathered.reserve(std::min<std::size_t>(entries, nb) + 16);
-  active.clear();
-  for (unsigned w = 0; w < used_windows; ++w) {
-    const std::size_t wb = std::size_t{w} * half;
-    for (u32 b = 0; b < half; ++b) {
-      if (len[wb + b] == 0) continue;
-      const u32 u = (b + 1) >> kbits;
-      if (u == 0) continue;
-      const std::size_t run = std::size_t{w} * R + u;
-      if (g_len[run] == 0) g_off[run] = static_cast<u32>(gathered.size());
-      ++g_len[run];
-      gathered.push_back(sorted[offsets[wb + b]]);
-    }
-  }
-  for (unsigned w = 0; w < used_windows; ++w) {
-    const std::size_t wb = std::size_t{w} * half;
-    for (u32 v = 1; v < K; ++v) {
-      const std::size_t run = n_row_runs + std::size_t{w} * K + v;
-      for (u32 u = 0; u * K + v - 1 < half; ++u) {
-        const std::size_t b = wb + u * K + v - 1;
-        if (len[b] == 0) continue;
-        if (g_len[run] == 0) g_off[run] = static_cast<u32>(gathered.size());
-        ++g_len[run];
-        gathered.push_back(sorted[offsets[b]]);
-      }
-    }
-  }
-  for (std::size_t r = 0; r < n_runs; ++r) {
-    if (g_len[r] > 1) active.push_back(static_cast<u32>(r));
-  }
-  while (detail::batch_affine_add_round<F, typename P::TagType>(
-             gathered, g_off, g_len, active, dens, inv_scratch) > 0) {
-  }
-
-  // Per-window combine: acc_w = K * sum_u u*Row_u + sum_v v*Col_v via two
-  // short running sums (the only sequential Jacobian work left), then Horner
-  // over the windows with c doublings per step.
-  P total = P::infinity();
-  for (unsigned w = used_windows; w-- > 0;) {
-    for (unsigned i = 0; i < c; ++i) total = total.dbl();
-    P run = P::infinity();
-    P s1 = P::infinity();
-    for (u32 u = R; u-- > 1;) {
-      const std::size_t r = std::size_t{w} * R + u;
-      if (g_len[r]) run = run.mixed_add(gathered[g_off[r]]);
-      s1 += run;
-    }
-    run = P::infinity();
-    P s2 = P::infinity();
-    for (u32 v = K; v-- > 1;) {
-      const std::size_t r = n_row_runs + std::size_t{w} * K + v;
-      if (g_len[r]) run = run.mixed_add(gathered[g_off[r]]);
-      s2 += run;
-    }
-    for (unsigned i = 0; i < kbits; ++i) s1 = s1.dbl();
-    total += s1 + s2;
-  }
-  return total;
+  return detail::msm_from_digits<P>(
+      digits, n, used, c, /*per_position_buckets=*/true,
+      [&base](unsigned, std::size_t i) -> const A& { return base[i]; });
 }
 
 /// Precomputed shifted bases for repeated MSMs over a fixed base set (a KZG
@@ -626,113 +668,62 @@ MsmBasesTable<P> msm_precompute(std::span<const P> points, unsigned c = 0) {
 /// scalars.size() <= tbl.n bases. Bit-identical to msm() / the naive sum.
 template <typename P>
 P msm_precomputed(const MsmBasesTable<P>& tbl, std::span<const Fr> scalars) {
-  using F = typename P::Field;
   using A = typename P::Affine;
-  using u32 = std::uint32_t;
   const std::size_t m = scalars.size();
   if (m > tbl.n) throw std::invalid_argument("msm_precomputed: too many scalars");
   if (m == 0) return P::infinity();
 
-  const unsigned c = tbl.c;
-  const unsigned positions = tbl.positions;
-  const u32 half = u32{1} << (c - 1);
-  const unsigned kbits = c / 2;
-  const u32 K = u32{1} << kbits;
-  const u32 R = half / K + 1;
+  // One shared bucket space for all positions: digit d at position t maps
+  // base tbl.pts[t*n + i] into bucket |d| - 1 — the shifted bases carry the
+  // 2^{ct} weights, so no Horner doublings remain in the combine.
+  std::vector<std::int32_t> digits;
+  const unsigned used =
+      detail::extract_signed_digits(scalars, tbl.c, tbl.positions, digits);
+  if (used == 0) return P::infinity();
 
-  // Signed digits for every (scalar, position), position-major. The bucket
-  // histogram (one shared bucket space for all positions: digit d maps base
-  // tbl.pts[t*n + i] into bucket |d| - 1) is small enough to stay
-  // cache-resident, so it is built during extraction.
-  std::vector<std::int32_t> digits(std::size_t{positions} * m);
-  std::vector<u32> counts(half, 0);
-  for (std::size_t i = 0; i < m; ++i) {
-    U256 k = scalars[i].to_u256();
-    bigint::u64 carry = 0;
-    for (unsigned t = 0; t < positions; ++t) {
-      bigint::u64 raw = k.extract_window(t * c, c) + carry;
-      std::int32_t d;
-      if (raw > half) {
-        d = static_cast<std::int32_t>(raw) - (1 << c);
-        carry = 1;
-      } else {
-        d = static_cast<std::int32_t>(raw);
-        carry = 0;
-      }
-      digits[std::size_t{t} * m + i] = d;
-      if (d != 0) ++counts[(d > 0 ? d : -d) - 1];
-    }
+  const A* pts = tbl.pts.data();
+  const std::size_t stride = tbl.n;
+  return detail::msm_from_digits<P>(
+      digits, m, used, tbl.c, /*per_position_buckets=*/false,
+      [pts, stride](unsigned t, std::size_t i) -> const A& {
+        return pts[std::size_t{t} * stride + i];
+      });
+}
+
+/// MSM of an arbitrary subset of a precomputed table's bases:
+/// sum scalars[j] * B_{indices[j]} (duplicate indices allowed). The audit
+/// verifier's chi = prod H(name||i)^{c_i} over challenged indices is exactly
+/// this shape — the base lookup indirects through the index list, everything
+/// else is the shared pipeline.
+template <typename P>
+P msm_precomputed(const MsmBasesTable<P>& tbl,
+                  std::span<const std::uint64_t> indices,
+                  std::span<const Fr> scalars) {
+  using A = typename P::Affine;
+  const std::size_t m = scalars.size();
+  if (m != indices.size()) {
+    throw std::invalid_argument("msm_precomputed: index/scalar size mismatch");
   }
-  std::vector<u32> offsets(half), len(half, 0), active;
-  u32 entries = 0;
-  for (u32 b = 0; b < half; ++b) {
-    offsets[b] = entries;
-    entries += counts[b];
-    if (counts[b] > 1) active.push_back(b);
-  }
-  std::vector<A> sorted(entries);
-  for (unsigned t = 0; t < positions; ++t) {
-    const std::int32_t* dt = digits.data() + std::size_t{t} * m;
-    const A* base = tbl.pts.data() + std::size_t{t} * tbl.n;
-    for (std::size_t i = 0; i < m; ++i) {
-      std::int32_t d = dt[i];
-      if (d == 0) continue;
-      u32 b = (d > 0 ? d : -d) - 1;
-      sorted[offsets[b] + len[b]++] = d > 0 ? base[i] : -base[i];
+  if (m == 0) return P::infinity();
+  for (std::uint64_t idx : indices) {
+    if (idx >= tbl.n) {
+      throw std::invalid_argument("msm_precomputed: index out of range");
     }
   }
 
-  std::vector<F> dens, inv_scratch;
-  while (detail::batch_affine_add_round<F, typename P::TagType>(
-             sorted, offsets, len, active, dens, inv_scratch) > 0) {
-  }
+  std::vector<std::int32_t> digits;
+  const unsigned used =
+      detail::extract_signed_digits(scalars, tbl.c, tbl.positions, digits);
+  if (used == 0) return P::infinity();
 
-  // Row/column reduction of the single bucket space (w_d = b+1 = u*K + v).
-  const std::size_t n_runs = std::size_t{R} + K;
-  std::vector<u32> g_off(n_runs, 0), g_len(n_runs, 0);
-  std::vector<A> gathered;
-  gathered.reserve(std::min<std::size_t>(entries, half) + 16);
-  active.clear();
-  for (u32 b = 0; b < half; ++b) {
-    if (len[b] == 0) continue;
-    const u32 u = (b + 1) >> kbits;
-    if (u == 0) continue;
-    if (g_len[u] == 0) g_off[u] = static_cast<u32>(gathered.size());
-    ++g_len[u];
-    gathered.push_back(sorted[offsets[b]]);
-  }
-  for (u32 v = 1; v < K; ++v) {
-    const std::size_t run = std::size_t{R} + v;
-    for (u32 u = 0; u * K + v - 1 < half; ++u) {
-      const u32 b = u * K + v - 1;
-      if (len[b] == 0) continue;
-      if (g_len[run] == 0) g_off[run] = static_cast<u32>(gathered.size());
-      ++g_len[run];
-      gathered.push_back(sorted[offsets[b]]);
-    }
-  }
-  for (std::size_t r = 0; r < n_runs; ++r) {
-    if (g_len[r] > 1) active.push_back(static_cast<u32>(r));
-  }
-  while (detail::batch_affine_add_round<F, typename P::TagType>(
-             gathered, g_off, g_len, active, dens, inv_scratch) > 0) {
-  }
-
-  P run = P::infinity();
-  P s1 = P::infinity();
-  for (u32 u = R; u-- > 1;) {
-    if (g_len[u]) run = run.mixed_add(gathered[g_off[u]]);
-    s1 += run;
-  }
-  run = P::infinity();
-  P s2 = P::infinity();
-  for (u32 v = K; v-- > 1;) {
-    const std::size_t r = std::size_t{R} + v;
-    if (g_len[r]) run = run.mixed_add(gathered[g_off[r]]);
-    s2 += run;
-  }
-  for (unsigned i = 0; i < kbits; ++i) s1 = s1.dbl();
-  return s1 + s2;
+  const A* pts = tbl.pts.data();
+  const std::size_t stride = tbl.n;
+  const std::uint64_t* idx = indices.data();
+  return detail::msm_from_digits<P>(
+      digits, m, used, tbl.c, /*per_position_buckets=*/false,
+      [pts, stride, idx](unsigned t, std::size_t i) -> const A& {
+        return pts[std::size_t{t} * stride + idx[i]];
+      });
 }
 
 }  // namespace dsaudit::curve

@@ -45,6 +45,7 @@ class Fp2 {
   Fp2 mul_fp(const Fp& s) const { return {c0 * s, c1 * s}; }
 
   Fp2 dbl() const { return {c0 + c0, c1 + c1}; }
+  Fp2 triple() const { return *this + *this + *this; }
 
   Fp2 square() const {
     // (a+bu)^2 = (a+b)(a-b) + 2ab u

@@ -21,6 +21,21 @@ TowerConsts build_tower_consts() {
   Fp2 g1 = xi_pow(e6);
   tc.gamma[0] = Fp2::one();
   for (int k = 1; k < 6; ++k) tc.gamma[k] = tc.gamma[k - 1] * g1;
+  // Direct p^2- and p^3-Frobenius constants: xi^{k(p^n-1)/6}. Both exponents
+  // are exact because p ≡ 1 (mod 6) implies p^n ≡ 1 (mod 6).
+  auto [e6_2, rem2] = VarUInt::divmod(p * p - one, VarUInt{6});
+  auto [e6_3, rem3] = VarUInt::divmod(p * p * p - one, VarUInt{6});
+  if (!rem2.is_zero() || !rem3.is_zero()) {
+    throw std::logic_error("tower_consts: p^n != 1 mod 6");
+  }
+  Fp2 g2 = xi_pow(e6_2);
+  Fp2 g3 = xi_pow(e6_3);
+  tc.gamma_p2[0] = Fp2::one();
+  tc.gamma_p3[0] = Fp2::one();
+  for (int k = 1; k < 6; ++k) {
+    tc.gamma_p2[k] = tc.gamma_p2[k - 1] * g2;
+    tc.gamma_p3[k] = tc.gamma_p3[k - 1] * g3;
+  }
   tc.twist_frob_x = tc.gamma[2];
   tc.twist_frob_y = tc.gamma[3];
   VarUInt p2m1 = p * p - one;

@@ -23,9 +23,13 @@ Srs make_srs(const Fr& alpha, std::size_t max_degree) {
 }
 
 void Srs::prepare() {
-  if (commit_key) return;
-  commit_key = std::make_shared<const curve::MsmBasesTable<G1>>(
-      curve::msm_precompute<G1>(g1_powers));
+  if (!commit_key) {
+    commit_key = std::make_shared<const curve::MsmBasesTable<G1>>(
+        curve::msm_precompute<G1>(g1_powers));
+  }
+  if (!verify_key) {
+    verify_key = std::make_shared<const VerifierKey>(g2, g2_alpha);
+  }
 }
 
 G1 commit(const Srs& srs, const Polynomial& p) {
@@ -48,19 +52,27 @@ Opening open(const Srs& srs, const Polynomial& p, const Fr& r) {
   return o;
 }
 
-bool verify(const Srs& srs, const G1& commitment, const Opening& opening) {
-  // e(C - [y]g1, g2) * e(-psi, [alpha]g2 - [r]g2) == 1
-  G1 c_minus_y = commitment - curve::g1_mul_generator(opening.value);
-  // srs.g2 is the group generator by construction (make_srs); the equality
-  // check keeps the fixed-base shortcut honest for hand-built SRS values.
-  G2 r_g2 = srs.g2 == G2::generator() ? curve::g2_mul_generator(opening.point)
-                                      : srs.g2.mul(opening.point);
-  G2 alpha_minus_r = srs.g2_alpha - r_g2;
-  std::vector<std::pair<G1, G2>> pairs{
-      {c_minus_y, srs.g2},
-      {-opening.witness, alpha_minus_r},
+bool verify(const VerifierKey& vk, const G1& commitment, const Opening& opening) {
+  // e(C - [y]g1, g2) == e(psi, [alpha]g2 - [r]g2), rearranged with the
+  // challenge moved to G1 (e(psi, -[r]g2) == e([r]psi, g2)^{-1}) so both
+  // pairings hit the prepared fixed points:
+  //   e(C - [y]g1 + [r]psi, g2) * e(-psi, [alpha]g2) == 1.
+  // A G1 scalar mul replaces the old G2 one — ~3x cheaper field ops — and
+  // the two Miller loops replay cached line tables in lock-step.
+  G1 lhs = commitment - curve::g1_mul_generator(opening.value) +
+           opening.witness.mul(opening.point);
+  std::array<pairing::PreparedPair, 2> pairs{
+      pairing::PreparedPair{lhs, &vk.g2},
+      pairing::PreparedPair{-opening.witness, &vk.g2_alpha},
   };
   return pairing::pairing_product_is_one(pairs);
+}
+
+bool verify(const Srs& srs, const G1& commitment, const Opening& opening) {
+  if (srs.verify_key && srs.verify_key->matches(srs.g2, srs.g2_alpha)) {
+    return verify(*srs.verify_key, commitment, opening);
+  }
+  return verify(VerifierKey{srs.g2, srs.g2_alpha}, commitment, opening);
 }
 
 }  // namespace dsaudit::kzg

@@ -14,6 +14,7 @@
 #include "curve/g2.hpp"
 #include <memory>
 
+#include "pairing/pairing.hpp"
 #include "poly/polynomial.hpp"
 
 namespace dsaudit::kzg {
@@ -22,6 +23,28 @@ using curve::G1;
 using curve::G2;
 using ff::Fr;
 using poly::Polynomial;
+
+/// Prepared verification key: the two fixed G2 points of the SRS with their
+/// Miller-loop line tables cached. Build once per SRS; every verify() against
+/// it runs the prepared-pairing engine with zero G2-side field work.
+struct VerifierKey {
+  // No default constructor: a key of two "prepared infinity" points would
+  // make every pairing product trivially 1 and accept arbitrary proofs.
+  VerifierKey(const G2& g2_, const G2& g2_alpha_)
+      : g2(g2_), g2_alpha(g2_alpha_), src_g2(g2_), src_g2_alpha(g2_alpha_) {}
+
+  pairing::G2Prepared g2;
+  pairing::G2Prepared g2_alpha;
+  // The points the tables were built from — lets verify(const Srs&, ...)
+  // detect an Srs whose G2 side was mutated after prepare() and fall back to
+  // a fresh preparation instead of verifying against stale line tables.
+  G2 src_g2;
+  G2 src_g2_alpha;
+
+  bool matches(const G2& g2_, const G2& g2_alpha_) const {
+    return src_g2 == g2_ && src_g2_alpha == g2_alpha_;
+  }
+};
 
 /// Structured reference string: powers of a secret alpha in G1, plus the
 /// G2-side elements needed for verification.
@@ -36,10 +59,19 @@ struct Srs {
   /// that commit more than a handful of times should prepare once.
   std::shared_ptr<const curve::MsmBasesTable<G1>> commit_key;
 
+  /// Optional prepared verification key (cached G2 line tables); also built
+  /// by prepare(). verify(const Srs&, ...) uses it when present and falls
+  /// back to preparing on the fly otherwise.
+  std::shared_ptr<const VerifierKey> verify_key;
+
   std::size_t max_degree() const { return g1_powers.size() - 1; }
 
-  /// Builds commit_key (idempotent).
+  /// Builds commit_key and verify_key (idempotent).
   void prepare();
+
+  /// Builds a fresh prepared key (~two G2 preparations — not an accessor;
+  /// repeated verifiers should prepare() once and use verify_key).
+  VerifierKey make_verifier_key() const { return VerifierKey{g2, g2_alpha}; }
 };
 
 /// Trusted setup. In the audit protocol the data owner runs this (alpha is
@@ -59,7 +91,14 @@ struct Opening {
 };
 Opening open(const Srs& srs, const Polynomial& p, const Fr& r);
 
-/// Check e(C / g1^y, g2) == e(psi, g2^alpha / g2^r).
+/// Check e(C / g1^y, g2) == e(psi, g2^alpha / g2^r), evaluated as the
+/// equivalent 2-pairing product e(C - y g1 + r psi, g2) * e(-psi, g2^alpha)
+/// == 1 — the challenge scalar moves to the (cheap) G1 side so both G2
+/// arguments are the fixed, prepared key points.
+bool verify(const VerifierKey& vk, const G1& commitment, const Opening& opening);
+
+/// Convenience overload: uses srs.verify_key when prepare() built it,
+/// otherwise prepares the two G2 points for this one call.
 bool verify(const Srs& srs, const G1& commitment, const Opening& opening);
 
 }  // namespace dsaudit::kzg

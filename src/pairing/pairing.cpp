@@ -1,14 +1,12 @@
 #include "pairing/pairing.hpp"
 
 #include <stdexcept>
-#include <vector>
 
 namespace dsaudit::pairing {
 
 namespace {
 
 using ff::Fp;
-using ff::Fp2;
 using ff::Fp6;
 using bigint::u128;
 using bigint::VarUInt;
@@ -42,7 +40,7 @@ Fp12 vertical_line_value(const TwistPoint& t, const Fp& xp) {
 /// Tangent step: returns the line through (T, T) at P and doubles T in place.
 Line double_step(TwistPoint& t, const Fp& xp, const Fp& yp) {
   Fp2 x2 = t.x.square();
-  Fp2 lambda = (x2 + x2 + x2) * (t.y.dbl()).inverse();
+  Fp2 lambda = x2.triple() * (t.y.dbl()).inverse();
   Line l = line_value(lambda, t, xp, yp);
   Fp2 xr = lambda.square() - t.x.dbl();
   Fp2 yr = lambda * (t.x - xr) - t.y;
@@ -50,8 +48,7 @@ Line double_step(TwistPoint& t, const Fp& xp, const Fp& yp) {
   return l;
 }
 
-/// Chord step: returns the line through (T, Q) at P and sets T = T + Q.
-/// Folds the chord line through (T, Q) into f and sets T = T + Q.
+/// Chord step: folds the chord line through (T, Q) into f and sets T = T + Q.
 void add_step_into(Fp12& f, TwistPoint& t, const TwistPoint& q, const Fp& xp,
                    const Fp& yp) {
   if (t.x == q.x) {
@@ -80,24 +77,172 @@ TwistPoint to_twist_affine(const G2& q) {
 }
 
 /// The optimal-ate loop count 6t + 2 (65 bits for BN254), derived from the
-/// BN parameter rather than hard-coded.
-std::vector<bool> six_t_plus_2_bits() {
-  u128 v = static_cast<u128>(6) * ff::kBnParamT + 2;
-  std::vector<bool> bits;
-  while (v != 0) {
-    bits.push_back((v & 1) != 0);
-    v >>= 1;
+/// BN parameter rather than hard-coded. Shared by the textbook loop, the
+/// G2Prepared coefficient builder, and the prepared replay loops — all three
+/// must walk the identical addition chain.
+const std::vector<bool>& six_t_plus_2_bits() {
+  static const std::vector<bool> bits = [] {
+    u128 v = static_cast<u128>(6) * ff::kBnParamT + 2;
+    std::vector<bool> b;
+    while (v != 0) {
+      b.push_back((v & 1) != 0);
+      v >>= 1;
+    }
+    return b;  // little-endian
+  }();
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// Prepared engine: homogeneous projective Miller steps (Costello–Lange–
+// Naehrig formulas for the D-type twist y^2 = x^3 + b/xi). The running point
+// (X : Y : Z) represents (X/Z, Y/Z); both steps are inversion-free, and the
+// produced line coefficients are the affine chord/tangent lines scaled by a
+// factor in Fp2 — a subfield of Fp12 killed by the final exponentiation.
+// ---------------------------------------------------------------------------
+
+struct HomProjective {
+  Fp2 x, y, z;
+};
+
+const Fp& half_fp() {
+  static const Fp h = Fp::from_u64(2).inverse();
+  return h;
+}
+
+/// Tangent line at T, doubling T in place. Line = -H*yp + 3X^2*xp*w + (E-B)w^3
+/// with E = 3b'Z^2, B = Y^2 (up to the shared projective scale).
+G2Prepared::Coeffs doubling_step(HomProjective& r) {
+  Fp2 a = (r.x * r.y).mul_fp(half_fp());
+  Fp2 b = r.y.square();
+  Fp2 c = r.z.square();
+  Fp2 e = G2::curve_b() * c.triple();
+  Fp2 f = e.triple();
+  Fp2 g = (b + f).mul_fp(half_fp());
+  Fp2 h = (r.y + r.z).square() - (b + c);
+  Fp2 i = e - b;
+  Fp2 j = r.x.square();
+  Fp2 e2 = e.square();
+  r.x = a * (b - f);
+  r.y = g.square() - e2.triple();
+  r.z = b * h;
+  return {-h, j.triple(), i};
+}
+
+/// Chord line through (T, Q), setting T = T + Q. Never divides, so the
+/// degenerate T = -Q case (unreachable for order-r Q and this chain) safely
+/// yields the point at infinity (Z = 0) instead of crashing.
+G2Prepared::Coeffs addition_step(HomProjective& r, const TwistPoint& q) {
+  Fp2 theta = r.y - q.y * r.z;
+  Fp2 lambda = r.x - q.x * r.z;
+  Fp2 c = theta.square();
+  Fp2 d = lambda.square();
+  Fp2 e = lambda * d;
+  Fp2 f = r.z * c;
+  Fp2 g = r.x * d;
+  Fp2 h = e + f - g.dbl();
+  r.x = lambda * h;
+  r.y = theta * (g - h) - e * r.y;
+  r.z = r.z * e;
+  Fp2 j = theta * q.x - lambda * q.y;
+  return {lambda, -theta, j};
+}
+
+/// Folds one cached line into f, scaled by the G1 argument's coordinates.
+inline void fold_line(Fp12& f, const G2Prepared::Coeffs& co, const Fp& xp,
+                      const Fp& yp) {
+  f = f.mul_by_line(co.a.mul_fp(yp), co.b.mul_fp(xp), co.c);
+}
+
+/// A pairing-product input with the G1 point resolved to affine; built once
+/// per call so the lock-step replay loop only touches flat data.
+struct ActivePair {
+  Fp xp, yp;
+  const std::vector<G2Prepared::Coeffs>* coeffs;
+};
+
+/// Lock-step Miller loops over any number of prepared pairs: one shared f,
+/// one Fp12 squaring per bit for the whole product. Every coefficient chain
+/// has identical length and layout (same addition chain), so a single cursor
+/// walks all of them.
+Fp12 miller_loop_product(std::span<const ActivePair> pairs) {
+  if (pairs.empty()) return Fp12::one();
+  const auto& bits = six_t_plus_2_bits();
+  Fp12 f = Fp12::one();
+  std::size_t idx = 0;
+  for (std::size_t i = bits.size() - 1; i-- > 0;) {
+    f = f.square();
+    for (const auto& p : pairs) fold_line(f, (*p.coeffs)[idx], p.xp, p.yp);
+    ++idx;
+    if (bits[i]) {
+      for (const auto& p : pairs) fold_line(f, (*p.coeffs)[idx], p.xp, p.yp);
+      ++idx;
+    }
   }
-  return bits;  // little-endian
+  // Final two additions with the Frobenius images of Q.
+  for (const auto& p : pairs) fold_line(f, (*p.coeffs)[idx], p.xp, p.yp);
+  ++idx;
+  for (const auto& p : pairs) fold_line(f, (*p.coeffs)[idx], p.xp, p.yp);
+  return f;
+}
+
+/// Collects the finite pairs of a product (an infinite side contributes the
+/// trivial factor 1) and checks chain-length consistency.
+template <typename PairRange, typename GetG1, typename GetPrepared>
+Fp12 miller_product_of(const PairRange& pairs, GetG1&& g1_of,
+                       GetPrepared&& prep_of) {
+  std::vector<ActivePair> active;
+  active.reserve(pairs.size());
+  std::size_t chain = 0;
+  for (const auto& pr : pairs) {
+    const G2Prepared& q = prep_of(pr);
+    const G1& p = g1_of(pr);
+    if (p.is_infinity() || q.is_infinity()) continue;
+    if (chain == 0) {
+      chain = q.coeffs().size();
+    } else if (q.coeffs().size() != chain) {
+      throw std::logic_error("multi_pairing: mismatched prepared chains");
+    }
+    auto [xp, yp] = p.to_affine();
+    active.push_back({xp, yp, &q.coeffs()});
+  }
+  return miller_loop_product(active);
 }
 
 }  // namespace
 
+G2Prepared::G2Prepared(const G2& q) {
+  if (q.is_infinity()) return;
+  auto [qx, qy] = q.to_affine();
+  const TwistPoint qa{qx, qy};
+  HomProjective r{qx, qy, Fp2::one()};
+  const auto& bits = six_t_plus_2_bits();
+  coeffs_.reserve(bits.size() * 2);
+  for (std::size_t i = bits.size() - 1; i-- > 0;) {
+    coeffs_.push_back(doubling_step(r));
+    if (bits[i]) coeffs_.push_back(addition_step(r, qa));
+  }
+  coeffs_.push_back(addition_step(r, to_twist_affine(curve::g2_frobenius(q))));
+  coeffs_.push_back(addition_step(r, to_twist_affine(-curve::g2_frobenius2(q))));
+}
+
+Fp12 miller_loop(const G1& p, const G2Prepared& q) {
+  if (p.is_infinity() || q.is_infinity()) return Fp12::one();
+  auto [xp, yp] = p.to_affine();
+  ActivePair pair{xp, yp, &q.coeffs()};
+  return miller_loop_product(std::span<const ActivePair>(&pair, 1));
+}
+
 Fp12 miller_loop(const G1& p, const G2& q) {
+  if (p.is_infinity() || q.is_infinity()) return Fp12::one();
+  return miller_loop(p, G2Prepared(q));
+}
+
+Fp12 miller_loop_textbook(const G1& p, const G2& q) {
   if (p.is_infinity() || q.is_infinity()) return Fp12::one();
   auto [xp, yp] = p.to_affine();
   TwistPoint qa = to_twist_affine(q);
-  static const std::vector<bool> bits = six_t_plus_2_bits();
+  const auto& bits = six_t_plus_2_bits();
 
   Fp12 f = Fp12::one();
   TwistPoint t = qa;
@@ -119,33 +264,36 @@ Fp12 final_exponentiation(const Fp12& f) {
   if (f.is_zero()) throw std::domain_error("final_exponentiation: zero input");
   // Easy part: f^{(p^6-1)(p^2+1)}.
   Fp12 t0 = f.conjugate() * f.inverse();       // f^{p^6 - 1}
-  Fp12 elt = t0.frobenius_pow(2) * t0;         // ^{p^2 + 1}
+  Fp12 elt = t0.frobenius2() * t0;             // ^{p^2 + 1}
 
   // Hard part: elt^{(p^4 - p^2 + 1)/r} via the Devegili et al. BN recipe
-  // (the same structure as go-ethereum's bn256 finalExponentiation).
+  // (the same structure as go-ethereum's bn256 finalExponentiation). All
+  // values here live in the cyclotomic subgroup — the easy part put elt
+  // there, and Frobenius maps, conjugates and products stay inside — so
+  // every squaring is a cyclotomic squaring.
   const ff::u64 u = ff::kBnParamT;
   Fp12 fp = elt.frobenius();
-  Fp12 fp2 = elt.frobenius_pow(2);
+  Fp12 fp2 = elt.frobenius2();
   Fp12 fp3 = fp2.frobenius();
-  Fp12 fu = elt.pow_u64(u);
-  Fp12 fu2 = fu.pow_u64(u);
-  Fp12 fu3 = fu2.pow_u64(u);
+  Fp12 fu = elt.cyclotomic_pow_u64(u);
+  Fp12 fu2 = fu.cyclotomic_pow_u64(u);
+  Fp12 fu3 = fu2.cyclotomic_pow_u64(u);
   Fp12 y3 = fu.frobenius().conjugate();
   Fp12 fu2p = fu2.frobenius();
   Fp12 fu3p = fu3.frobenius();
-  Fp12 y2 = fu2.frobenius_pow(2);
+  Fp12 y2 = fu2.frobenius2();
   Fp12 y0 = fp * fp2 * fp3;
   Fp12 y1 = elt.conjugate();
   Fp12 y5 = fu2.conjugate();
   Fp12 y4 = (fu * fu2p).conjugate();
   Fp12 y6 = (fu3 * fu3p).conjugate();
-  Fp12 a = y6.square() * y4 * y5;
+  Fp12 a = y6.cyclotomic_square() * y4 * y5;
   Fp12 b = y3 * y5 * a;
   a = a * y2;
-  b = (b.square() * a).square();
+  b = (b.cyclotomic_square() * a).cyclotomic_square();
   a = b * y1;
   b = b * y0;
-  a = a.square();
+  a = a.cyclotomic_square();
   return a * b;
 }
 
@@ -162,13 +310,46 @@ Fp12 pairing(const G1& p, const G2& q) {
   return final_exponentiation(miller_loop(p, q));
 }
 
+Fp12 pairing(const G1& p, const G2Prepared& q) {
+  return final_exponentiation(miller_loop(p, q));
+}
+
+Fp12 pairing_textbook(const G1& p, const G2& q) {
+  return final_exponentiation(miller_loop_textbook(p, q));
+}
+
 Fp12 multi_pairing(std::span<const std::pair<G1, G2>> pairs) {
-  Fp12 f = Fp12::one();
-  for (const auto& [p, q] : pairs) f *= miller_loop(p, q);
+  // One-shot path: prepare each finite Q, then replay in lock-step. The
+  // preparation work equals the G2-side work a direct loop would do, so even
+  // cold this wins the shared squarings.
+  std::vector<G2Prepared> prepared;
+  prepared.reserve(pairs.size());
+  for (const auto& [p, q] : pairs) {
+    prepared.push_back(p.is_infinity() || q.is_infinity() ? G2Prepared{}
+                                                          : G2Prepared(q));
+  }
+  std::vector<PreparedPair> pp(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    pp[i] = {pairs[i].first, &prepared[i]};
+  }
+  return multi_pairing(std::span<const PreparedPair>(pp));
+}
+
+Fp12 multi_pairing(std::span<const PreparedPair> pairs) {
+  Fp12 f = miller_product_of(
+      pairs, [](const PreparedPair& p) -> const G1& { return p.g1; },
+      [](const PreparedPair& p) -> const G2Prepared& {
+        static const G2Prepared inf;
+        return p.g2 ? *p.g2 : inf;
+      });
   return final_exponentiation(f);
 }
 
 bool pairing_product_is_one(std::span<const std::pair<G1, G2>> pairs) {
+  return multi_pairing(pairs).is_one();
+}
+
+bool pairing_product_is_one(std::span<const PreparedPair> pairs) {
   return multi_pairing(pairs).is_one();
 }
 

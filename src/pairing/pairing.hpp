@@ -3,19 +3,28 @@
 //   e(P, Q) = f_{6t+2,Q}(P) * l_{[6t+2]Q, psi(Q)}(P) * l_{..., -psi^2(Q)}(P),
 //   all raised to (p^12 - 1)/r.
 //
-// The Miller loop keeps the running G2 point in affine coordinates on the
-// twist and evaluates chord/tangent lines through the untwisting map — the
-// textbook construction, chosen for auditability; the fast structured final
-// exponentiation is cross-checked in tests against a generic exponentiation
-// by (p^12-1)/r.
+// The production path is a prepared-pairing engine: the Miller loop keeps the
+// running G2 point in homogeneous projective coordinates on the twist
+// (inversion-free doubling/addition step formulas), and every line
+// coefficient depends only on Q — so G2Prepared computes the whole
+// coefficient chain once per fixed Q and miller_loop replays it with two Fp
+// scalings per line. Products of pairings replay all chains in lock-step
+// under a single running f, sharing the per-bit Fp12 squaring across every
+// pair, and one final exponentiation (cyclotomic squarings in the hard part)
+// finishes the product. That is what makes the paper's 4-pairing on-chain
+// verification constant-cost, and what lets one prepared verifier key serve
+// many audit rounds.
 //
-// The verification equations (1) and (2) of the paper are products of four
-// pairings; multi_pairing shares the single final exponentiation across all
-// Miller loops, which is what makes on-chain verification constant-cost.
+// The textbook affine+untwist Miller loop from the original implementation is
+// retained as *_textbook — it is the differential oracle the prepared engine
+// is pinned against in tests (the raw Miller values differ by a subfield
+// factor that the final exponentiation kills, so the oracle equality is at
+// the pairing level).
 #pragma once
 
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "curve/g1.hpp"
 #include "curve/g2.hpp"
@@ -26,12 +35,43 @@ namespace dsaudit::pairing {
 using curve::G1;
 using curve::G2;
 using ff::Fp12;
+using ff::Fp2;
+
+/// All Miller-loop line coefficients for a fixed G2 point, cached once.
+/// Every coefficient triple folds into the running f as the sparse element
+/// (a*yp, 0, 0) + (b*xp, c, 0)w via Fp12::mul_by_line, where (xp, yp) is the
+/// G1 argument — preparing removes all G2-side field work from the loop.
+class G2Prepared {
+ public:
+  struct Coeffs {
+    Fp2 a, b, c;  // line = (a*yp) + (b*xp) w + c w^3, up to a subfield factor
+  };
+
+  G2Prepared() = default;  // prepared infinity: pairs to 1 with anything
+  explicit G2Prepared(const G2& q);
+
+  bool is_infinity() const { return coeffs_.empty(); }
+  const std::vector<Coeffs>& coeffs() const { return coeffs_; }
+
+ private:
+  std::vector<Coeffs> coeffs_;
+};
+
+/// One (G1, prepared-G2) input of a pairing product. Non-owning: the caller
+/// keeps the G2Prepared alive for the duration of the call (verifier keys do
+/// exactly that).
+struct PreparedPair {
+  G1 g1;
+  const G2Prepared* g2 = nullptr;
+};
 
 /// Full pairing. e(inf, Q) = e(P, inf) = 1.
 Fp12 pairing(const G1& p, const G2& q);
+Fp12 pairing(const G1& p, const G2Prepared& q);
 
 /// Miller loop only (no final exponentiation); building block for products.
 Fp12 miller_loop(const G1& p, const G2& q);
+Fp12 miller_loop(const G1& p, const G2Prepared& q);
 
 /// Map a Miller-loop output (or any Fp12 value) to the r-order subgroup.
 Fp12 final_exponentiation(const Fp12& f);
@@ -40,11 +80,20 @@ Fp12 final_exponentiation(const Fp12& f);
 /// used to cross-validate the structured version.
 Fp12 final_exponentiation_slow(const Fp12& f);
 
-/// prod_i e(p_i, q_i) with one shared final exponentiation.
+/// prod_i e(p_i, q_i) with lock-step Miller loops (one shared Fp12 squaring
+/// per bit for the whole product) and one shared final exponentiation.
 Fp12 multi_pairing(std::span<const std::pair<G1, G2>> pairs);
+Fp12 multi_pairing(std::span<const PreparedPair> pairs);
 
 /// True iff prod_i e(p_i, q_i) == 1 — the natural shape of Eq. (1)/(2)
 /// checks after moving everything to one side.
 bool pairing_product_is_one(std::span<const std::pair<G1, G2>> pairs);
+bool pairing_product_is_one(std::span<const PreparedPair> pairs);
+
+/// Textbook affine-coordinates Miller loop and pairing (the original
+/// implementation, chord/tangent lines through the untwisting map). Retained
+/// purely as the differential-test oracle for the prepared engine.
+Fp12 miller_loop_textbook(const G1& p, const G2& q);
+Fp12 pairing_textbook(const G1& p, const G2& q);
 
 }  // namespace dsaudit::pairing

@@ -33,6 +33,7 @@ SecureRng SecureRng::deterministic(std::uint64_t seed) {
 }
 
 void SecureRng::fill(std::span<std::uint8_t> out) {
+  if (out.empty()) return;  // memset on a null data() is UB
   std::memset(out.data(), 0, out.size());
   stream_.crypt(out);
 }

@@ -242,6 +242,69 @@ TEST_F(AuditSoundness, StructuralMismatchesRejected) {
   EXPECT_FALSE(verify_tags(other_kp.pk, sc_.file, sc_.tag));
 }
 
+TEST(AuditVerifier, PreparedVerifierMatchesFreeFunctions) {
+  // One Verifier serving many rounds — basic, private, tags and batch — must
+  // agree with the one-shot free functions on both accepts and rejects.
+  auto rng = SecureRng::deterministic(450);
+  Scenario sc = make_scenario(4000, 8, rng);
+  Verifier verifier(sc.kp.pk);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  EXPECT_TRUE(verifier.verify_tags(sc.file, sc.tag));
+
+  PreparedFile file_ctx = prepare_file(sc.name, sc.file.num_chunks());
+  for (int round = 0; round < 3; ++round) {
+    Challenge chal = make_challenge(rng, 5);
+    ProofBasic proof = prover.prove(chal);
+    EXPECT_TRUE(verifier.verify(sc.name, sc.file.num_chunks(), chal, proof));
+    EXPECT_TRUE(verifier.verify(file_ctx, chal, proof));
+    ProofPrivate priv = prover.prove_private(chal, rng);
+    EXPECT_TRUE(
+        verifier.verify_private(sc.name, sc.file.num_chunks(), chal, priv));
+    EXPECT_TRUE(verifier.verify_private(file_ctx, chal, priv));
+
+    ProofBasic bad = proof;
+    bad.y = bad.y + Fr::one();
+    EXPECT_FALSE(verifier.verify(sc.name, sc.file.num_chunks(), chal, bad));
+    EXPECT_FALSE(verifier.verify(file_ctx, chal, bad));
+    ProofPrivate badp = priv;
+    badp.y_prime = badp.y_prime + Fr::one();
+    EXPECT_FALSE(
+        verifier.verify_private(sc.name, sc.file.num_chunks(), chal, badp));
+    EXPECT_FALSE(verifier.verify_private(file_ctx, chal, badp));
+  }
+
+  std::vector<BasicInstance> instances;
+  for (int i = 0; i < 3; ++i) {
+    BasicInstance inst;
+    inst.name = sc.name;
+    inst.num_chunks = sc.file.num_chunks();
+    inst.challenge = make_challenge(rng, 4);
+    inst.proof = prover.prove(inst.challenge);
+    instances.push_back(inst);
+  }
+  EXPECT_TRUE(verifier.verify_batch(instances, rng));
+  instances[1].proof.y = instances[1].proof.y + Fr::one();
+  EXPECT_FALSE(verifier.verify_batch(instances, rng));
+}
+
+TEST(AuditProver, PreparedPsiTablesMatchColdPath) {
+  // The prepared shifted-base tables for pk.g1_alpha_powers must leave the
+  // proof bit-identical to the cold-MSM prover.
+  auto rng = SecureRng::deterministic(451);
+  Scenario sc = make_scenario(6000, 12, rng);
+  Prover prepared(sc.kp.pk, sc.file, sc.tag, /*prepare_psi=*/true);
+  Prover cold(sc.kp.pk, sc.file, sc.tag, /*prepare_psi=*/false);
+  for (int i = 0; i < 2; ++i) {
+    Challenge chal = make_challenge(rng, 6);
+    ProofBasic a = prepared.prove(chal);
+    ProofBasic b = cold.prove(chal);
+    EXPECT_EQ(a.sigma, b.sigma);
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_EQ(a.psi, b.psi);
+  }
+}
+
 TEST(AuditTags, ParallelMatchesSerial) {
   auto rng = SecureRng::deterministic(402);
   auto kp = keygen(5, rng);

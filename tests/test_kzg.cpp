@@ -50,6 +50,51 @@ TEST_F(KzgTest, PreparedCommitMatchesCold) {
   EXPECT_EQ(prepared.commit_key, key);
 }
 
+TEST_F(KzgTest, VerifierKeyMatchesSrsPath) {
+  // A standalone VerifierKey, srs.make_verifier_key(), and the Srs overload
+  // (prepared or not) must all agree — they run the same prepared engine.
+  Polynomial p = Polynomial::random(9, *rng_);
+  G1 c = commit(srs_, p);
+  Opening good = open(srs_, p, Fr::random(*rng_));
+  Opening bad = good;
+  bad.value = bad.value + Fr::one();
+
+  VerifierKey vk = srs_.make_verifier_key();
+  EXPECT_TRUE(verify(vk, c, good));
+  EXPECT_FALSE(verify(vk, c, bad));
+
+  Srs prepared = srs_;
+  prepared.prepare();
+  ASSERT_NE(prepared.verify_key, nullptr);
+  EXPECT_TRUE(verify(prepared, c, good));
+  EXPECT_FALSE(verify(prepared, c, bad));
+
+  // Mutating the G2 side after prepare() must not verify against the stale
+  // cached tables: the guard falls back to a fresh preparation.
+  Fr k = Fr::random(*rng_);
+  prepared.g2 = prepared.g2.mul(k);
+  prepared.g2_alpha = prepared.g2.mul(alpha_);
+  EXPECT_TRUE(verify(prepared, c, good));
+  EXPECT_FALSE(verify(prepared, c, bad));
+}
+
+TEST_F(KzgTest, HandBuiltSrsWithNonGeneratorG2Verifies) {
+  // An SRS whose G2 side uses a non-generator base (g2' = [k]g2,
+  // g2_alpha' = [alpha]g2') still satisfies the pairing equation; the
+  // prepared engine must not silently assume the standard generator.
+  Fr k = Fr::random(*rng_);
+  Srs odd = srs_;
+  odd.g2 = srs_.g2.mul(k);
+  odd.g2_alpha = odd.g2.mul(alpha_);
+  Polynomial p = Polynomial::random(6, *rng_);
+  G1 c = commit(odd, p);
+  Opening o = open(odd, p, Fr::random(*rng_));
+  EXPECT_TRUE(verify(odd, c, o));
+  Opening bad = o;
+  bad.witness = bad.witness + G1::generator();
+  EXPECT_FALSE(verify(odd, c, bad));
+}
+
 TEST_F(KzgTest, OpenVerifiesAtRandomPoints) {
   for (std::size_t deg : {0u, 1u, 7u, 32u}) {
     Polynomial p = Polynomial::random(deg, *rng_);

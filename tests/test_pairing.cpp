@@ -108,6 +108,126 @@ TEST(MultiPairing, ProductIsOneDetection) {
   EXPECT_FALSE(pairing_product_is_one(bad));
 }
 
+TEST(Prepared, MatchesTextbookPairingOnRandomPairs) {
+  // The prepared projective engine and the textbook affine loop compute
+  // Miller values differing by a subfield factor; the pairings must agree
+  // exactly. This differential pins the whole prepared stack (projective
+  // step formulas, cached coefficient chain, replay loop).
+  auto rng = SecureRng::deterministic(70);
+  for (int i = 0; i < 4; ++i) {
+    G1 p = curve::g1_random(rng);
+    G2 q = curve::g2_random(rng);
+    Fp12 expect = pairing_textbook(p, q);
+    EXPECT_EQ(pairing(p, q), expect);
+    G2Prepared prep(q);
+    EXPECT_EQ(pairing(p, prep), expect);
+  }
+}
+
+TEST(Prepared, ReusedAcrossManyG1Points) {
+  // One prepared Q serving many G1 arguments — the verifier-key usage
+  // pattern — stays consistent with fresh pairings.
+  auto rng = SecureRng::deterministic(71);
+  G2 q = curve::g2_random(rng);
+  G2Prepared prep(q);
+  for (int i = 0; i < 3; ++i) {
+    G1 p = curve::g1_random(rng);
+    EXPECT_EQ(pairing(p, prep), pairing_textbook(p, q));
+  }
+}
+
+TEST(Prepared, InfinityInputs) {
+  auto rng = SecureRng::deterministic(72);
+  G2Prepared inf_q{G2::infinity()};
+  EXPECT_TRUE(inf_q.is_infinity());
+  EXPECT_TRUE(pairing(curve::g1_random(rng), inf_q).is_one());
+  G2Prepared q(curve::g2_random(rng));
+  EXPECT_TRUE(pairing(G1::infinity(), q).is_one());
+}
+
+TEST(MultiPairing, InfinityEntriesAreNeutral) {
+  // Infinity on either side of any entry contributes a factor 1 to the
+  // product, for both the unprepared and the prepared overloads.
+  auto rng = SecureRng::deterministic(73);
+  G1 p1 = curve::g1_random(rng), p2 = curve::g1_random(rng);
+  G2 q1 = curve::g2_random(rng), q2 = curve::g2_random(rng);
+  std::vector<std::pair<G1, G2>> clean{{p1, q1}, {p2, q2}};
+  std::vector<std::pair<G1, G2>> padded{{G1::infinity(), q1},
+                                        {p1, q1},
+                                        {p2, G2::infinity()},
+                                        {p2, q2},
+                                        {G1::infinity(), G2::infinity()}};
+  EXPECT_EQ(multi_pairing(padded), multi_pairing(clean));
+
+  G2Prepared pq1(q1), pq2(q2), pinf{G2::infinity()};
+  std::vector<PreparedPair> prepared{{G1::infinity(), &pq1},
+                                     {p1, &pq1},
+                                     {p2, &pinf},
+                                     {p2, &pq2}};
+  EXPECT_EQ(multi_pairing(prepared), multi_pairing(clean));
+
+  std::vector<std::pair<G1, G2>> all_inf{{G1::infinity(), q1},
+                                         {p1, G2::infinity()}};
+  EXPECT_TRUE(multi_pairing(all_inf).is_one());
+  EXPECT_TRUE(pairing_product_is_one(all_inf));
+}
+
+TEST(MultiPairing, PreparedMatchesProductOfTextbookPairings) {
+  auto rng = SecureRng::deterministic(74);
+  std::vector<G2Prepared> prep;
+  std::vector<std::pair<G1, G2>> raw;
+  Fp12 expect = Fp12::one();
+  for (int i = 0; i < 4; ++i) {
+    raw.emplace_back(curve::g1_random(rng), curve::g2_random(rng));
+    expect *= pairing_textbook(raw.back().first, raw.back().second);
+  }
+  prep.reserve(raw.size());
+  std::vector<PreparedPair> pairs;
+  for (const auto& [p, q] : raw) {
+    prep.emplace_back(q);
+    pairs.push_back({p, &prep.back()});
+  }
+  EXPECT_EQ(multi_pairing(pairs), expect);
+}
+
+TEST(FinalExp, FastMatchesSlowOnMultiPairProducts) {
+  // The cyclotomic-squaring hard part must agree with the giant-exponent
+  // reference on products of several Miller loops — the exact shape every
+  // verification equation feeds it.
+  auto rng = SecureRng::deterministic(75);
+  Fp12 m = Fp12::one();
+  for (int i = 0; i < 4; ++i) {
+    m *= miller_loop(curve::g1_random(rng), curve::g2_random(rng));
+  }
+  EXPECT_EQ(final_exponentiation(m), final_exponentiation_slow(m));
+}
+
+TEST(Fp12Ops, CyclotomicSquareMatchesGenericOnCyclotomicElements) {
+  // GT elements (pairing outputs) live in the cyclotomic subgroup, where
+  // the Granger–Scott compressed squaring must equal the generic square.
+  auto rng = SecureRng::deterministic(76);
+  Fp12 g = pairing(curve::g1_random(rng), curve::g2_random(rng));
+  Fp12 cur = g;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cur.cyclotomic_square(), cur.square());
+    cur = cur.cyclotomic_square() * g;
+  }
+  ff::Fr e = ff::Fr::random(rng);
+  EXPECT_EQ(g.cyclotomic_pow_u256(e.to_u256()), g.pow_u256(e.to_u256()));
+  EXPECT_EQ(g.cyclotomic_pow_u64(ff::kBnParamT), g.pow_u64(ff::kBnParamT));
+}
+
+TEST(Fp12Ops, DirectFrobeniusPowersMatchIterated) {
+  auto rng = SecureRng::deterministic(77);
+  for (int i = 0; i < 3; ++i) {
+    Fp12 f = Fp12::random(rng);
+    EXPECT_EQ(f.frobenius2(), f.frobenius().frobenius());
+    EXPECT_EQ(f.frobenius3(), f.frobenius().frobenius().frobenius());
+    EXPECT_EQ(f.frobenius_pow(6), f.conjugate());
+    EXPECT_EQ(f.frobenius_pow(12), f);
+  }
+}
+
 TEST(Pairing, KnownExponentPairingIdentity) {
   // e(aG1, G2) == e(G1, aG2) for several small a — catches scalar/loop-count
   // mixups that bilinearity with random scalars might mask.
