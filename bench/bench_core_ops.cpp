@@ -9,6 +9,7 @@
 #include "bench/bench_util.hpp"
 #include "kzg/kzg.hpp"
 #include "pairing/pairing.hpp"
+#include "parallel/thread_pool.hpp"
 
 using namespace dsaudit;
 
@@ -312,6 +313,82 @@ void BM_KzgVerifyPrepared(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KzgVerifyPrepared);
+
+// ---------------------------------------------------------------------------
+// Thread scaling: the same hot paths with the parallel layer pinned to 1, 2,
+// 4 and 8 threads (overriding DSAUDIT_THREADS for the timed region). Results
+// are identical at every width — these measure wall-clock only.
+// ---------------------------------------------------------------------------
+
+/// Pins the pool width for one benchmark run and restores the environment
+/// default afterwards.
+struct ThreadPin {
+  explicit ThreadPin(unsigned n) { parallel::set_thread_count(n); }
+  ~ThreadPin() { parallel::set_thread_count(0); }
+};
+
+void BM_MsmG1Threads(benchmark::State& state) {
+  ThreadPin pin(static_cast<unsigned>(state.range(0)));
+  constexpr std::size_t n = 4096;
+  std::vector<curve::G1> pts;
+  std::vector<ff::Fr> sc;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(curve::g1_random(rng()));
+    sc.push_back(ff::Fr::random(rng()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::msm<curve::G1>(pts, sc));
+  }
+}
+BENCHMARK(BM_MsmG1Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_MultiPairing4PreparedThreads(benchmark::State& state) {
+  ThreadPin pin(static_cast<unsigned>(state.range(0)));
+  std::vector<pairing::G2Prepared> prep;
+  std::vector<curve::G1> g1s;
+  for (int i = 0; i < 4; ++i) {
+    prep.emplace_back(curve::g2_random(rng()));
+    g1s.push_back(curve::g1_random(rng()));
+  }
+  std::vector<pairing::PreparedPair> pairs;
+  for (int i = 0; i < 4; ++i) pairs.push_back({g1s[i], &prep[i]});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::multi_pairing(pairs));
+  }
+}
+BENCHMARK(BM_MultiPairing4PreparedThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_ProveBasicThreads(benchmark::State& state) {
+  ThreadPin pin(static_cast<unsigned>(state.range(0)));
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.prover->prove(f.chal));
+  }
+}
+BENCHMARK(BM_ProveBasicThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_VerifyPrivatePreparedThreads(benchmark::State& state) {
+  ThreadPin pin(static_cast<unsigned>(state.range(0)));
+  auto& f = fixture();
+  static audit::Verifier verifier(fixture().sc.kp.pk);
+  static audit::PreparedFile file_ctx =
+      audit::prepare_file(fixture().sc.name, fixture().sc.file.num_chunks());
+  auto proof = f.prover->prove_private(f.chal, rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify_private(file_ctx, f.chal, proof));
+  }
+}
+BENCHMARK(BM_VerifyPrivatePreparedThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_GtCompress(benchmark::State& state) {
   ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));

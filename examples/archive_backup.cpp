@@ -62,6 +62,10 @@ int main() {
     audit::FileTag tag;
     audit::Fr name;
     std::unique_ptr<audit::Prover> prover;
+    // Each shard's contract answers challenges from its own RNG stream:
+    // with DSAUDIT_THREADS > 1 the chain prepares concurrent rounds across
+    // contracts, and a shared stream would race.
+    std::unique_ptr<primitives::SecureRng> prover_rng;
     std::unique_ptr<contract::AuditContract> contract;
   };
   std::vector<ShardDeployment> deployments(shards.size());
@@ -89,10 +93,12 @@ int main() {
     dep.contract = std::make_unique<contract::AuditContract>(
         chainsim, beacon, terms, kp.pk, dep.name, dep.file.num_chunks());
     audit::Prover* prover = dep.prover.get();
+    dep.prover_rng = std::make_unique<primitives::SecureRng>(rng.bytes32());
+    primitives::SecureRng* dep_rng = dep.prover_rng.get();
     dep.contract->set_responder(
-        [prover, &rng](const audit::Challenge& chal)
+        [prover, dep_rng](const audit::Challenge& chal)
             -> std::optional<std::vector<std::uint8_t>> {
-          return audit::serialize(prover->prove_private(chal, rng));
+          return audit::serialize(prover->prove_private(chal, *dep_rng));
         });
     dep.contract->negotiated();
     dep.contract->acked(true);

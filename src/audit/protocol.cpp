@@ -1,10 +1,11 @@
 #include "audit/protocol.hpp"
 
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "pairing/pairing.hpp"
+#include "parallel/thread_pool.hpp"
 #include "poly/polynomial.hpp"
 
 namespace dsaudit::audit {
@@ -75,16 +76,10 @@ FileTag generate_tags(const SecretKey& sk, const PublicKey& pk,
   if (threads <= 1 || tag.num_chunks < 2) {
     worker(0, tag.num_chunks);
   } else {
-    threads = std::min<unsigned>(threads, tag.num_chunks);
-    std::vector<std::thread> pool;
-    std::size_t per = (tag.num_chunks + threads - 1) / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-      std::size_t begin = t * per;
-      std::size_t end = std::min(tag.num_chunks, begin + per);
-      if (begin >= end) break;
-      pool.emplace_back(worker, begin, end);
-    }
-    for (auto& th : pool) th.join();
+    // Chunk tags are independent; the shared pool does the range split. The
+    // caller's `threads` caps the chunk count so a small request on a wide
+    // pool still honours the paper's per-thread-count measurements.
+    parallel::parallel_for_ranges(tag.num_chunks, worker, threads);
   }
   return tag;
 }
@@ -113,12 +108,22 @@ Prover::Core Prover::core(const Challenge& chal, ProverTimings* timings) const {
   const std::size_t s = pk_.s;
 
   // --- Z_p phase: aggregate P_k(x) = sum_j c_j M_{i_j}(x), then the KZG
-  // quotient and evaluation.
+  // quotient and evaluation. The per-chunk scaled additions shard across the
+  // pool with one partial accumulator per range; modular addition is exact
+  // and associative, so the ordered recombination matches the sequential sum.
   std::vector<Fr> p(s, Fr::zero());
-  for (std::size_t j = 0; j < k; ++j) {
-    const auto& chunk = file_.chunks[ex.indices[j]];
-    const Fr& c = ex.coefficients[j];
-    for (std::size_t l = 0; l < s; ++l) p[l] += c * chunk[l];
+  {
+    std::mutex merge_mutex;
+    parallel::parallel_for_ranges(k, [&](std::size_t begin, std::size_t end) {
+      std::vector<Fr> part(s, Fr::zero());
+      for (std::size_t j = begin; j < end; ++j) {
+        const auto& chunk = file_.chunks[ex.indices[j]];
+        const Fr& c = ex.coefficients[j];
+        for (std::size_t l = 0; l < s; ++l) part[l] += c * chunk[l];
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      for (std::size_t l = 0; l < s; ++l) p[l] += part[l];
+    });
   }
   poly::Polynomial pk_poly(std::move(p));
   auto [quotient, y] = pk_poly.divide_by_linear(chal.r);
@@ -178,9 +183,12 @@ namespace {
 /// data only.
 G1 compute_chi(const Fr& name, const ExpandedChallenge& ex) {
   std::vector<G1> hashes(ex.indices.size());
-  for (std::size_t j = 0; j < ex.indices.size(); ++j) {
-    hashes[j] = chunk_hash(name, ex.indices[j]);
-  }
+  parallel::parallel_for_ranges(
+      ex.indices.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          hashes[j] = chunk_hash(name, ex.indices[j]);
+        }
+      });
   return curve::msm<G1>(hashes, ex.coefficients);
 }
 
@@ -226,7 +234,11 @@ bool Verifier::verify_tags(const storage::EncodedFile& file,
   }
   G1 low_pt = curve::msm<G1>(pk_.g1_alpha_powers, low);
   std::vector<G1> hashes(d);
-  for (std::size_t i = 0; i < d; ++i) hashes[i] = chunk_hash(tag.name, i);
+  parallel::parallel_for_ranges(d, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hashes[i] = chunk_hash(tag.name, i);
+    }
+  });
   G1 chi = curve::msm<G1>(hashes, rho);
 
   std::vector<pairing::PreparedPair> pairs;
@@ -311,7 +323,12 @@ PreparedFile prepare_file(const Fr& name, std::size_t num_chunks) {
   pf.name = name;
   pf.num_chunks = num_chunks;
   std::vector<G1> hashes(num_chunks);
-  for (std::size_t i = 0; i < num_chunks; ++i) hashes[i] = chunk_hash(name, i);
+  parallel::parallel_for_ranges(num_chunks,
+                                [&](std::size_t begin, std::size_t end) {
+                                  for (std::size_t i = begin; i < end; ++i) {
+                                    hashes[i] = chunk_hash(name, i);
+                                  }
+                                });
   pf.hashes = curve::msm_precompute<G1>(hashes);
   return pf;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "field/sqrt.hpp"
+#include "pairing/pairing.hpp"
 
 namespace dsaudit::audit {
 
@@ -85,17 +86,24 @@ std::optional<Fp12> gt_decompress(std::span<const std::uint8_t, 192> bytes) {
   buf[0] &= 0x3f;
   auto a = read_fp6(buf.data());
   if (!a) return std::nullopt;
+  Fp12 g;
   if (b_zero) {
     if (b_greater) return std::nullopt;
     if (!a->square().is_one()) return std::nullopt;
-    return Fp12{*a, Fp6::zero()};
+    g = Fp12{*a, Fp6::zero()};
+  } else {
+    // b^2 = (a^2 - 1) / v
+    Fp6 b2 = (a->square() - Fp6::one()) * v_element().inverse();
+    auto b = ff::sqrt(b2);
+    if (!b || b->is_zero()) return std::nullopt;
+    Fp6 chosen = (fp6_lex_greater(*b, -*b) == b_greater) ? *b : -*b;
+    g = Fp12{*a, chosen};
   }
-  // b^2 = (a^2 - 1) / v
-  Fp6 b2 = (a->square() - Fp6::one()) * v_element().inverse();
-  auto b = ff::sqrt(b2);
-  if (!b || b->is_zero()) return std::nullopt;
-  Fp6 chosen = (fp6_lex_greater(*b, -*b) == b_greater) ? *b : -*b;
-  return Fp12{*a, chosen};
+  // Unit norm (established above) is necessary but not sufficient: it admits
+  // the whole order-(p^6+1) subgroup. Only genuine pairing outputs — the
+  // order-r subgroup — deserialize.
+  if (!pairing::gt_in_subgroup(g)) return std::nullopt;
+  return g;
 }
 
 std::vector<std::uint8_t> serialize(const ProofBasic& proof) {
@@ -174,6 +182,7 @@ std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> by
   PublicKey pk;
   pk.s = 0;
   for (int i = 0; i < 8; ++i) pk.s = (pk.s << 8) | bytes[i];
+  if (pk.s == 0) return std::nullopt;  // keygen requires s >= 1
   std::size_t power_count = pk.s >= 2 ? pk.s - 1 : 1;
   std::size_t base = 8 + 64 + 64 + 32 * power_count;
   bool with_privacy;
@@ -189,6 +198,10 @@ std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> by
   auto del = curve::g2_decompress(
       std::span<const std::uint8_t, 64>(bytes.data() + 72, 64));
   if (!eps || !del) return std::nullopt;
+  // epsilon = g2^x, delta = g2^{alpha x} with x, alpha nonzero: the identity
+  // is never a legitimate key component, and accepting it would neuter every
+  // pairing check against this key.
+  if (eps->is_infinity() || del->is_infinity()) return std::nullopt;
   pk.epsilon = *eps;
   pk.delta = *del;
   for (std::size_t j = 0; j < power_count; ++j) {

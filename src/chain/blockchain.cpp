@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace dsaudit::chain {
 
 Blockchain::Blockchain(ChainConfig config) : config_(config) {
@@ -35,7 +37,12 @@ std::size_t Blockchain::submit(Transaction tx) {
 }
 
 void Blockchain::schedule(Timestamp when, std::function<void(Timestamp)> action) {
-  tasks_.emplace(when, std::move(action));
+  tasks_.emplace(when, ScheduledTask{when, std::move(action), nullptr});
+}
+
+void Blockchain::schedule(Timestamp when, std::function<void(Timestamp)> prepare,
+                          std::function<void(Timestamp)> action) {
+  tasks_.emplace(when, ScheduledTask{when, std::move(action), std::move(prepare)});
 }
 
 void Blockchain::mine_one_block() {
@@ -76,10 +83,25 @@ void Blockchain::advance(Timestamp seconds) {
     if (next_event > target) break;
     now_ = next_event;
     // Fire all tasks due now (they may submit txs mined in the next block).
+    // Each batch drains everything due at this instant: prepares run first —
+    // concurrently when a pool is configured; they are side-effect-free by
+    // contract — then actions run sequentially in schedule order, so ledger
+    // and transaction ordering are identical at every thread count. Actions
+    // may schedule new tasks at <= now_; the outer loop batches those too.
     while (!tasks_.empty() && tasks_.begin()->first <= now_) {
-      auto action = std::move(tasks_.begin()->second);
-      tasks_.erase(tasks_.begin());
-      action(now_);
+      std::vector<ScheduledTask> batch;
+      while (!tasks_.empty() && tasks_.begin()->first <= now_) {
+        batch.push_back(std::move(tasks_.begin()->second));
+        tasks_.erase(tasks_.begin());
+      }
+      std::vector<std::size_t> prepares;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].prepare) prepares.push_back(i);
+      }
+      parallel::parallel_for(prepares.size(), [&](std::size_t k) {
+        batch[prepares[k]].prepare(now_);
+      });
+      for (auto& task : batch) task.action(now_);
     }
     if (now_ >= next_block_at_) {
       mine_one_block();

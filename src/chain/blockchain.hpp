@@ -50,10 +50,16 @@ struct ChainConfig {
 };
 
 /// Scheduled callback ("Ethereum Alarm Clock" in Fig. 2): fires the first
-/// time a block at/after `when` is mined.
+/// time a block at/after `when` is mined. A task may carry an optional
+/// `prepare` stage holding its side-effect-free heavy work (proof generation,
+/// proof verification): advance() runs the prepares of all tasks due at one
+/// instant concurrently on the parallel pool, then runs every `action`
+/// sequentially in schedule order — so chain state (balances, transactions,
+/// events) evolves exactly as it would under one-at-a-time execution.
 struct ScheduledTask {
   Timestamp when = 0;
   std::function<void(Timestamp)> action;
+  std::function<void(Timestamp)> prepare;  // optional, must not touch chain
 };
 
 class Blockchain {
@@ -75,6 +81,10 @@ class Blockchain {
 
   /// Schedule a callback at a future timestamp.
   void schedule(Timestamp when, std::function<void(Timestamp)> action);
+  /// Schedule a callback plus a side-effect-free prepare stage that advance()
+  /// may run concurrently with other due tasks' prepares before any action.
+  void schedule(Timestamp when, std::function<void(Timestamp)> prepare,
+                std::function<void(Timestamp)> action);
 
   /// Advance simulated time, mining blocks every block_interval_s and firing
   /// due scheduled tasks (which may themselves submit transactions).
@@ -98,7 +108,7 @@ class Blockchain {
   std::vector<Transaction> txs_;
   std::vector<std::size_t> pending_;
   std::vector<Block> blocks_;
-  std::multimap<Timestamp, std::function<void(Timestamp)>> tasks_;
+  std::multimap<Timestamp, ScheduledTask> tasks_;
   std::map<Address, std::uint64_t> balances_;
   std::size_t total_bytes_ = 0;
   std::uint64_t total_gas_ = 0;

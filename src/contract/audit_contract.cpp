@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "audit/serialize.hpp"
@@ -15,6 +16,15 @@ std::uint64_t contract_counter = 0;
 
 void require(bool cond, const char* what) {
   if (!cond) throw std::logic_error(std::string("AuditContract: ") + what);
+}
+
+/// Beacons may keep per-round state (CommitRevealBeacon counts withheld
+/// reveals), and many contracts share one beacon; their prepare stages run
+/// concurrently, so beacon reads are serialized. Outputs are pure in the
+/// round number, so the acquisition order does not affect any result.
+std::mutex& beacon_mutex() {
+  static std::mutex m;
+  return m;
 }
 
 }  // namespace
@@ -116,16 +126,43 @@ Challenge AuditContract::challenge_from_beacon(std::uint64_t round) const {
 }
 
 void AuditContract::schedule_challenge(Timestamp when) {
-  chain_.schedule(when, [this](Timestamp now) { on_challenge_due(now); });
+  chain_.schedule(when, [this](Timestamp now) { prepare_challenge(now); },
+                  [this](Timestamp now) { on_challenge_due(now); });
+}
+
+void AuditContract::prepare_challenge(Timestamp /*now*/) {
+  if (state_ != State::Audit || cnt_ >= terms_.num_audits) return;
+  StagedChallenge staged;
+  {
+    std::lock_guard<std::mutex> lock(beacon_mutex());
+    staged.challenge = challenge_from_beacon(cnt_);
+  }
+  // Provider reacts off-chain; in the simulation the responder runs here —
+  // possibly concurrently with other contracts' provers — and its proof
+  // "arrives" as a tx in the response window.
+  if (responder_) staged.proof = responder_(staged.challenge);
+  staged_challenge_ = std::move(staged);
 }
 
 void AuditContract::on_challenge_due(Timestamp /*now*/) {
-  if (state_ != State::Audit) return;  // contract closed meanwhile
+  if (state_ != State::Audit) {  // contract closed meanwhile
+    staged_challenge_.reset();
+    return;
+  }
   require(cnt_ < terms_.num_audits, "challenge beyond num_audits");
 
   RoundRecord rec;
   rec.round = cnt_;
-  rec.challenge = challenge_from_beacon(cnt_);
+  std::optional<std::vector<std::uint8_t>> proof;
+  if (staged_challenge_) {
+    rec.challenge = staged_challenge_->challenge;
+    proof = std::move(staged_challenge_->proof);
+    staged_challenge_.reset();
+  } else {
+    // Unprepared path (direct calls in tests): same work, inline.
+    rec.challenge = challenge_from_beacon(cnt_);
+    if (responder_) proof = responder_(rec.challenge);
+  }
   rec.challenged_at = chain_.now();
 
   chain::Transaction tx;
@@ -138,51 +175,68 @@ void AuditContract::on_challenge_due(Timestamp /*now*/) {
 
   state_ = State::Prove;
   pending_proof_.reset();
-  // Provider reacts off-chain; in the simulation the responder is invoked
-  // synchronously and its proof "arrives" as a tx in the response window.
-  if (responder_) {
-    if (auto proof = responder_(rec.challenge)) {
-      pending_proof_ = std::move(proof);
-      rec.proved_at = chain_.now();
-      rec.proof_bytes = pending_proof_->size();
-      emit("proofposted");
-    }
+  if (proof) {
+    pending_proof_ = std::move(proof);
+    rec.proved_at = chain_.now();
+    rec.proof_bytes = pending_proof_->size();
+    emit("proofposted");
   }
   rounds_.push_back(std::move(rec));
   chain_.schedule(chain_.now() + terms_.response_window_s,
+                  [this](Timestamp now) { prepare_verify(now); },
                   [this](Timestamp now) { on_verify_due(now); });
 }
 
-void AuditContract::on_verify_due(Timestamp /*now*/) {
-  if (state_ != State::Prove) return;
+void AuditContract::prepare_verify(Timestamp /*now*/) {
+  if (state_ != State::Prove || !pending_proof_) return;
+  auto t0 = std::chrono::steady_clock::now();
+  StagedVerify staged;
+  if (terms_.private_proofs) {
+    auto proof = audit::deserialize_private(*pending_proof_);
+    staged.ok =
+        proof && verifier_.verify_private(file_ctx_, rounds_.back().challenge,
+                                          *proof);
+  } else {
+    auto proof = audit::deserialize_basic(*pending_proof_);
+    staged.ok =
+        proof && verifier_.verify(file_ctx_, rounds_.back().challenge, *proof);
+  }
+  staged.verify_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  staged_verify_ = staged;
+}
+
+void AuditContract::on_verify_due(Timestamp now) {
+  if (state_ != State::Prove) {
+    staged_verify_.reset();
+    return;
+  }
   RoundRecord& rec = rounds_.back();
 
   if (!pending_proof_) {
+    staged_verify_.reset();
     rec.outcome = RoundOutcome::Timeout;
     emit("fail");
     if (terms_.penalty_per_fail > 0) {
       chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
     }
   } else {
-    auto t0 = std::chrono::steady_clock::now();
-    bool ok = false;
-    if (terms_.private_proofs) {
-      auto proof = audit::deserialize_private(*pending_proof_);
-      ok = proof && verifier_.verify_private(file_ctx_, rec.challenge, *proof);
-    } else {
-      auto proof = audit::deserialize_basic(*pending_proof_);
-      ok = proof && verifier_.verify(file_ctx_, rec.challenge, *proof);
-    }
-    rec.verify_ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+    if (!staged_verify_) prepare_verify(now);
+    bool ok = staged_verify_->ok;
+    rec.verify_ms = staged_verify_->verify_ms;  // telemetry only
+    staged_verify_.reset();
     // The prove tx carries the proof bytes and triggers on-chain
-    // verification; gas follows the §VII-B extrapolation.
+    // verification; gas follows the §VII-B extrapolation at the model's
+    // calibrated verification time, NOT this run's wall clock — settlement
+    // must be a deterministic function of on-chain data.
     chain::Transaction tx;
     tx.from = terms_.provider;
     tx.description = "prove";
     tx.payload_bytes = rec.proof_bytes;
-    tx.gas_used = gas_.audit_tx_gas(rec.proof_bytes, 48, rec.verify_ms);
+    tx.gas_used =
+        cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
+                               cost_.verify_ms);
     chain_.submit(tx);
     rec.gas_used = tx.gas_used;
 

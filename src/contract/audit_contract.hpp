@@ -19,6 +19,7 @@
 #include "audit/protocol.hpp"
 #include "chain/beacon.hpp"
 #include "chain/blockchain.hpp"
+#include "econ/cost_model.hpp"
 
 namespace dsaudit::contract {
 
@@ -56,6 +57,9 @@ struct RoundRecord {
   Timestamp challenged_at = 0;
   std::optional<Timestamp> proved_at;
   std::size_t proof_bytes = 0;
+  /// Measured wall-clock of this round's verification. Telemetry only — gas
+  /// settlement uses the calibrated econ::AuditCostModel so that gas_used,
+  /// escrow flows and NetworkStats.total_gas are deterministic.
   double verify_ms = 0;
   std::uint64_t gas_used = 0;  // prove-tx gas incl. on-chain verification
   RoundOutcome outcome = RoundOutcome::Timeout;
@@ -112,7 +116,13 @@ class AuditContract {
  private:
   void emit(const std::string& what);
   void schedule_challenge(Timestamp when);
+  /// Heavy, chain-state-free halves of the round callbacks. The Blockchain
+  /// runs them concurrently across contracts due at the same instant (see
+  /// ScheduledTask::prepare); the matching *_due actions consume the staged
+  /// results and perform all chain mutations sequentially.
+  void prepare_challenge(Timestamp now);
   void on_challenge_due(Timestamp now);
+  void prepare_verify(Timestamp now);
   void on_verify_due(Timestamp now);
   void settle_and_close();
   Challenge challenge_from_beacon(std::uint64_t round) const;
@@ -139,6 +149,22 @@ class AuditContract {
   std::vector<RoundRecord> rounds_;
   std::vector<ContractEvent> events_;
   chain::GasSchedule gas_ = chain::GasSchedule::calibrated();
+  // §VII-B calibrated per-audit cost model: the source of the deterministic
+  // verification-gas figure (the measured wall-clock stays telemetry).
+  econ::AuditCostModel cost_;
+
+  // Staging area filled by prepare_* and consumed by the same instant's
+  // action; only ever touched for this contract's own tasks.
+  struct StagedChallenge {
+    Challenge challenge;
+    std::optional<std::vector<std::uint8_t>> proof;
+  };
+  std::optional<StagedChallenge> staged_challenge_;
+  struct StagedVerify {
+    bool ok = false;
+    double verify_ms = 0;
+  };
+  std::optional<StagedVerify> staged_verify_;
 };
 
 }  // namespace dsaudit::contract

@@ -14,7 +14,10 @@
 //     multiples (Point::mul_naive keeps the double-and-add reference);
 //   - msm: Pippenger bucketing over affine bases with signed windows (half
 //     the buckets), limb-wise digit extraction, and batched affine bucket
-//     accumulation that amortizes one inversion over thousands of additions.
+//     accumulation that amortizes one inversion over thousands of additions;
+//   - all three MSM entry points shard their signed-digit window positions
+//     across the parallel::thread_pool (see detail::msm_sharded), falling
+//     back to the identical sequential pipeline at one thread.
 #pragma once
 
 #include <bit>
@@ -24,6 +27,7 @@
 
 #include "field/batch_inverse.hpp"
 #include "field/fp.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace dsaudit::curve {
 
@@ -431,7 +435,10 @@ inline unsigned extract_signed_digits(std::span<const Fr> scalars, unsigned c,
 /// The whole bucket pipeline shared by msm and msm_precomputed, from signed
 /// digits to the final point: counting-sort of the nonzero digits into bucket
 /// runs, shared-round batched-affine tree reduction, the row/column
-/// (w_d = u*K + v) gather and reduction, and the final combine.
+/// (w_d = u*K + v) gather and reduction, and the final combine. Operates on
+/// the digit positions [t_begin, t_end) of the position-major digit array —
+/// the sequential paths pass the full range, the sharded driver below hands
+/// each pool task a contiguous sub-range.
 ///
 /// Parameterized by the two things that differ between the callers:
 ///   - runs per position: with `per_position_buckets` every window position
@@ -442,8 +449,8 @@ inline unsigned extract_signed_digits(std::span<const Fr> scalars, unsigned c,
 ///   - the base lookup `base(t, i)`: position-independent bases for the cold
 ///     path, tbl.pts[t * n + i] for the shifted-base table.
 template <typename P, typename BaseFn>
-P msm_from_digits(const std::vector<std::int32_t>& digits, std::size_t n,
-                  unsigned used, unsigned c, bool per_position_buckets,
+P msm_from_digits(const std::int32_t* digits, std::size_t n, unsigned t_begin,
+                  unsigned t_end, unsigned c, bool per_position_buckets,
                   BaseFn&& base) {
   using F = typename P::Field;
   using A = typename P::Affine;
@@ -453,15 +460,17 @@ P msm_from_digits(const std::vector<std::int32_t>& digits, std::size_t n,
   const unsigned kbits = c / 2;
   const u32 K = u32{1} << kbits;
   const u32 R = half / K + 1;
+  const unsigned used = t_end - t_begin;
   const unsigned spaces = per_position_buckets ? used : 1;
 
   // Counting-sort of all positions' nonzero digits into bucket runs;
   // bucket id = space * half + |digit| - 1.
   const std::size_t nb = std::size_t{spaces} * half;
   std::vector<u32> counts(nb, 0);
-  for (unsigned t = 0; t < used; ++t) {
-    const std::int32_t* dt = digits.data() + std::size_t{t} * n;
-    const std::size_t wb = per_position_buckets ? std::size_t{t} * half : 0;
+  for (unsigned t = t_begin; t < t_end; ++t) {
+    const std::int32_t* dt = digits + std::size_t{t} * n;
+    const std::size_t wb =
+        per_position_buckets ? std::size_t{t - t_begin} * half : 0;
     for (std::size_t i = 0; i < n; ++i) {
       std::int32_t d = dt[i];
       if (d != 0) ++counts[wb + (d > 0 ? d : -d) - 1];
@@ -475,9 +484,10 @@ P msm_from_digits(const std::vector<std::int32_t>& digits, std::size_t n,
     if (counts[b] > 1) active.push_back(static_cast<u32>(b));
   }
   std::vector<A> sorted(entries);
-  for (unsigned t = 0; t < used; ++t) {
-    const std::int32_t* dt = digits.data() + std::size_t{t} * n;
-    const std::size_t wb = per_position_buckets ? std::size_t{t} * half : 0;
+  for (unsigned t = t_begin; t < t_end; ++t) {
+    const std::int32_t* dt = digits + std::size_t{t} * n;
+    const std::size_t wb =
+        per_position_buckets ? std::size_t{t - t_begin} * half : 0;
     for (std::size_t i = 0; i < n; ++i) {
       std::int32_t d = dt[i];
       if (d == 0) continue;
@@ -567,6 +577,48 @@ P msm_from_digits(const std::vector<std::int32_t>& digits, std::size_t n,
   return total;
 }
 
+/// Sharded driver over msm_from_digits: splits the used digit positions into
+/// contiguous groups (one per pool thread, at most one per position), reduces
+/// every group's bucket pipeline concurrently, and combines the group results
+/// sequentially in descending group order. For the per-position (cold) path
+/// the combine re-applies each group's 2^{c*t_begin} weight with c doublings
+/// per covered position — the same total doubling count the unsharded Horner
+/// pays. For the shared-space (precomputed) path the shifted bases already
+/// carry the weights, so the combine is a plain ordered sum. With one thread
+/// (or from inside a pool worker) this is exactly the unsharded pipeline.
+template <typename P, typename BaseFn>
+P msm_sharded(const std::vector<std::int32_t>& digits, std::size_t n,
+              unsigned used, unsigned c, bool per_position_buckets,
+              BaseFn&& base) {
+  const unsigned threads = parallel::thread_count();
+  // Below ~2^12 digit entries the whole pipeline runs in well under a
+  // millisecond and fork/join overhead would dominate.
+  if (threads <= 1 || parallel::in_worker() || used < 2 ||
+      std::size_t{used} * n < 4096) {
+    return msm_from_digits<P>(digits.data(), n, 0, used, c,
+                              per_position_buckets, base);
+  }
+  const unsigned groups = threads < used ? threads : used;
+  std::vector<unsigned> bounds(groups + 1);
+  for (unsigned g = 0; g <= groups; ++g) {
+    bounds[g] = static_cast<unsigned>((std::uint64_t{used} * g) / groups);
+  }
+  std::vector<P> partial(groups);
+  parallel::parallel_for(groups, [&](std::size_t g) {
+    partial[g] = msm_from_digits<P>(digits.data(), n, bounds[g], bounds[g + 1],
+                                    c, per_position_buckets, base);
+  });
+  P total = P::infinity();
+  for (unsigned g = groups; g-- > 0;) {
+    if (per_position_buckets) {
+      const unsigned span = bounds[g + 1] - bounds[g];
+      for (unsigned i = 0; i < c * span; ++i) total = total.dbl();
+    }
+    total += partial[g];
+  }
+  return total;
+}
+
 }  // namespace detail
 
 /// Multi-scalar multiplication via Pippenger bucketing: returns
@@ -612,7 +664,7 @@ P msm(std::span<const P> points, std::span<const Fr> scalars) {
   if (used == 0) return P::infinity();
 
   const std::vector<A> base = P::batch_to_affine(points);
-  return detail::msm_from_digits<P>(
+  return detail::msm_sharded<P>(
       digits, n, used, c, /*per_position_buckets=*/true,
       [&base](unsigned, std::size_t i) -> const A& { return base[i]; });
 }
@@ -651,15 +703,19 @@ MsmBasesTable<P> msm_precompute(std::span<const P> points, unsigned c = 0) {
   tbl.positions = (scalar_bits + c - 1) / c + 1;  // +1: signed-digit carry
   std::vector<P> jac(std::size_t{tbl.positions} * tbl.n);
   for (std::size_t i = 0; i < tbl.n; ++i) jac[i] = points[i];
-  for (unsigned t = 1; t < tbl.positions; ++t) {
-    const std::size_t prev = std::size_t{t - 1} * tbl.n;
-    const std::size_t cur = std::size_t{t} * tbl.n;
-    for (std::size_t i = 0; i < tbl.n; ++i) {
-      P p = jac[prev + i];
-      for (unsigned d = 0; d < c; ++d) p = p.dbl();
-      jac[cur + i] = p;
+  // Each base's doubling chain is independent, so the build shards by base
+  // column; per-column results are identical regardless of the pool width.
+  const unsigned positions = tbl.positions;
+  const std::size_t stride = tbl.n;
+  parallel::parallel_for_ranges(tbl.n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (unsigned t = 1; t < positions; ++t) {
+        P p = jac[std::size_t{t - 1} * stride + i];
+        for (unsigned d = 0; d < c; ++d) p = p.dbl();
+        jac[std::size_t{t} * stride + i] = p;
+      }
     }
-  }
+  });
   tbl.pts = P::batch_to_affine(jac);
   return tbl;
 }
@@ -683,7 +739,7 @@ P msm_precomputed(const MsmBasesTable<P>& tbl, std::span<const Fr> scalars) {
 
   const A* pts = tbl.pts.data();
   const std::size_t stride = tbl.n;
-  return detail::msm_from_digits<P>(
+  return detail::msm_sharded<P>(
       digits, m, used, tbl.c, /*per_position_buckets=*/false,
       [pts, stride](unsigned t, std::size_t i) -> const A& {
         return pts[std::size_t{t} * stride + i];
@@ -719,7 +775,7 @@ P msm_precomputed(const MsmBasesTable<P>& tbl,
   const A* pts = tbl.pts.data();
   const std::size_t stride = tbl.n;
   const std::uint64_t* idx = indices.data();
-  return detail::msm_from_digits<P>(
+  return detail::msm_sharded<P>(
       digits, m, used, tbl.c, /*per_position_buckets=*/false,
       [pts, stride, idx](unsigned t, std::size_t i) -> const A& {
         return pts[std::size_t{t} * stride + idx[i]];

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace dsaudit::pairing {
 
 namespace {
@@ -186,6 +188,32 @@ Fp12 miller_loop_product(std::span<const ActivePair> pairs) {
   return f;
 }
 
+/// Sharded Miller product: splits the chains into one contiguous group per
+/// pool thread, runs each group's lock-step loop concurrently, and multiplies
+/// the group values together. Squarings distribute over products
+/// ((f_a * f_b)^2 = f_a^2 * f_b^2) and the line folds commute, so the grouped
+/// value is the exact same field element as the fully lock-step one — the
+/// grouping only trades shared per-bit squarings for wall-clock. One thread
+/// (or a single chain) takes the fully shared loop unchanged.
+Fp12 miller_loop_product_sharded(std::span<const ActivePair> pairs) {
+  const unsigned threads = parallel::thread_count();
+  if (threads <= 1 || parallel::in_worker() || pairs.size() <= 1) {
+    return miller_loop_product(pairs);
+  }
+  const std::size_t groups =
+      std::size_t{threads} < pairs.size() ? threads : pairs.size();
+  std::vector<Fp12> partial(groups, Fp12::one());
+  const std::size_t base = pairs.size() / groups, extra = pairs.size() % groups;
+  parallel::parallel_for(groups, [&](std::size_t g) {
+    const std::size_t begin = g * base + (g < extra ? g : extra);
+    const std::size_t end = begin + base + (g < extra ? 1 : 0);
+    partial[g] = miller_loop_product(pairs.subspan(begin, end - begin));
+  });
+  Fp12 f = partial[0];
+  for (std::size_t g = 1; g < groups; ++g) f = f * partial[g];
+  return f;
+}
+
 /// Collects the finite pairs of a product (an infinite side contributes the
 /// trivial factor 1) and checks chain-length consistency.
 template <typename PairRange, typename GetG1, typename GetPrepared>
@@ -206,7 +234,7 @@ Fp12 miller_product_of(const PairRange& pairs, GetG1&& g1_of,
     auto [xp, yp] = p.to_affine();
     active.push_back({xp, yp, &q.coeffs()});
   }
-  return miller_loop_product(active);
+  return miller_loop_product_sharded(active);
 }
 
 }  // namespace
@@ -322,12 +350,12 @@ Fp12 multi_pairing(std::span<const std::pair<G1, G2>> pairs) {
   // One-shot path: prepare each finite Q, then replay in lock-step. The
   // preparation work equals the G2-side work a direct loop would do, so even
   // cold this wins the shared squarings.
-  std::vector<G2Prepared> prepared;
-  prepared.reserve(pairs.size());
-  for (const auto& [p, q] : pairs) {
-    prepared.push_back(p.is_infinity() || q.is_infinity() ? G2Prepared{}
-                                                          : G2Prepared(q));
-  }
+  std::vector<G2Prepared> prepared(pairs.size());
+  parallel::parallel_for(pairs.size(), [&](std::size_t i) {
+    if (!pairs[i].first.is_infinity() && !pairs[i].second.is_infinity()) {
+      prepared[i] = G2Prepared(pairs[i].second);
+    }
+  });
   std::vector<PreparedPair> pp(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     pp[i] = {pairs[i].first, &prepared[i]};
@@ -351,6 +379,19 @@ bool pairing_product_is_one(std::span<const std::pair<G1, G2>> pairs) {
 
 bool pairing_product_is_one(std::span<const PreparedPair> pairs) {
   return multi_pairing(pairs).is_one();
+}
+
+bool gt_in_subgroup(const Fp12& g) {
+  if (g.is_zero()) return false;
+  // Cyclotomic subgroup membership: g^{Phi_12(p)} = 1 with Phi_12(p) =
+  // p^4 - p^2 + 1, i.e. g^{p^4} * g == g^{p^2} — two Frobenius maps and one
+  // multiplication.
+  Fp12 gp2 = g.frobenius2();
+  Fp12 gp4 = gp2.frobenius2();
+  if (!(gp4 * g == gp2)) return false;
+  // Inside the cyclotomic subgroup the compressed squaring chain is valid,
+  // so the order-r check costs ~254 cyclotomic squarings.
+  return g.cyclotomic_pow_u256(ff::Fr::modulus()).is_one();
 }
 
 }  // namespace dsaudit::pairing

@@ -90,6 +90,12 @@ Fp12 multi_pairing(std::span<const PreparedPair> pairs);
 bool pairing_product_is_one(std::span<const std::pair<G1, G2>> pairs);
 bool pairing_product_is_one(std::span<const PreparedPair> pairs);
 
+/// True iff g lies in GT, the order-r subgroup of Fp12^* hit by the pairing:
+/// first the cyclotomic-subgroup identity g^{p^4+1} == g^{p^2} (cheap, two
+/// Frobenius maps), then g^r == 1 with cyclotomic squarings. Deserializers
+/// use this to reject unit-norm Fp12 values that are not pairing outputs.
+bool gt_in_subgroup(const Fp12& g);
+
 /// Textbook affine-coordinates Miller loop and pairing (the original
 /// implementation, chord/tangent lines through the untwisting map). Retained
 /// purely as the differential-test oracle for the prepared engine.

@@ -1,0 +1,211 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsaudit::parallel {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+unsigned env_thread_count() {
+  const char* env = std::getenv("DSAUDIT_THREADS");
+  if (env && *env) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+/// One in-flight parallel_for: a shared index cursor on the caller's stack.
+/// Workers and the caller race on `next` to claim indices.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mutex;
+  std::exception_ptr error;
+
+  void run_indices() {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+/// The worker set. Workers sleep on a condition variable between jobs; a job
+/// is published under the mutex and broadcast. Only one job is in flight at
+/// a time (parallel_for holds an internal submission lock) — nested calls
+/// never reach the pool because they run inline on the worker.
+///
+/// Lifetime protocol: the Job lives on run()'s stack, so run() may return
+/// only when no worker can still touch it. Workers register under the mutex
+/// (`active_` pickups of `current_`); run() retracts `current_` and then
+/// waits for active_ == 0. A worker that wakes after the retraction sees a
+/// null job and goes back to sleep without ever dereferencing the old one.
+class Pool {
+ public:
+  explicit Pool(unsigned threads) : width_(threads ? threads : 1) {
+    for (unsigned i = 0; i + 1 < width_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  unsigned width() const { return width_; }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    // Serialize top-level submissions: two independent threads calling
+    // parallel_for share the pool fairly enough for this codebase's use
+    // (the hot paths are all reached from one driving thread).
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_ = &job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    bool caller_was_worker = tls_in_worker;
+    tls_in_worker = true;
+    job.run_indices();
+    tls_in_worker = caller_was_worker;
+    {
+      // Retract the job, then wait until every worker that picked it up has
+      // left run_indices. All indices are claimed (our own loop exhausted
+      // the cursor), so this is a bounded wait for in-flight fn calls.
+      std::unique_lock<std::mutex> lock(mutex_);
+      current_ = nullptr;
+      idle_cv_.wait(lock, [&] { return active_ == 0; });
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  void worker_loop() {
+    tls_in_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return stop_ || (generation_ != seen && current_ != nullptr);
+        });
+        if (stop_) return;
+        seen = generation_;
+        job = current_;
+        ++active_;
+      }
+      job->run_indices();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  unsigned width_;
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  Job* current_ = nullptr;
+  unsigned active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+std::mutex pool_mutex;
+std::unique_ptr<Pool> pool_instance;
+unsigned configured_width = 0;  // 0 = not yet initialized
+
+Pool& pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  if (!pool_instance) {
+    configured_width = env_thread_count();
+    pool_instance = std::make_unique<Pool>(configured_width);
+  }
+  return *pool_instance;
+}
+
+}  // namespace
+
+unsigned thread_count() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    if (configured_width) return configured_width;
+  }
+  return pool().width();
+}
+
+void set_thread_count(unsigned n) {
+  if (n == 0) n = env_thread_count();
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  if (pool_instance && pool_instance->width() == n) return;
+  pool_instance.reset();  // joins old workers
+  configured_width = n;
+  pool_instance = std::make_unique<Pool>(n);
+}
+
+bool in_worker() { return tls_in_worker; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || tls_in_worker || thread_count() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool().run(n, fn);
+}
+
+void parallel_for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t max_chunks) {
+  if (n == 0) return;
+  if (max_chunks == 0) max_chunks = thread_count();
+  const std::size_t chunks = max_chunks < n ? max_chunks : n;
+  if (chunks <= 1 || tls_in_worker || thread_count() <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t base = n / chunks, extra = n % chunks;
+  parallel_for(chunks, [&](std::size_t k) {
+    const std::size_t begin = k * base + (k < extra ? k : extra);
+    const std::size_t end = begin + base + (k < extra ? 1 : 0);
+    fn(begin, end);
+  });
+}
+
+}  // namespace dsaudit::parallel

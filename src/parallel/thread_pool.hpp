@@ -1,0 +1,59 @@
+// Process-wide chunked-range thread pool behind every sharded hot path
+// (Pippenger window groups, Miller-loop chain groups, the prover's per-chunk
+// aggregation, the simulator's concurrent audit rounds).
+//
+// Design constraints, in order:
+//   1. Determinism. Work is decomposed into tasks whose boundaries and
+//      combine order are chosen by the *caller*; the pool only decides which
+//      thread runs which task. Every sharded algorithm in the library
+//      combines per-task results sequentially in task order, so outputs are
+//      independent of the thread count (group-level identical everywhere,
+//      bit-identical wherever the arithmetic is exact — which is everywhere
+//      in this codebase).
+//   2. No nested parallelism. parallel_for called from inside a pool worker
+//      runs inline on that worker: the outermost shard (e.g. the simulator's
+//      per-contract round work) keeps the pool busy, and inner shards
+//      (the MSMs inside a prove) degrade to their sequential paths instead
+//      of deadlocking or oversubscribing.
+//   3. A runtime knob. The pool size comes from DSAUDIT_THREADS (unset/0 =
+//      hardware concurrency); set_thread_count() overrides it at runtime,
+//      which is what the cross-thread-count differential tests use.
+//
+// With thread_count() == 1 nothing is ever offloaded: callers take their
+// pre-existing sequential paths, bit-identical to the unsharded library.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dsaudit::parallel {
+
+/// Current pool width (>= 1). First call reads DSAUDIT_THREADS; unset, empty
+/// or "0" falls back to std::thread::hardware_concurrency().
+unsigned thread_count();
+
+/// Resize the pool at runtime (0 = re-read the environment/hardware default).
+/// Not safe to call concurrently with in-flight parallel_for calls; intended
+/// for test harnesses and tools that sweep thread counts.
+void set_thread_count(unsigned n);
+
+/// True when the calling thread is a pool worker executing a task. Used to
+/// collapse nested parallelism onto the caller.
+bool in_worker();
+
+/// Runs fn(i) for every i in [0, n), distributing indices over the pool and
+/// the calling thread; returns when all calls finished. The first exception
+/// thrown by any task is rethrown on the caller. Runs inline (in index
+/// order) when n <= 1, thread_count() <= 1, or when called from a worker.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Chunked-range variant: splits [0, n) into at most `max_chunks` (default:
+/// thread_count()) contiguous ranges and runs fn(begin, end) per range.
+/// Chunk boundaries depend only on n and max_chunks — pass a fixed
+/// max_chunks to make the decomposition (not just the result) independent
+/// of the pool size.
+void parallel_for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t max_chunks = 0);
+
+}  // namespace dsaudit::parallel

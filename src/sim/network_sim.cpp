@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "audit/serialize.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace dsaudit::sim {
 
@@ -62,7 +63,8 @@ void NetworkSim::deploy() {
       dep->held = dep->file;
       dep->name = audit::Fr::random(rng_);
       dep->tag = audit::generate_tags(owner_keys_[o].sk, owner_keys_[o].pk,
-                                      dep->file, dep->name);
+                                      dep->file, dep->name,
+                                      parallel::thread_count());
 
       ProviderBehavior behavior = ProviderBehavior::Honest;
       if (auto it = behavior_.find(provider); it != behavior_.end()) {
@@ -89,9 +91,13 @@ void NetworkSim::deploy() {
           chain_, *beacon_, terms, owner_keys_[o].pk, dep->name,
           dep->file.num_chunks());
       if (behavior != ProviderBehavior::Unresponsive) {
+        dep->prover_rng = std::make_unique<primitives::SecureRng>(
+            primitives::SecureRng::deterministic(
+                config_.rng_seed ^ (0x9E3779B97F4A7C15ULL *
+                                    (deployments_.size() + 1))));
         audit::Prover* prover = dep->prover.get();
         bool priv = config_.private_proofs;
-        primitives::SecureRng* rng = &rng_;
+        primitives::SecureRng* rng = dep->prover_rng.get();
         dep->contract->set_responder(
             [prover, priv, rng](const audit::Challenge& chal)
                 -> std::optional<std::vector<std::uint8_t>> {

@@ -95,6 +95,11 @@ class NetworkSim {
     audit::FileTag tag;
     audit::Fr name;
     std::unique_ptr<audit::Prover> prover;
+    // Private-proof masking randomness. Per-deployment (seeded from the
+    // network seed + deployment index) so concurrently-prepared audit rounds
+    // never share an RNG stream: results stay deterministic at every
+    // DSAUDIT_THREADS setting.
+    std::unique_ptr<primitives::SecureRng> prover_rng;
     std::unique_ptr<contract::AuditContract> contract;
   };
 

@@ -423,6 +423,62 @@ TEST(AuditWire, GtCompressionRoundTrip) {
   EXPECT_THROW(gt_compress(not_gt), std::invalid_argument);
 }
 
+TEST(AuditWire, GtDecompressRejectsUnitNormNonSubgroupElements) {
+  auto rng = SecureRng::deterministic(409);
+  // f^{p^6 - 1} is unit-norm for any f (it survives gt_compress) but lives in
+  // the full order-(p^6+1) subgroup, which is overwhelmingly larger than GT;
+  // a decoder that only checks the norm equation would accept it.
+  for (int i = 0; i < 3; ++i) {
+    Fp12 f = Fp12::random(rng);
+    Fp12 u = f.conjugate() * f.inverse();
+    ASSERT_FALSE(::dsaudit::pairing::gt_in_subgroup(u));
+    auto bytes = gt_compress(u);  // unit-norm: compression accepts
+    EXPECT_FALSE(gt_decompress(bytes).has_value());
+  }
+  // -1 is unit-norm with order 2; r is odd, so it is not a pairing value.
+  Fp12 minus_one{-ff::Fp6::one(), ff::Fp6::zero()};
+  EXPECT_FALSE(gt_decompress(gt_compress(minus_one)).has_value());
+  // Sanity: genuine pairing outputs do pass the subgroup check.
+  Fp12 g = ::dsaudit::pairing::pairing(curve::g1_random(rng), curve::g2_random(rng));
+  EXPECT_TRUE(::dsaudit::pairing::gt_in_subgroup(g));
+}
+
+TEST(AuditWire, TamperedProofAndKeyEncodingsRejected) {
+  auto rng = SecureRng::deterministic(410);
+  Scenario sc = make_scenario(1500, 8, rng);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+  Challenge chal = make_challenge(rng, 4);
+
+  // y (resp. y') replaced by the non-canonical encoding r itself.
+  auto y_tampered = serialize(prover.prove(chal));
+  Fr::modulus().to_be_bytes(
+      std::span<std::uint8_t, 32>(y_tampered.data() + 32, 32));
+  EXPECT_FALSE(deserialize_basic(y_tampered).has_value());
+
+  // big_r replaced by a unit-norm element outside GT.
+  auto priv_bytes = serialize(prover.prove_private(chal, rng));
+  Fp12 f = Fp12::random(rng);
+  auto bad_r = gt_compress(f.conjugate() * f.inverse());
+  std::copy(bad_r.begin(), bad_r.end(), priv_bytes.begin() + 96);
+  EXPECT_FALSE(deserialize_private(priv_bytes).has_value());
+
+  // Public keys: s = 0, an infinity epsilon, and a non-GT e(g1, eps) all
+  // fail to deserialize.
+  auto pk_bytes = serialize(sc.kp.pk, true);
+  auto zero_s = pk_bytes;
+  std::fill(zero_s.begin(), zero_s.begin() + 8, std::uint8_t{0});
+  EXPECT_FALSE(deserialize_public_key(zero_s).has_value());
+
+  auto inf_eps = pk_bytes;
+  std::fill(inf_eps.begin() + 8, inf_eps.begin() + 72, std::uint8_t{0});
+  inf_eps[8] = 0x80;  // valid infinity encoding, invalid key component
+  EXPECT_FALSE(deserialize_public_key(inf_eps).has_value());
+
+  auto bad_gt_pk = pk_bytes;
+  std::copy(bad_r.begin(), bad_r.end(), bad_gt_pk.end() - 192);
+  EXPECT_FALSE(deserialize_public_key(bad_gt_pk).has_value());
+}
+
 TEST(AuditWire, PublicKeyRoundTripAndFig4Sizes) {
   auto rng = SecureRng::deterministic(408);
   for (std::size_t s : {10u, 20u, 50u, 100u}) {

@@ -321,6 +321,97 @@ TEST(Msm, EdgeCases) {
   EXPECT_TRUE(msm<G1>(std::span<const G1>{}, std::span<const Fr>{}).is_infinity());
 }
 
+TEST(Msm, AllZeroScalarsAndEmptyInputsEverywhere) {
+  auto rng = SecureRng::deterministic(60);
+  std::vector<G1> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back(g1_random(rng));
+  std::vector<Fr> zeros(pts.size(), Fr::zero());
+  EXPECT_TRUE(msm<G1>(pts, zeros).is_infinity());
+
+  auto tbl = msm_precompute<G1>(pts);
+  EXPECT_TRUE(msm_precomputed(tbl, zeros).is_infinity());
+  EXPECT_TRUE(msm_precomputed(tbl, std::span<const Fr>{}).is_infinity());
+
+  // Empty table, empty everything.
+  auto empty_tbl = msm_precompute<G1>(std::span<const G1>{});
+  EXPECT_EQ(empty_tbl.n, 0u);
+  EXPECT_TRUE(msm_precomputed(empty_tbl, std::span<const Fr>{}).is_infinity());
+  EXPECT_TRUE(msm_precomputed(empty_tbl, std::span<const std::uint64_t>{},
+                              std::span<const Fr>{})
+                  .is_infinity());
+
+  // Single-point table and single-point MSM.
+  std::span<const G1> one_pt(pts.data(), 1);
+  Fr k = Fr::random(rng);
+  std::span<const Fr> one_sc(&k, 1);
+  EXPECT_EQ(msm<G1>(one_pt, one_sc), pts[0].mul(k));
+  auto tbl1 = msm_precompute<G1>(one_pt);
+  EXPECT_EQ(msm_precomputed(tbl1, one_sc), pts[0].mul(k));
+}
+
+TEST(Msm, ScalarsAtThe254BitBound) {
+  // r - 1 (the largest canonical scalar) and high-bit-heavy values exercise
+  // the signed-digit carry into the extra top window position across all
+  // three MSM entry points.
+  auto rng = SecureRng::deterministic(61);
+  Fr r_minus_1 = Fr::zero() - Fr::one();
+  Fr high_bit = Fr::from_u256(ff::U256{0, 0, 0, std::uint64_t{1} << 61});
+  std::vector<G1> pts;
+  std::vector<Fr> sc;
+  G1 expect = G1::infinity();
+  for (int i = 0; i < 24; ++i) {
+    pts.push_back(g1_random(rng));
+    sc.push_back(i % 3 == 0 ? r_minus_1 : (i % 3 == 1 ? high_bit : Fr::random(rng)));
+    expect += pts.back().mul_naive(sc.back());
+  }
+  EXPECT_EQ(msm<G1>(pts, sc), expect);
+  auto tbl = msm_precompute<G1>(pts);
+  EXPECT_EQ(msm_precomputed(tbl, sc), expect);
+  // r - 1 == -1: a single max-scalar multiply must be the negation.
+  std::span<const G1> one_pt(pts.data(), 1);
+  std::span<const Fr> one_sc(&r_minus_1, 1);
+  EXPECT_EQ(msm<G1>(one_pt, one_sc), -pts[0]);
+}
+
+TEST(Msm, SubsetEdgeCases) {
+  auto rng = SecureRng::deterministic(62);
+  std::vector<G1> pts;
+  for (int i = 0; i < 16; ++i) pts.push_back(g1_random(rng));
+  auto tbl = msm_precompute<G1>(pts);
+
+  // Empty subset.
+  EXPECT_TRUE(msm_precomputed(tbl, std::span<const std::uint64_t>{},
+                              std::span<const Fr>{})
+                  .is_infinity());
+
+  // Duplicate indices accumulate (the verifier may sample a chunk twice).
+  std::vector<std::uint64_t> dup{3, 3, 3, 7};
+  std::vector<Fr> dup_sc{Fr::from_u64(5), Fr::from_u64(6), Fr::zero(),
+                         Fr::from_u64(9)};
+  G1 expect = pts[3].mul(Fr::from_u64(11)) + pts[7].mul(Fr::from_u64(9));
+  EXPECT_EQ(msm_precomputed(tbl, dup, dup_sc), expect);
+
+  // Duplicate index with cancelling scalars collapses to infinity.
+  Fr k = Fr::random(rng);
+  std::vector<std::uint64_t> pair{5, 5};
+  std::vector<Fr> cancel{k, Fr::zero() - k};
+  EXPECT_TRUE(msm_precomputed(tbl, pair, cancel).is_infinity());
+
+  // Max-bound scalars through the subset path.
+  Fr r_minus_1 = Fr::zero() - Fr::one();
+  std::vector<std::uint64_t> idx{0, 15, 15};
+  std::vector<Fr> big{r_minus_1, r_minus_1, r_minus_1};
+  EXPECT_EQ(msm_precomputed(tbl, idx, big),
+            -(pts[0] + pts[15].mul(Fr::from_u64(2))));
+
+  // Out-of-range index throws, size mismatch throws.
+  std::vector<std::uint64_t> oor{16};
+  std::vector<Fr> one_sc{Fr::one()};
+  EXPECT_THROW(msm_precomputed(tbl, oor, one_sc), std::invalid_argument);
+  std::vector<std::uint64_t> two_idx{1, 2};
+  EXPECT_THROW(msm_precomputed(tbl, two_idx, one_sc), std::invalid_argument);
+}
+
 TEST(Msm, WorksOnG2) {
   auto rng = SecureRng::deterministic(52);
   std::vector<G2> pts;
