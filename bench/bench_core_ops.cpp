@@ -215,7 +215,9 @@ struct ProveFixture {
 
   ProveFixture() {
     sc = benchutil::make_scenario(320 * 50 * 31, 50, rng());
-    prover = std::make_unique<audit::Prover>(sc.kp.pk, sc.file, sc.tag);
+    prover = std::make_unique<audit::Prover>(sc.kp.pk, sc.file, sc.tag,
+                                             /*prepare_psi=*/true,
+                                             /*prepare_sigma=*/true);
     chal = benchutil::make_challenge(rng(), 300);
   }
 };
@@ -389,6 +391,58 @@ BENCHMARK(BM_VerifyPrivatePreparedThreads)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Batched settlement + the cyclotomic exponentiation flavours behind it.
+// ---------------------------------------------------------------------------
+
+/// GT exponentiation by a random 254-bit scalar, plain cyclotomic ladder.
+void BM_GtPowCyclotomic(benchmark::State& state) {
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));
+  auto e = ff::Fr::random(rng()).to_u256();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.cyclotomic_pow_u256(e));
+  }
+}
+BENCHMARK(BM_GtPowCyclotomic);
+
+/// Same exponent through the Karabina compressed squaring chain.
+void BM_GtPowKarabina(benchmark::State& state) {
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));
+  auto e = ff::Fr::random(rng()).to_u256();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.cyclotomic_pow_compressed(e));
+  }
+}
+BENCHMARK(BM_GtPowKarabina);
+
+/// Settling `batch_size` same-key Eq. 1 rounds in one weighted check (3
+/// pairings total); time is for the whole batch — divide by the argument
+/// for per-round cost. bench_settlement emits the JSON trajectory.
+void BM_SettleBatchBasic(benchmark::State& state) {
+  auto& f = fixture();
+  static audit::Verifier verifier(fixture().sc.kp.pk);
+  static audit::PreparedFile file_ctx =
+      audit::prepare_file(fixture().sc.name, fixture().sc.file.num_chunks());
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  static std::vector<audit::SettlementInstance> pool = [] {
+    std::vector<audit::SettlementInstance> v(64);
+    for (auto& inst : v) {
+      inst.verifier = &verifier;
+      inst.file = &file_ctx;
+      inst.challenge = benchutil::make_challenge(rng(), 8);
+      inst.basic = fixture().prover->prove(inst.challenge);
+    }
+    return v;
+  }();
+  std::span<const audit::SettlementInstance> batch(pool.data(), n);
+  auto seed = rng().bytes32();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit::verify_settlement(batch, seed));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SettleBatchBasic)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_GtCompress(benchmark::State& state) {
   ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));

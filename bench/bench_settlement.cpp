@@ -1,0 +1,155 @@
+// Batched-settlement throughput: rounds/sec at batch sizes 1 / 8 / 64
+// against the unbatched prepared-verifier path, for both proof shapes.
+//
+// Plain main() program (no google-benchmark dependency) so CI's bench-smoke
+// step can always build and run it; emits BENCH_settlement.json recording
+// the perf trajectory. Usage: bench_settlement [--out FILE] [--reps N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "audit/protocol.hpp"
+#include "storage/codec.hpp"
+
+using namespace dsaudit;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Shape {
+  const char* label;
+  bool private_proofs;
+  double unbatched_ms = 0;
+  struct Row {
+    std::size_t size;
+    double ms_per_round;
+  };
+  std::vector<Row> rows;
+};
+
+audit::Challenge challenge_from(primitives::SecureRng& rng, std::size_t k) {
+  audit::Challenge c;
+  c.c1 = rng.bytes32();
+  c.c2 = rng.bytes32();
+  c.r = audit::Fr::random(rng);
+  c.k = k;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_settlement.json";
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[++i];
+    if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) reps = std::atoi(argv[++i]);
+  }
+
+  // One provider-held file: 64 chunks, s = 10, k = 8 challenged chunks per
+  // round (the simulator's population-scale operating point, where pairings
+  // rather than the chi MSM dominate a round).
+  constexpr std::size_t kS = 10, kChunks = 64, kK = 8;
+  auto rng = primitives::SecureRng::deterministic(4242);
+  auto kp = audit::keygen(kS, rng);
+  std::vector<std::uint8_t> data(kChunks * kS * 31);
+  rng.fill(data);
+  auto file = storage::encode_file(data, kS);
+  audit::Fr name = audit::Fr::random(rng);
+  auto tag = audit::generate_tags(kp.sk, kp.pk, file, name);
+  audit::Prover prover(kp.pk, file, tag, /*prepare_psi=*/true,
+                       /*prepare_sigma=*/true);
+  audit::Verifier verifier(kp.pk);
+  audit::PreparedFile ctx = audit::prepare_file(name, file.num_chunks());
+
+  const std::size_t sizes[] = {1, 8, 64};
+  Shape shapes[] = {{"basic", false}, {"private", true}};
+
+  for (Shape& shape : shapes) {
+    // Pre-generate 64 distinct rounds.
+    std::vector<audit::SettlementInstance> pool(64);
+    for (auto& inst : pool) {
+      inst.verifier = &verifier;
+      inst.file = &ctx;
+      inst.challenge = challenge_from(rng, kK);
+      if (shape.private_proofs) {
+        inst.priv = prover.prove_private(inst.challenge, rng);
+      } else {
+        inst.basic = prover.prove(inst.challenge);
+      }
+    }
+
+    // Unbatched reference: the prepared per-round verifier.
+    {
+      auto t0 = Clock::now();
+      int n = 0;
+      for (int r = 0; r < reps; ++r) {
+        for (int i = 0; i < 8; ++i, ++n) {
+          const auto& inst = pool[i];
+          bool ok = shape.private_proofs
+                        ? verifier.verify_private(ctx, inst.challenge, *inst.priv)
+                        : verifier.verify(ctx, inst.challenge, *inst.basic);
+          if (!ok) return std::fprintf(stderr, "unbatched verify failed\n"), 1;
+        }
+      }
+      shape.unbatched_ms = ms_since(t0) / n;
+    }
+
+    for (std::size_t size : sizes) {
+      std::vector<audit::SettlementInstance> batch(pool.begin(),
+                                                   pool.begin() + size);
+      auto seed = rng.bytes32();
+      auto t0 = Clock::now();
+      for (int r = 0; r < reps; ++r) {
+        if (!audit::verify_settlement(batch, seed).all_ok()) {
+          return std::fprintf(stderr, "batch verify failed\n"), 1;
+        }
+      }
+      shape.rows.push_back({size, ms_since(t0) / reps / size});
+    }
+  }
+
+  std::string json = "{\n";
+  json += "  \"num_chunks\": " + std::to_string(kChunks) +
+          ", \"s\": " + std::to_string(kS) + ", \"k\": " + std::to_string(kK) +
+          ",\n";
+  for (std::size_t si = 0; si < 2; ++si) {
+    const Shape& shape = shapes[si];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "  \"%s\": {\n    \"unbatched_ms_per_round\": %.3f,\n    \"batched\": [",
+                  shape.label, shape.unbatched_ms);
+    json += buf;
+    for (std::size_t i = 0; i < shape.rows.size(); ++i) {
+      const auto& row = shape.rows[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n      {\"batch_size\": %zu, \"ms_per_round\": %.3f, "
+                    "\"rounds_per_sec\": %.1f}",
+                    i ? "," : "", row.size, row.ms_per_round,
+                    1000.0 / row.ms_per_round);
+      json += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "\n    ],\n    \"speedup_at_64\": %.2f\n  }%s\n",
+                  shape.unbatched_ms / shape.rows.back().ms_per_round,
+                  si == 0 ? "," : "");
+    json += buf;
+  }
+  json += "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,12 +1,16 @@
 #include "audit/protocol.hpp"
 
 #include <chrono>
+#include <cstring>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 
 #include "pairing/pairing.hpp"
 #include "parallel/thread_pool.hpp"
 #include "poly/polynomial.hpp"
+#include "primitives/keccak256.hpp"
 
 namespace dsaudit::audit {
 
@@ -90,7 +94,7 @@ bool verify_tags(const PublicKey& pk, const storage::EncodedFile& file,
 }
 
 Prover::Prover(const PublicKey& pk, const storage::EncodedFile& file,
-               const FileTag& tag, bool prepare_psi)
+               const FileTag& tag, bool prepare_psi, bool prepare_sigma)
     : pk_(pk), file_(file), tag_(tag) {
   if (file.s != pk.s || tag.num_chunks != file.num_chunks()) {
     throw std::invalid_argument("Prover: inconsistent pk/file/tag");
@@ -98,6 +102,10 @@ Prover::Prover(const PublicKey& pk, const storage::EncodedFile& file,
   if (prepare_psi && pk.g1_alpha_powers.size() >= 2) {
     psi_key_ = std::make_shared<const curve::MsmBasesTable<G1>>(
         curve::msm_precompute<G1>(pk.g1_alpha_powers));
+  }
+  if (prepare_sigma && tag.sigmas.size() >= 2) {
+    sigma_key_ = std::make_shared<const curve::MsmBasesTable<G1>>(
+        curve::msm_precompute<G1>(tag.sigmas));
   }
 }
 
@@ -129,12 +137,18 @@ Prover::Core Prover::core(const Challenge& chal, ProverTimings* timings) const {
   auto [quotient, y] = pk_poly.divide_by_linear(chal.r);
   double zp = ms_since(t0);
 
-  // --- ECC phase: the two MSMs.
+  // --- ECC phase: the two MSMs. The sigma MSM runs as a subset MSM over the
+  // prepared tag-sigma table when the ctor built one (bit-identical to the
+  // gather-then-cold-MSM path, which stays for one-shot provers).
   auto t1 = Clock::now();
-  std::vector<G1> sigma_pts(k);
-  for (std::size_t j = 0; j < k; ++j) sigma_pts[j] = tag_.sigmas[ex.indices[j]];
   Core c;
-  c.sigma = curve::msm<G1>(sigma_pts, ex.coefficients);
+  if (sigma_key_) {
+    c.sigma = curve::msm_precomputed(*sigma_key_, ex.indices, ex.coefficients);
+  } else {
+    std::vector<G1> sigma_pts(k);
+    for (std::size_t j = 0; j < k; ++j) sigma_pts[j] = tag_.sigmas[ex.indices[j]];
+    c.sigma = curve::msm<G1>(sigma_pts, ex.coefficients);
+  }
   c.y = y;
   auto qc = quotient.coefficients();
   if (qc.empty()) {
@@ -169,8 +183,9 @@ ProofPrivate Prover::prove_private(const Challenge& chal,
   // Sigma-protocol hiding (§V-D step 1): commit R = e(g1, eps)^z, derive the
   // challenge-independent mask zeta = H'(R), publish y' = zeta*y + z.
   Fr z = Fr::random(rng);
-  // e(g1, eps) is a GT element, so the cyclotomic squaring chain applies.
-  Fp12 big_r = pk_.e_g1_epsilon.cyclotomic_pow_u256(z.to_u256());
+  // e(g1, eps) is a GT element, so the Karabina compressed squaring chain
+  // applies (same value as the plain cyclotomic ladder).
+  Fp12 big_r = pk_.e_g1_epsilon.cyclotomic_pow_compressed(z.to_u256());
   Fr zeta = hash_gt_to_fr(big_r);
   Fr y_prime = zeta * c.y + z;
   if (timings) timings->gt_ms = ms_since(t0);
@@ -192,13 +207,35 @@ G1 compute_chi(const Fr& name, const ExpandedChallenge& ex) {
   return curve::msm<G1>(hashes, ex.coefficients);
 }
 
+/// Content hash of the verifying key's two G2 points (affine coordinates
+/// with an infinity flag byte each) — the settlement engine's grouping key.
+std::array<std::uint8_t, 32> key_id_of(const G2& epsilon, const G2& delta) {
+  std::array<std::uint8_t, 258> buf{};
+  auto put = [&buf](const G2& q, std::size_t off) {
+    if (q.is_infinity()) {
+      buf[off] = 1;
+      return;
+    }
+    auto [x, y] = q.to_affine();
+    auto xb = x.to_bytes();
+    auto yb = y.to_bytes();
+    std::memcpy(&buf[off + 1], xb.data(), xb.size());
+    std::memcpy(&buf[off + 1 + xb.size()], yb.data(), yb.size());
+  };
+  put(epsilon, 0);
+  put(delta, 129);
+  return primitives::Keccak256::hash(
+      std::span<const std::uint8_t>(buf.data(), buf.size()));
+}
+
 }  // namespace
 
 Verifier::Verifier(const PublicKey& pk)
     : pk_(pk),
       g2_(G2::generator()),
       epsilon_(pk.epsilon),
-      delta_(pk.delta) {}
+      delta_(pk.delta),
+      key_id_(key_id_of(pk.epsilon, pk.delta)) {}
 
 bool Verifier::verify_tags(const storage::EncodedFile& file,
                            const FileTag& tag) const {
@@ -336,30 +373,194 @@ PreparedFile prepare_file(const Fr& name, std::size_t num_chunks) {
 bool Verifier::verify_batch(std::span<const BasicInstance> instances,
                             primitives::SecureRng& rng) const {
   if (instances.empty()) return true;
-  // Random linear combination: sum_t rho_t * (Eq.1 check_t) == 0. With the
-  // challenge scalars moved to G1 ([rho_t r_t]psi_t folds into the epsilon
-  // term), EVERY term aggregates per fixed G2 point: 3 pairings total for
-  // any number of instances — the old variable-G2 path needed N + 2.
-  G1 sigma_agg = G1::infinity();
-  G1 eps_agg = G1::infinity();
-  G1 delta_agg = G1::infinity();
-  for (const auto& inst : instances) {
-    if (inst.num_chunks == 0 || inst.challenge.k == 0) return false;
-    Fr rho = Fr::random(rng);
-    ExpandedChallenge ex = expand_challenge(inst.challenge, inst.num_chunks);
-    G1 chi = compute_chi(inst.name, ex);
-    G1 rho_psi = inst.proof.psi.mul(rho);
-    sigma_agg += inst.proof.sigma.mul(rho);
-    eps_agg += (curve::g1_mul_generator(inst.proof.y) + chi).mul(rho) -
-               rho_psi.mul(inst.challenge.r);
-    delta_agg += rho_psi;
+  std::vector<SettlementInstance> sis(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    sis[i].verifier = this;
+    sis[i].name = instances[i].name;
+    sis[i].num_chunks = instances[i].num_chunks;
+    sis[i].challenge = instances[i].challenge;
+    sis[i].basic = instances[i].proof;
   }
-  std::array<pairing::PreparedPair, 3> pairs{
-      pairing::PreparedPair{sigma_agg, &g2_},
-      pairing::PreparedPair{-eps_agg, &epsilon_},
-      pairing::PreparedPair{-delta_agg, &delta_},
+  return verify_settlement(sis, rng.bytes32()).all_ok();
+}
+
+namespace {
+
+/// Per-instance pairing-equation terms, unweighted (exact single checks at
+/// bisection leaves) and rho-weighted (aggregate batch checks). With the
+/// challenge scalar already folded onto G1 by the equation rearrangement,
+/// every term pairs against one of the key's three fixed prepared points:
+///   basic:   e(s, g2) * e(e, eps) * e(d, delta) == 1
+///   private: e(s, g2) * e(e, eps) * e(d, delta) * R == 1  (zeta folded in)
+struct SettleTerms {
+  bool valid = false;
+  G1 s, e, d;
+  G1 ws, we, wd;
+  Fp12 gt = Fp12::one();   // R for private instances, 1 for basic
+  Fp12 wgt = Fp12::one();  // R^rho
+  std::size_t key = 0;     // verifier-group ordinal
+  const Verifier* v = nullptr;
+};
+
+/// rho_i = low 128 bits of Keccak(seed || 'w' || i): half-length weights
+/// halve the weighting scalar muls and GT exponentiations, at a residual
+/// forgery probability of ~2^-128 per batch.
+Fr weight_at(const std::array<std::uint8_t, 32>& seed, std::uint64_t index) {
+  std::array<std::uint8_t, 41> buf;
+  std::memcpy(buf.data(), seed.data(), 32);
+  buf[32] = 'w';
+  for (int b = 0; b < 8; ++b) {
+    buf[33 + b] = static_cast<std::uint8_t>(index >> (8 * b));
+  }
+  auto h = primitives::Keccak256::hash(
+      std::span<const std::uint8_t>(buf.data(), buf.size()));
+  std::array<std::uint8_t, 32> wide{};
+  std::copy(h.begin(), h.begin() + 16, wide.begin() + 16);
+  return Fr::from_be_bytes_mod(std::span<const std::uint8_t, 32>(wide));
+}
+
+}  // namespace
+
+SettlementOutcome verify_settlement(std::span<const SettlementInstance> instances,
+                                    const std::array<std::uint8_t, 32>& weight_seed) {
+  SettlementOutcome out;
+  out.ok.assign(instances.size(), false);
+  if (instances.empty()) return out;
+
+  // A single-instance batch settles by its exact check alone — skip the
+  // random-weight material entirely (this makes deferred settlement of a
+  // lone due round cost the same as the inline path).
+  std::size_t plausible = 0;
+  for (const SettlementInstance& inst : instances) {
+    plausible += inst.verifier != nullptr &&
+                 inst.basic.has_value() != inst.priv.has_value();
+  }
+  const bool need_weights = plausible > 1;
+
+  // Per-instance preparation — the chi aggregation, the zeta/rho scalar muls
+  // and the R^rho exponentiation — is embarrassingly parallel and dominates
+  // a big batch's cost; the pairing work that follows is shared.
+  std::vector<SettleTerms> terms(instances.size());
+  parallel::parallel_for_ranges(
+      instances.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const SettlementInstance& inst = instances[i];
+          SettleTerms& t = terms[i];
+          t.v = inst.verifier;
+          if (!inst.verifier) continue;
+          const bool has_basic = inst.basic.has_value();
+          if (has_basic == inst.priv.has_value()) continue;  // exactly one
+          const std::size_t d_chunks =
+              inst.file ? inst.file->num_chunks : inst.num_chunks;
+          if (d_chunks == 0 || inst.challenge.k == 0) continue;
+          if (!has_basic && inst.priv->big_r.is_zero()) continue;
+          ExpandedChallenge ex = expand_challenge(inst.challenge, d_chunks);
+          G1 chi = inst.file
+                       ? curve::msm_precomputed(inst.file->hashes, ex.indices,
+                                                ex.coefficients)
+                       : compute_chi(inst.name, ex);
+          if (has_basic) {
+            const ProofBasic& p = *inst.basic;
+            t.s = p.sigma;
+            t.e = p.psi.mul(inst.challenge.r) - curve::g1_mul_generator(p.y) -
+                  chi;
+            t.d = -p.psi;
+          } else {
+            const ProofPrivate& p = *inst.priv;
+            Fr zeta = hash_gt_to_fr(p.big_r);
+            G1 zeta_psi = p.psi.mul(zeta);
+            t.s = p.sigma.mul(zeta);
+            t.e = zeta_psi.mul(inst.challenge.r) -
+                  curve::g1_mul_generator(p.y_prime) - chi.mul(zeta);
+            t.d = -zeta_psi;
+            t.gt = p.big_r;
+          }
+          if (need_weights) {
+            const bigint::U256 rho = weight_at(weight_seed, i).to_u256();
+            t.ws = t.s.mul(rho);
+            t.we = t.e.mul(rho);
+            t.wd = t.d.mul(rho);
+            // Plain cyclotomic ladder: for a dense 128-bit exponent the
+            // Karabina decompression points outnumber the squaring savings
+            // (measured; the compressed chain wins only on sparse runs).
+            if (!has_basic) t.wgt = t.gt.cyclotomic_pow_u256(rho);
+          }
+          t.valid = true;
+        }
+      });
+
+  // Group the valid instances by verifying-key content so same-key terms
+  // share one epsilon/delta pairing pair even across distinct contracts.
+  std::vector<const Verifier*> groups;
+  std::map<std::array<std::uint8_t, 32>, std::size_t> ordinal;
+  std::vector<std::size_t> idx;  // valid instance positions, input order
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (!terms[i].valid) continue;
+    auto [it, fresh] = ordinal.try_emplace(terms[i].v->key_id(), groups.size());
+    if (fresh) groups.push_back(terms[i].v);
+    terms[i].key = it->second;
+    idx.push_back(i);
+  }
+  if (idx.empty()) return out;
+
+  auto check_single = [&out](const SettleTerms& t) {
+    ++out.single_checks;
+    std::array<pairing::PreparedPair, 3> pairs{
+        pairing::PreparedPair{t.s, &t.v->prepared_g2()},
+        pairing::PreparedPair{t.e, &t.v->prepared_epsilon()},
+        pairing::PreparedPair{t.d, &t.v->prepared_delta()},
+    };
+    Fp12 lhs = pairing::multi_pairing(std::span<const pairing::PreparedPair>(pairs));
+    return (lhs * t.gt).is_one();
   };
-  return pairing::pairing_product_is_one(pairs);
+
+  // One weighted aggregate check of a contiguous sub-range of `idx`: the
+  // generator term is shared across every key, epsilon/delta aggregate per
+  // key — 1 + 2*(#keys present) pairings, one final exponentiation.
+  auto check_batch = [&](std::size_t lo, std::size_t hi) {
+    ++out.batch_checks;
+    G1 sig = G1::infinity();
+    std::vector<G1> eps_agg(groups.size(), G1::infinity());
+    std::vector<G1> delta_agg(groups.size(), G1::infinity());
+    Fp12 gt = Fp12::one();
+    for (std::size_t j = lo; j < hi; ++j) {
+      const SettleTerms& t = terms[idx[j]];
+      sig += t.ws;
+      eps_agg[t.key] += t.we;
+      delta_agg[t.key] += t.wd;
+      if (!t.wgt.is_one()) gt *= t.wgt;
+    }
+    std::vector<pairing::PreparedPair> pairs;
+    pairs.reserve(1 + 2 * groups.size());
+    pairs.push_back({sig, &groups[0]->prepared_g2()});
+    for (std::size_t k = 0; k < groups.size(); ++k) {
+      // Untouched keys aggregate to infinity and cost no Miller chain.
+      pairs.push_back({eps_agg[k], &groups[k]->prepared_epsilon()});
+      pairs.push_back({delta_agg[k], &groups[k]->prepared_delta()});
+    }
+    Fp12 lhs = pairing::multi_pairing(std::span<const pairing::PreparedPair>(pairs));
+    return (lhs * gt).is_one();
+  };
+
+  // Settle recursively: a passing aggregate clears its whole range at once;
+  // a failing one bisects, so each cheater is isolated by an exact per-round
+  // check and honest rounds in the same block always settle Pass.
+  std::function<void(std::size_t, std::size_t)> settle =
+      [&](std::size_t lo, std::size_t hi) {
+        if (hi - lo == 1) {
+          out.ok[idx[lo]] = check_single(terms[idx[lo]]);
+          return;
+        }
+        if (check_batch(lo, hi)) {
+          for (std::size_t j = lo; j < hi; ++j) out.ok[idx[j]] = true;
+          return;
+        }
+        const std::size_t mid = lo + (hi - lo) / 2;
+        settle(lo, mid);
+        settle(mid, hi);
+      };
+  settle(0, idx.size());
+  return out;
 }
 
 bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,

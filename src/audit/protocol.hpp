@@ -2,7 +2,9 @@
 // protocol, both without on-chain privacy (Eq. 1) and with it (Eq. 2).
 #pragma once
 
+#include <array>
 #include <memory>
+#include <optional>
 
 #include "audit/types.hpp"
 #include "curve/point.hpp"
@@ -43,8 +45,16 @@ class Prover {
   /// prepared shifted-base MSM tables for pk.g1_alpha_powers (the psi MSM),
   /// a one-time ~254 doublings per SRS power that every prove() amortizes;
   /// pass prepare_psi = false to skip it for one-shot provers.
+  ///
+  /// prepare_sigma additionally builds the same kind of table over the tag
+  /// sigmas, turning the sigma MSM into a table-driven subset MSM over the
+  /// challenged indices (mirroring what PreparedFile does for the
+  /// verifier's chi). Opt-in: the build costs ~254 doublings per chunk and
+  /// ~positions * num_chunks * 72 bytes of memory, which only a prover
+  /// serving many rounds of one contract amortizes (NetworkSim does).
   Prover(const PublicKey& pk, const storage::EncodedFile& file,
-         const FileTag& tag, bool prepare_psi = true);
+         const FileTag& tag, bool prepare_psi = true,
+         bool prepare_sigma = false);
 
   /// Non-private response (Eq. 1 inputs).
   ProofBasic prove(const Challenge& chal, ProverTimings* timings = nullptr) const;
@@ -67,6 +77,7 @@ class Prover {
   const storage::EncodedFile& file_;
   const FileTag& tag_;
   std::shared_ptr<const curve::MsmBasesTable<G1>> psi_key_;
+  std::shared_ptr<const curve::MsmBasesTable<G1>> sigma_key_;
 };
 
 /// One audit instance for batch verification (same pk, e.g. one provider
@@ -132,9 +143,21 @@ class Verifier {
 
   /// Batch Eq. 1 verification; with the challenge scalars folded into G1,
   /// ALL terms aggregate per fixed G2 point — 3 pairings total for any
-  /// number of instances (the old path needed N + 2).
+  /// number of instances (the old path needed N + 2). Routed through the
+  /// cross-key settlement engine (verify_settlement below); true iff every
+  /// instance verifies.
   bool verify_batch(std::span<const BasicInstance> instances,
                     primitives::SecureRng& rng) const;
+
+  /// The prepared fixed-G2 line tables, exposed for the settlement engine
+  /// (it aggregates many verifiers' terms into one multi-pairing).
+  const pairing::G2Prepared& prepared_g2() const { return g2_; }
+  const pairing::G2Prepared& prepared_epsilon() const { return epsilon_; }
+  const pairing::G2Prepared& prepared_delta() const { return delta_; }
+  /// Content identity of the verifying key (hash of epsilon, delta): the
+  /// settlement engine groups instances of the same key under one
+  /// epsilon/delta pairing pair even across distinct Verifier objects.
+  const std::array<std::uint8_t, 32>& key_id() const { return key_id_; }
 
  private:
   /// Eq. 1 / Eq. 2 pairing checks with chi already aggregated.
@@ -147,7 +170,62 @@ class Verifier {
   pairing::G2Prepared g2_;       // generator
   pairing::G2Prepared epsilon_;  // g2^x
   pairing::G2Prepared delta_;    // g2^{alpha x}
+  std::array<std::uint8_t, 32> key_id_{};
 };
+
+// ---------------------------------------------------------------------------
+// Batched round settlement (the block-level verification engine).
+// ---------------------------------------------------------------------------
+
+/// One settlement-ready audit round: which prepared verifier (public key),
+/// which file context, the round's challenge and either proof shape (exactly
+/// one of `basic` / `priv` must be engaged). Non-owning: verifier and file
+/// must outlive the call. `file == nullptr` falls back to recomputing the
+/// chunk hashes from `name` / `num_chunks` (the cold path of Verifier::
+/// verify). A ProofPrivate's big_r must be a genuine GT element — the wire
+/// decoder guarantees this (gt_decompress subgroup-checks); hand-built
+/// structs are the caller's responsibility.
+struct SettlementInstance {
+  const Verifier* verifier = nullptr;
+  const PreparedFile* file = nullptr;
+  Fr name;
+  std::size_t num_chunks = 0;
+  Challenge challenge;
+  std::optional<ProofBasic> basic;
+  std::optional<ProofPrivate> priv;
+};
+
+/// Per-instance outcomes plus engine telemetry.
+struct SettlementOutcome {
+  std::vector<bool> ok;       // one per instance, input order
+  std::size_t batch_checks = 0;  // weighted aggregate checks performed
+  std::size_t single_checks = 0; // bisection leaves re-verified individually
+
+  bool all_ok() const {
+    for (bool b : ok) {
+      if (!b) return false;
+    }
+    return true;
+  }
+};
+
+/// Settles any mix of Eq. 1 / Eq. 2 rounds spanning files, keys and
+/// contracts in (nearly) one verification: every instance's pairing equation
+/// is scaled by a random 128-bit weight derived from `weight_seed` and the
+/// instance position, and all terms aggregate per fixed G2 point — the
+/// generator term is shared globally, epsilon/delta per distinct key, so a
+/// clean batch costs exactly 1 + 2·(#keys) pairings (3 for the same-key
+/// case) plus one GT product for the private commitments. When the combined
+/// check fails, the batch is bisected recursively so each culprit is
+/// isolated by exact per-round checks — honest rounds in the same block
+/// always settle Pass.
+///
+/// Deterministic in (instances, weight_seed) at every thread count. The
+/// caller must use a FRESH weight_seed per batch (derive it from the batch
+/// transcript; see contract::BatchSettlement) — replaying a seed an
+/// adversary has seen would let them craft cancelling forgeries.
+SettlementOutcome verify_settlement(std::span<const SettlementInstance> instances,
+                                    const std::array<std::uint8_t, 32>& weight_seed);
 
 /// One-shot wrappers over Verifier (they prepare the key's G2 points per
 /// call; repeated verification against one key should construct a Verifier).

@@ -45,6 +45,11 @@ void Blockchain::schedule(Timestamp when, std::function<void(Timestamp)> prepare
   tasks_.emplace(when, ScheduledTask{when, std::move(action), std::move(prepare)});
 }
 
+void Blockchain::defer_until_actions(std::function<void(Timestamp)> fn) {
+  std::lock_guard<std::mutex> lock(deferred_mutex_);
+  deferred_.push_back(std::move(fn));
+}
+
 void Blockchain::mine_one_block() {
   Block b;
   b.number = blocks_.size() + 1;
@@ -101,6 +106,14 @@ void Blockchain::advance(Timestamp seconds) {
       parallel::parallel_for(prepares.size(), [&](std::size_t k) {
         batch[prepares[k]].prepare(now_);
       });
+      // Deferred hooks registered by the prepares (the batched settlement's
+      // once-per-instant verification) run between prepares and actions.
+      std::vector<std::function<void(Timestamp)>> hooks;
+      {
+        std::lock_guard<std::mutex> lock(deferred_mutex_);
+        hooks.swap(deferred_);
+      }
+      for (auto& hook : hooks) hook(now_);
       for (auto& task : batch) task.action(now_);
     }
     if (now_ >= next_block_at_) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,16 @@ class Blockchain {
   void schedule(Timestamp when, std::function<void(Timestamp)> prepare,
                 std::function<void(Timestamp)> action);
 
+  /// From within a prepare stage: register work to run exactly once at the
+  /// current instant, after every due task's prepare has finished and before
+  /// any action runs. This is the block-level barrier the deferred audit
+  /// settlement uses — every contract's prepare enqueues its round, the
+  /// deferred hook verifies the whole batch once, and the actions then
+  /// consume per-round outcomes sequentially in schedule order. Thread-safe
+  /// (prepares run concurrently); the hooks themselves run sequentially on
+  /// the driving thread, so they may use the parallel pool.
+  void defer_until_actions(std::function<void(Timestamp)> fn);
+
   /// Advance simulated time, mining blocks every block_interval_s and firing
   /// due scheduled tasks (which may themselves submit transactions).
   void advance(Timestamp seconds);
@@ -109,6 +120,8 @@ class Blockchain {
   std::vector<std::size_t> pending_;
   std::vector<Block> blocks_;
   std::multimap<Timestamp, ScheduledTask> tasks_;
+  std::vector<std::function<void(Timestamp)>> deferred_;
+  std::mutex deferred_mutex_;
   std::map<Address, std::uint64_t> balances_;
   std::size_t total_bytes_ = 0;
   std::uint64_t total_gas_ = 0;

@@ -191,7 +191,25 @@ void AuditContract::prepare_verify(Timestamp /*now*/) {
   if (state_ != State::Prove || !pending_proof_) return;
   auto t0 = std::chrono::steady_clock::now();
   StagedVerify staged;
-  if (terms_.private_proofs) {
+  if (batch_) {
+    // Deferred settlement: deserialize here (cheap, concurrent) and hand the
+    // round to the shared block batch; the expensive verification happens
+    // once per instant, for every due round together. A malformed proof
+    // never reaches the batch — it fails this round immediately.
+    audit::SettlementInstance inst;
+    inst.verifier = &verifier_;
+    inst.file = &file_ctx_;
+    inst.challenge = rounds_.back().challenge;
+    if (terms_.private_proofs) {
+      inst.priv = audit::deserialize_private(*pending_proof_);
+    } else {
+      inst.basic = audit::deserialize_basic(*pending_proof_);
+    }
+    if (inst.basic || inst.priv) {
+      staged.ticket =
+          batch_->enqueue(chain_, std::move(inst), round_transcript());
+    }
+  } else if (terms_.private_proofs) {
     auto proof = audit::deserialize_private(*pending_proof_);
     staged.ok =
         proof && verifier_.verify_private(file_ctx_, rounds_.back().challenge,
@@ -205,6 +223,24 @@ void AuditContract::prepare_verify(Timestamp /*now*/) {
                          std::chrono::steady_clock::now() - t0)
                          .count();
   staged_verify_ = staged;
+}
+
+/// Canonical identity of the pending round for the batch transcript: the
+/// contract address, round number, challenge and exact proof bytes. Orders
+/// the block batch deterministically and commits the weight seed to the
+/// proofs (Fiat–Shamir).
+std::array<std::uint8_t, 32> AuditContract::round_transcript() const {
+  std::vector<std::uint8_t> buf;
+  const auto chal = audit::serialize(rounds_.back().challenge);
+  buf.reserve(address_.size() + 8 + chal.size() + pending_proof_->size());
+  buf.insert(buf.end(), address_.begin(), address_.end());
+  for (int b = 0; b < 8; ++b) {
+    buf.push_back(static_cast<std::uint8_t>(cnt_ >> (8 * b)));
+  }
+  buf.insert(buf.end(), chal.begin(), chal.end());
+  buf.insert(buf.end(), pending_proof_->begin(), pending_proof_->end());
+  return primitives::Keccak256::hash(
+      std::span<const std::uint8_t>(buf.data(), buf.size()));
 }
 
 void AuditContract::on_verify_due(Timestamp now) {
@@ -223,20 +259,36 @@ void AuditContract::on_verify_due(Timestamp now) {
     }
   } else {
     if (!staged_verify_) prepare_verify(now);
-    bool ok = staged_verify_->ok;
-    rec.verify_ms = staged_verify_->verify_ms;  // telemetry only
+    bool ok;
+    std::size_t batch_size = 1;
+    if (staged_verify_->ticket) {
+      // Deferred settlement: the batch flushed between this instant's
+      // prepares and actions (or flushes now, on the direct-call path).
+      BatchSettlement::Outcome res = batch_->outcome(*staged_verify_->ticket);
+      ok = res.ok;
+      batch_size = res.batch_size;
+      rec.verify_ms = res.flush_ms;  // telemetry: the whole block's verify
+    } else {
+      ok = staged_verify_->ok;
+      rec.verify_ms = staged_verify_->verify_ms;  // telemetry only
+    }
     staged_verify_.reset();
     // The prove tx carries the proof bytes and triggers on-chain
     // verification; gas follows the §VII-B extrapolation at the model's
     // calibrated verification time, NOT this run's wall clock — settlement
-    // must be a deterministic function of on-chain data.
+    // must be a deterministic function of on-chain data (with the batch
+    // discount, of on-chain data plus the block's batch size).
     chain::Transaction tx;
     tx.from = terms_.provider;
     tx.description = "prove";
     tx.payload_bytes = rec.proof_bytes;
-    tx.gas_used =
-        cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
-                               cost_.verify_ms);
+    tx.gas_used = terms_.batch_gas_discount
+                      ? cost_.gas.audit_tx_gas(rec.proof_bytes,
+                                               cost_.challenge_bytes,
+                                               cost_.batched_verify_ms(batch_size))
+                      : cost_.gas.audit_tx_gas(rec.proof_bytes,
+                                               cost_.challenge_bytes,
+                                               cost_.verify_ms);
     chain_.submit(tx);
     rec.gas_used = tx.gas_used;
 

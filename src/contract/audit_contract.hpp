@@ -19,6 +19,7 @@
 #include "audit/protocol.hpp"
 #include "chain/beacon.hpp"
 #include "chain/blockchain.hpp"
+#include "contract/batch_settlement.hpp"
 #include "econ/cost_model.hpp"
 
 namespace dsaudit::contract {
@@ -49,6 +50,12 @@ struct ContractTerms {
   std::uint64_t penalty_per_fail = 0;  // compensation to D per failed round
   std::size_t challenged_chunks = 300; // k (§VI-A default: 95% confidence)
   bool private_proofs = true;          // Eq. 2 (288 B) vs Eq. 1 (96 B)
+  /// With deferred settlement: price prove-txs by the calibrated batched
+  /// row (econ::AuditCostModel::gas_per_audit_batched at the block's actual
+  /// batch size) instead of the flat per-round constant. Off by default so
+  /// batched and inline settlement stay bit-identical unless the discount
+  /// is explicitly priced in.
+  bool batch_gas_discount = false;
 };
 
 struct RoundRecord {
@@ -100,6 +107,14 @@ class AuditContract {
   // --- Audit phase ----------------------------------------------------------
   void set_responder(Responder responder) { responder_ = std::move(responder); }
 
+  /// Deferred-settlement mode: this contract's due rounds queue into `batch`
+  /// (shared across contracts) and settle together with every round due at
+  /// the same chain instant — 3 pairings per block per distinct key instead
+  /// of 3 per round. Outcomes, payouts and chain state are identical to
+  /// inline settlement; terms.batch_gas_discount optionally prices the
+  /// amortization. The BatchSettlement must outlive the contract.
+  void enable_deferred_settlement(BatchSettlement& batch) { batch_ = &batch; }
+
   // --- inspection -----------------------------------------------------------
   State state() const { return state_; }
   std::uint64_t rounds_completed() const { return cnt_; }
@@ -126,6 +141,7 @@ class AuditContract {
   void on_verify_due(Timestamp now);
   void settle_and_close();
   Challenge challenge_from_beacon(std::uint64_t round) const;
+  std::array<std::uint8_t, 32> round_transcript() const;
 
   chain::Blockchain& chain_;
   chain::RandomnessBeacon& beacon_;
@@ -145,6 +161,7 @@ class AuditContract {
   State state_ = State::Uninitialized;
   std::uint64_t cnt_ = 0;
   Responder responder_;
+  BatchSettlement* batch_ = nullptr;  // non-owning; set by enable_deferred_...
   std::optional<std::vector<std::uint8_t>> pending_proof_;
   std::vector<RoundRecord> rounds_;
   std::vector<ContractEvent> events_;
@@ -163,6 +180,9 @@ class AuditContract {
   struct StagedVerify {
     bool ok = false;
     double verify_ms = 0;
+    // Deferred mode: the round sits in the shared batch instead; the action
+    // redeems this ticket for its outcome.
+    std::optional<BatchSettlement::Ticket> ticket;
   };
   std::optional<StagedVerify> staged_verify_;
 };

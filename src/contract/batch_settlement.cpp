@@ -1,0 +1,133 @@
+#include "contract/batch_settlement.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "pairing/pairing.hpp"
+#include "primitives/keccak256.hpp"
+
+namespace dsaudit::contract {
+
+BatchSettlement::BatchSettlement(std::uint64_t seed_nonce)
+    : nonce_rng_(primitives::SecureRng::deterministic(seed_nonce ^
+                                                      0xB47C55E771E3E27FULL)) {}
+
+BatchSettlement::Ticket BatchSettlement::enqueue(
+    chain::Blockchain& chain, audit::SettlementInstance instance,
+    const std::array<std::uint8_t, 32>& transcript) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Ticket t{current_batch_, pending_.size()};
+  pending_.push_back(std::move(instance));
+  transcripts_.push_back(transcript);
+  if (!hook_armed_) {
+    hook_armed_ = true;
+    chain.defer_until_actions([this](chain::Timestamp) {
+      std::lock_guard<std::mutex> hook_lock(mutex_);
+      flush_locked();
+    });
+  }
+  return t;
+}
+
+BatchSettlement::Outcome BatchSettlement::outcome(const Ticket& ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket.batch == current_batch_ && !pending_.empty()) {
+    // Direct-call path (no advance()-driven hook): settle on first demand —
+    // everything due at this instant has been enqueued by now.
+    flush_locked();
+  }
+  auto it = results_.find(ticket.batch);
+  if (it == results_.end() || ticket.index >= it->second.ok.size()) {
+    throw std::logic_error("BatchSettlement: unknown ticket");
+  }
+  Outcome out{it->second.ok[ticket.index], it->second.ok.size(),
+              it->second.flush_ms};
+  return out;
+}
+
+bool BatchSettlement::consume_weight_seed(
+    const std::array<std::uint8_t, 32>& seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consume_weight_seed_locked(seed);
+}
+
+bool BatchSettlement::consume_weight_seed_locked(
+    const std::array<std::uint8_t, 32>& seed) {
+  return used_seeds_.insert(seed).second;
+}
+
+void BatchSettlement::flush_locked() {
+  if (pending_.empty()) {
+    hook_armed_ = false;
+    return;
+  }
+  // Canonical batch order: sort by transcript so the weight schedule and
+  // results are independent of the concurrent enqueue arrival order.
+  std::vector<std::size_t> perm(pending_.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [this](std::size_t a, std::size_t b) {
+    return transcripts_[a] < transcripts_[b];
+  });
+  std::vector<audit::SettlementInstance> sorted;
+  sorted.reserve(pending_.size());
+  for (std::size_t p : perm) sorted.push_back(std::move(pending_[p]));
+
+  // Fiat–Shamir weight seed over (fresh nonce || every round's transcript):
+  // weights are fixed only after all proofs are committed, and the nonce
+  // keeps the schedule fresh even for a byte-identical batch.
+  std::vector<std::uint8_t> preimage(8 + 32 * perm.size());
+  const std::uint64_t nonce = nonce_rng_.next_u64();
+  for (int b = 0; b < 8; ++b) {
+    preimage[b] = static_cast<std::uint8_t>(nonce >> (8 * b));
+  }
+  for (std::size_t j = 0; j < perm.size(); ++j) {
+    std::memcpy(preimage.data() + 8 + 32 * j, transcripts_[perm[j]].data(), 32);
+  }
+  auto seed = primitives::Keccak256::hash(
+      std::span<const std::uint8_t>(preimage.data(), preimage.size()));
+  if (!consume_weight_seed_locked(seed)) {
+    throw std::logic_error("BatchSettlement: replayed weight seed");
+  }
+
+  auto counters_before = pairing::pairing_counters();
+  auto t0 = std::chrono::steady_clock::now();
+  audit::SettlementOutcome res = audit::verify_settlement(sorted, seed);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  auto counters_after = pairing::pairing_counters();
+
+  BatchResult batch;
+  batch.ok.assign(pending_.size(), false);
+  for (std::size_t j = 0; j < perm.size(); ++j) {
+    batch.ok[perm[j]] = res.ok[j];
+  }
+  batch.flush_ms = ms;
+
+  stats_.batches += 1;
+  stats_.rounds += perm.size();
+  stats_.batch_checks += res.batch_checks;
+  stats_.single_checks += res.single_checks;
+  stats_.pairing_chains += counters_after.chains - counters_before.chains;
+  for (bool ok : batch.ok) stats_.culprits += !ok;
+
+  results_[current_batch_] = std::move(batch);
+  // Bound the redemption window: tickets are redeemed within their own
+  // instant; anything older than a few batches is an abandoned round.
+  while (results_.size() > 16) results_.erase(results_.begin());
+
+  pending_.clear();
+  transcripts_.clear();
+  hook_armed_ = false;
+  ++current_batch_;
+}
+
+BatchSettlement::Stats BatchSettlement::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dsaudit::contract

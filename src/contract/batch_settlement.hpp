@@ -1,0 +1,98 @@
+// Block-level deferred settlement: the engine that turns per-round
+// verification cost into per-block cost.
+//
+// Contracts in deferred mode hand their due rounds here from their prepare
+// stages (which the Blockchain runs concurrently across contracts); the
+// settlement sorts the batch canonically, derives a fresh Fiat–Shamir weight
+// seed from the batch transcript, and verifies the whole set as one weighted
+// multi-pairing (audit::verify_settlement — 1 + 2·keys pairings, bisection
+// isolating any culprits) in the Blockchain's between-prepares-and-actions
+// hook. Each contract's action then redeems its ticket sequentially in
+// schedule order, so ledger, gas and event ordering are identical to inline
+// settlement at every thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "audit/protocol.hpp"
+#include "chain/blockchain.hpp"
+#include "primitives/random.hpp"
+
+namespace dsaudit::contract {
+
+class BatchSettlement {
+ public:
+  /// Handed out by enqueue, redeemed by the matching action.
+  struct Ticket {
+    std::uint64_t batch = 0;
+    std::size_t index = 0;  // enqueue position within the batch
+  };
+
+  struct Outcome {
+    bool ok = false;
+    std::size_t batch_size = 0;  // rounds settled together with this one
+    double flush_ms = 0;         // wall clock of the whole batch (telemetry)
+  };
+
+  struct Stats {
+    std::uint64_t batches = 0;        // flushes performed
+    std::uint64_t rounds = 0;         // instances settled
+    std::uint64_t batch_checks = 0;   // weighted aggregate checks (incl. bisection)
+    std::uint64_t single_checks = 0;  // bisection leaves re-verified exactly
+    std::uint64_t culprits = 0;       // rounds isolated as failing
+    std::uint64_t pairing_chains = 0; // Miller chains across all flushes
+  };
+
+  /// `seed_nonce` keys the per-batch nonce stream (NetworkSim passes its
+  /// network seed so runs stay reproducible).
+  explicit BatchSettlement(std::uint64_t seed_nonce = 0);
+
+  /// Register one settlement-ready round. Thread-safe — called from
+  /// concurrent prepare stages. `transcript` must commit the round's
+  /// identity, challenge and proof bytes: it orders the batch canonically
+  /// (so results are independent of arrival order) and feeds the
+  /// Fiat–Shamir weight seed. The first enqueue of a batch arms the chain's
+  /// defer_until_actions hook so the flush runs once, after every prepare.
+  /// The instance borrows its verifier/file contexts — the owning contract
+  /// keeps them alive.
+  Ticket enqueue(chain::Blockchain& chain, audit::SettlementInstance instance,
+                 const std::array<std::uint8_t, 32>& transcript);
+
+  /// Redeem a ticket (from the contract's action). Flushes the pending
+  /// batch first when no chain hook ran (direct-call test paths).
+  Outcome outcome(const Ticket& ticket);
+
+  /// Weight-seed freshness registry: records `seed` as consumed, returns
+  /// false if it was already used. flush() refuses to settle a batch whose
+  /// derived seed replays (an adversary who saw a weight schedule could
+  /// craft cancelling forgeries against it); with the per-batch nonce this
+  /// never triggers in normal operation. Thread-safe like enqueue/outcome.
+  bool consume_weight_seed(const std::array<std::uint8_t, 32>& seed);
+
+  Stats stats() const;
+
+ private:
+  void flush_locked();
+  bool consume_weight_seed_locked(const std::array<std::uint8_t, 32>& seed);
+
+  mutable std::mutex mutex_;
+  primitives::SecureRng nonce_rng_;
+  std::uint64_t current_batch_ = 0;
+  bool hook_armed_ = false;
+  std::vector<audit::SettlementInstance> pending_;
+  std::vector<std::array<std::uint8_t, 32>> transcripts_;
+  struct BatchResult {
+    std::vector<bool> ok;
+    double flush_ms = 0;
+  };
+  std::map<std::uint64_t, BatchResult> results_;
+  std::set<std::array<std::uint8_t, 32>> used_seeds_;
+  Stats stats_;
+};
+
+}  // namespace dsaudit::contract

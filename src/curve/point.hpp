@@ -293,6 +293,60 @@ class Point {
 
 namespace detail {
 
+/// Sum of two affine points given the batch-inverted chord denominator
+/// d_inv = 1/(q.x - p.x), zero when the denominator was zero. Implements the
+/// shared exceptional-case policy of every batched round: infinity is
+/// encoded as y == 0 (valid for all odd-order BN254 groups, see
+/// batch_affine_add_round below), a same-x doubling pays its own un-batched
+/// inversion, and p == -q collapses to infinity.
+template <typename F, typename Tag>
+AffinePoint<F, Tag> affine_pair_sum(const AffinePoint<F, Tag>& p,
+                                    const AffinePoint<F, Tag>& q,
+                                    const F& d_inv) {
+  if (!d_inv.is_zero()) [[likely]] {
+    if (p.y.is_zero()) return q;  // p is infinity
+    if (q.y.is_zero()) return p;  // q is infinity
+    // lambda = (y2-y1)/(x2-x1); x3 = lambda^2 - x1 - x2
+    F lambda = (q.y - p.y) * d_inv;
+    F x3 = lambda.square() - p.x - q.x;
+    return {x3, lambda * (p.x - x3) - p.y};
+  }
+  if (p.y.is_zero()) return q;  // p infinity (and the result, if q is too)
+  if (q.y.is_zero()) return p;  // q infinity, p a finite point with matching x
+  if (p.y == q.y) {
+    // Doubling; pays an un-batched inversion, fine for a rare case.
+    F x2 = p.x.square();
+    F lambda = (x2 + x2 + x2) * p.y.dbl().inverse();
+    F x3 = lambda.square() - p.x.dbl();
+    return {x3, lambda * (p.x - x3) - p.y};
+  }
+  return {};  // p == -q
+}
+
+/// Batched inversion of the chord denominators: scratch[i] <- 1/dens[i] with
+/// one field inversion total (prefix products forward, one inversion, walk
+/// back). Zero denominators (same-x pairs, double-infinity pairs) are
+/// skipped and come out zero — the pair-sum classification key.
+template <typename F>
+void batch_invert_chords(const std::vector<F>& dens, std::vector<F>& scratch) {
+  const std::size_t n = dens.size();
+  F run = F::one();
+  for (std::size_t t = 0; t < n; ++t) {
+    scratch[t] = run;
+    if (!dens[t].is_zero()) run = run * dens[t];
+  }
+  F inv = run.inverse();
+  for (std::size_t t = n; t-- > 0;) {
+    if (dens[t].is_zero()) {
+      scratch[t] = F::zero();
+      continue;
+    }
+    F d_inv = inv * scratch[t];
+    inv = inv * dens[t];
+    scratch[t] = d_inv;
+  }
+}
+
 /// One round of batched affine additions over a set of "runs" (contiguous
 /// slices of `pts`): within each run listed in `active`, adjacent points are
 /// paired and summed in place, halving the run (results compact to the front;
@@ -333,24 +387,7 @@ std::size_t batch_affine_add_round(std::vector<AffinePoint<F, Tag>>& pts,
     }
   }
 
-  // Batch inversion: prefix products forward into `scratch`, one inversion,
-  // then walk back. Zero denominators (same-x pairs, double-infinity pairs)
-  // are skipped and stay zero.
-  F run = F::one();
-  for (t = 0; t < pair_count; ++t) {
-    scratch[t] = run;
-    if (!dens[t].is_zero()) run = run * dens[t];
-  }
-  F inv = run.inverse();
-  for (t = pair_count; t-- > 0;) {
-    if (dens[t].is_zero()) {
-      scratch[t] = F::zero();
-      continue;
-    }
-    F d_inv = inv * scratch[t];
-    inv = inv * dens[t];
-    scratch[t] = d_inv;
-  }
+  batch_invert_chords(dens, scratch);
 
   // Pass 2: same walk; compute pair results, carry odd leftovers, update run
   // lengths, and rebuild `active` in place with the runs still longer than
@@ -360,33 +397,8 @@ std::size_t batch_affine_add_round(std::vector<AffinePoint<F, Tag>>& pts,
     const std::uint32_t n = len[b];
     const std::uint32_t off = offsets[b];
     for (std::uint32_t k = 0; k + 1 < n; k += 2) {
-      AffinePoint<F, Tag> p = pts[off + k];
-      AffinePoint<F, Tag> q = pts[off + k + 1];
-      const F& d_inv = scratch[iv++];
-      if (!d_inv.is_zero()) [[likely]] {
-        if (p.y.is_zero()) {  // p is infinity
-          pts[off + k / 2] = q;
-        } else if (q.y.is_zero()) {  // q is infinity
-          pts[off + k / 2] = p;
-        } else {
-          // lambda = (y2-y1)/(x2-x1); x3 = lambda^2 - x1 - x2
-          F lambda = (q.y - p.y) * d_inv;
-          F x3 = lambda.square() - p.x - q.x;
-          pts[off + k / 2] = AffinePoint<F, Tag>{x3, lambda * (p.x - x3) - p.y};
-        }
-      } else if (p.y.is_zero()) {
-        pts[off + k / 2] = q;  // p infinity (and so is the result if q is too)
-      } else if (q.y.is_zero()) {
-        pts[off + k / 2] = p;  // q infinity, p a finite point with matching x
-      } else if (p.y == q.y) {
-        // Doubling; pays an un-batched inversion, fine for a rare case.
-        F x2 = p.x.square();
-        F lambda = (x2 + x2 + x2) * p.y.dbl().inverse();
-        F x3 = lambda.square() - p.x.dbl();
-        pts[off + k / 2] = AffinePoint<F, Tag>{x3, lambda * (p.x - x3) - p.y};
-      } else {  // p == -q
-        pts[off + k / 2] = AffinePoint<F, Tag>{};
-      }
+      pts[off + k / 2] =
+          affine_pair_sum<F, Tag>(pts[off + k], pts[off + k + 1], scratch[iv++]);
     }
     // Odd element carries over behind the pair results (safe here: all of
     // this run's pair reads and writes are done).
@@ -476,14 +488,20 @@ P msm_from_digits(const std::int32_t* digits, std::size_t n, unsigned t_begin,
       if (d != 0) ++counts[wb + (d > 0 ? d : -d) - 1];
     }
   }
-  std::vector<u32> offsets(nb), len(nb, 0), active;
+  // Index-based scatter: each entry lands as a packed (position, sign,
+  // index) id — 8 bytes of random-access write instead of a 72-byte affine
+  // copy (that copy was ~18% of the cold path at n >= 16k). Points
+  // materialize exactly once, in the dedicated first halving round below,
+  // which writes only ceil(entries/2) results into the compact layout the
+  // in-place rounds then continue on. Packing bounds (index < 2^32,
+  // position < 2^31) dwarf any MSM that fits in memory.
+  std::vector<u32> scat_off(nb), scat_len(nb, 0);
   u32 entries = 0;
   for (std::size_t b = 0; b < nb; ++b) {
-    offsets[b] = entries;
+    scat_off[b] = entries;
     entries += counts[b];
-    if (counts[b] > 1) active.push_back(static_cast<u32>(b));
   }
-  std::vector<A> sorted(entries);
+  std::vector<std::uint64_t> ids(entries);
   for (unsigned t = t_begin; t < t_end; ++t) {
     const std::int32_t* dt = digits + std::size_t{t} * n;
     const std::size_t wb =
@@ -492,13 +510,62 @@ P msm_from_digits(const std::int32_t* digits, std::size_t n, unsigned t_begin,
       std::int32_t d = dt[i];
       if (d == 0) continue;
       std::size_t b = wb + (d > 0 ? d : -d) - 1;
-      sorted[offsets[b] + len[b]++] = d > 0 ? base(t, i) : -base(t, i);
+      ids[scat_off[b] + scat_len[b]++] =
+          (std::uint64_t{t} << 33) | (std::uint64_t{d < 0} << 32) | i;
     }
   }
+  auto id_x = [&base](std::uint64_t id) -> const F& {
+    // Negation flips y only, so denominators read x straight off the base.
+    return base(static_cast<unsigned>(id >> 33),
+                static_cast<std::size_t>(id & 0xFFFFFFFFu))
+        .x;
+  };
+  auto id_point = [&base](std::uint64_t id) -> A {
+    A p = base(static_cast<unsigned>(id >> 33),
+               static_cast<std::size_t>(id & 0xFFFFFFFFu));
+    if (id & (std::uint64_t{1} << 32)) p.y = -p.y;
+    return p;
+  };
 
-  // Tree-reduce every bucket to a single point, all spaces in shared batched
-  // rounds.
-  std::vector<F> dens, inv_scratch;
+  // First halving round straight off the id array (same shared-inversion
+  // policy as batch_affine_add_round, with the reads indirected), then the
+  // generic in-place rounds finish each bucket.
+  std::vector<u32> offsets(nb), len(nb, 0), active;
+  u32 halved = 0;
+  std::size_t pair_count = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    offsets[b] = halved;
+    len[b] = counts[b] / 2 + (counts[b] & 1);
+    halved += len[b];
+    pair_count += counts[b] / 2;
+    if (len[b] > 1) active.push_back(static_cast<u32>(b));
+  }
+  std::vector<F> dens(pair_count), inv_scratch(pair_count);
+  std::size_t tp = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const u32 cnt = counts[b];
+    const u32 soff = scat_off[b];
+    for (u32 k = 0; k + 1 < cnt; k += 2) {
+      dens[tp++] = id_x(ids[soff + k + 1]) - id_x(ids[soff + k]);
+    }
+  }
+  batch_invert_chords(dens, inv_scratch);
+  std::vector<A> sorted(halved);
+  std::size_t iv = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const u32 cnt = counts[b];
+    if (cnt == 0) continue;
+    const u32 soff = scat_off[b];
+    const u32 doff = offsets[b];
+    for (u32 k = 0; k + 1 < cnt; k += 2) {
+      sorted[doff + k / 2] = affine_pair_sum<F, typename P::TagType>(
+          id_point(ids[soff + k]), id_point(ids[soff + k + 1]),
+          inv_scratch[iv++]);
+    }
+    if (cnt & 1) sorted[doff + cnt / 2] = id_point(ids[soff + cnt - 1]);
+  }
+  ids.clear();
+  ids.shrink_to_fit();
   while (batch_affine_add_round<F, typename P::TagType>(sorted, offsets, len,
                                                         active, dens,
                                                         inv_scratch) > 0) {

@@ -4,6 +4,18 @@
 
 namespace dsaudit::econ {
 
+double AuditCostModel::batched_verify_ms(std::size_t batch_size) const {
+  if (batch_size == 0) {
+    throw std::invalid_argument("batched_verify_ms: empty batch");
+  }
+  return verify_prep_ms + verify_pair_ms / static_cast<double>(batch_size);
+}
+
+std::uint64_t AuditCostModel::gas_per_audit_batched(std::size_t batch_size) const {
+  return gas.audit_tx_gas(proof_bytes, challenge_bytes,
+                          batched_verify_ms(batch_size));
+}
+
 double contract_fee_usd(const AuditCostModel& model, unsigned duration_days,
                         double audits_per_day, unsigned num_providers) {
   if (audits_per_day <= 0 || num_providers == 0) {

@@ -1,5 +1,6 @@
 #include "pairing/pairing.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "parallel/thread_pool.hpp"
@@ -7,6 +8,11 @@
 namespace dsaudit::pairing {
 
 namespace {
+
+/// Process-wide telemetry (relaxed atomics: counts only, no ordering). The
+/// settlement tests assert "3 pairings for a whole batch" against these.
+std::atomic<std::uint64_t> g_chains{0};
+std::atomic<std::uint64_t> g_final_exps{0};
 
 using ff::Fp;
 using ff::Fp6;
@@ -79,9 +85,8 @@ TwistPoint to_twist_affine(const G2& q) {
 }
 
 /// The optimal-ate loop count 6t + 2 (65 bits for BN254), derived from the
-/// BN parameter rather than hard-coded. Shared by the textbook loop, the
-/// G2Prepared coefficient builder, and the prepared replay loops — all three
-/// must walk the identical addition chain.
+/// BN parameter rather than hard-coded. This binary expansion drives only
+/// the textbook oracle loop; the prepared engine walks the NAF chain below.
 const std::vector<bool>& six_t_plus_2_bits() {
   static const std::vector<bool> bits = [] {
     u128 v = static_cast<u128>(6) * ff::kBnParamT + 2;
@@ -93,6 +98,36 @@ const std::vector<bool>& six_t_plus_2_bits() {
     return b;  // little-endian
   }();
   return bits;
+}
+
+/// Signed NAF digits of 6t + 2 (little-endian, digits in {-1, 0, 1}): 22
+/// nonzero digits where the binary expansion has 37 set bits — 15 fewer
+/// addition steps per Miller chain, paid for by one extra doubling (the NAF
+/// is one digit longer). A digit of -1 adds -Q; for even embedding degree
+/// the dropped vertical lines land in a subfield the final exponentiation
+/// kills, so pairing-level results are unchanged (the textbook binary loop
+/// stays as the differential oracle for exactly that equality). Shared by
+/// the G2Prepared coefficient builder and the replay loops — both must walk
+/// the identical chain for the lock-step cursor to line up.
+const std::vector<std::int8_t>& six_t_plus_2_naf() {
+  static const std::vector<std::int8_t> naf = [] {
+    u128 v = static_cast<u128>(6) * ff::kBnParamT + 2;
+    std::vector<std::int8_t> d;
+    while (v != 0) {
+      if (v & 1) {
+        // Odd: pick the digit in {-1, 1} making v - digit divisible by 4,
+        // which forces the next digit to 0 (the NAF property).
+        std::int8_t di = (v & 3) == 3 ? -1 : 1;
+        d.push_back(di);
+        v -= di;  // unsigned wrap-around implements the -(-1) correctly
+      } else {
+        d.push_back(0);
+      }
+      v >>= 1;
+    }
+    return d;  // little-endian; top digit is always 1
+  }();
+  return naf;
 }
 
 // ---------------------------------------------------------------------------
@@ -165,18 +200,18 @@ struct ActivePair {
 
 /// Lock-step Miller loops over any number of prepared pairs: one shared f,
 /// one Fp12 squaring per bit for the whole product. Every coefficient chain
-/// has identical length and layout (same addition chain), so a single cursor
-/// walks all of them.
+/// has identical length and layout (same NAF addition chain), so a single
+/// cursor walks all of them.
 Fp12 miller_loop_product(std::span<const ActivePair> pairs) {
   if (pairs.empty()) return Fp12::one();
-  const auto& bits = six_t_plus_2_bits();
+  const auto& naf = six_t_plus_2_naf();
   Fp12 f = Fp12::one();
   std::size_t idx = 0;
-  for (std::size_t i = bits.size() - 1; i-- > 0;) {
+  for (std::size_t i = naf.size() - 1; i-- > 0;) {
     f = f.square();
     for (const auto& p : pairs) fold_line(f, (*p.coeffs)[idx], p.xp, p.yp);
     ++idx;
-    if (bits[i]) {
+    if (naf[i] != 0) {
       for (const auto& p : pairs) fold_line(f, (*p.coeffs)[idx], p.xp, p.yp);
       ++idx;
     }
@@ -234,6 +269,7 @@ Fp12 miller_product_of(const PairRange& pairs, GetG1&& g1_of,
     auto [xp, yp] = p.to_affine();
     active.push_back({xp, yp, &q.coeffs()});
   }
+  g_chains.fetch_add(active.size(), std::memory_order_relaxed);
   return miller_loop_product_sharded(active);
 }
 
@@ -243,12 +279,17 @@ G2Prepared::G2Prepared(const G2& q) {
   if (q.is_infinity()) return;
   auto [qx, qy] = q.to_affine();
   const TwistPoint qa{qx, qy};
+  const TwistPoint qneg{qx, -qy};
   HomProjective r{qx, qy, Fp2::one()};
-  const auto& bits = six_t_plus_2_bits();
-  coeffs_.reserve(bits.size() * 2);
-  for (std::size_t i = bits.size() - 1; i-- > 0;) {
+  const auto& naf = six_t_plus_2_naf();
+  coeffs_.reserve(naf.size() + 24);
+  for (std::size_t i = naf.size() - 1; i-- > 0;) {
     coeffs_.push_back(doubling_step(r));
-    if (bits[i]) coeffs_.push_back(addition_step(r, qa));
+    if (naf[i] == 1) {
+      coeffs_.push_back(addition_step(r, qa));
+    } else if (naf[i] == -1) {
+      coeffs_.push_back(addition_step(r, qneg));
+    }
   }
   coeffs_.push_back(addition_step(r, to_twist_affine(curve::g2_frobenius(q))));
   coeffs_.push_back(addition_step(r, to_twist_affine(-curve::g2_frobenius2(q))));
@@ -256,6 +297,7 @@ G2Prepared::G2Prepared(const G2& q) {
 
 Fp12 miller_loop(const G1& p, const G2Prepared& q) {
   if (p.is_infinity() || q.is_infinity()) return Fp12::one();
+  g_chains.fetch_add(1, std::memory_order_relaxed);
   auto [xp, yp] = p.to_affine();
   ActivePair pair{xp, yp, &q.coeffs()};
   return miller_loop_product(std::span<const ActivePair>(&pair, 1));
@@ -290,6 +332,7 @@ Fp12 miller_loop_textbook(const G1& p, const G2& q) {
 
 Fp12 final_exponentiation(const Fp12& f) {
   if (f.is_zero()) throw std::domain_error("final_exponentiation: zero input");
+  g_final_exps.fetch_add(1, std::memory_order_relaxed);
   // Easy part: f^{(p^6-1)(p^2+1)}.
   Fp12 t0 = f.conjugate() * f.inverse();       // f^{p^6 - 1}
   Fp12 elt = t0.frobenius2() * t0;             // ^{p^2 + 1}
@@ -297,15 +340,16 @@ Fp12 final_exponentiation(const Fp12& f) {
   // Hard part: elt^{(p^4 - p^2 + 1)/r} via the Devegili et al. BN recipe
   // (the same structure as go-ethereum's bn256 finalExponentiation). All
   // values here live in the cyclotomic subgroup — the easy part put elt
-  // there, and Frobenius maps, conjugates and products stay inside — so
-  // every squaring is a cyclotomic squaring.
+  // there, and Frobenius maps, conjugates and products stay inside — so the
+  // three exponentiations by the BN parameter run their squaring chains in
+  // Karabina compressed form (one batched decompression inversion each).
   const ff::u64 u = ff::kBnParamT;
   Fp12 fp = elt.frobenius();
   Fp12 fp2 = elt.frobenius2();
   Fp12 fp3 = fp2.frobenius();
-  Fp12 fu = elt.cyclotomic_pow_u64(u);
-  Fp12 fu2 = fu.cyclotomic_pow_u64(u);
-  Fp12 fu3 = fu2.cyclotomic_pow_u64(u);
+  Fp12 fu = elt.cyclotomic_pow_compressed(u);
+  Fp12 fu2 = fu.cyclotomic_pow_compressed(u);
+  Fp12 fu3 = fu2.cyclotomic_pow_compressed(u);
   Fp12 y3 = fu.frobenius().conjugate();
   Fp12 fu2p = fu2.frobenius();
   Fp12 fu3p = fu3.frobenius();
@@ -390,8 +434,18 @@ bool gt_in_subgroup(const Fp12& g) {
   Fp12 gp4 = gp2.frobenius2();
   if (!(gp4 * g == gp2)) return false;
   // Inside the cyclotomic subgroup the compressed squaring chain is valid,
-  // so the order-r check costs ~254 cyclotomic squarings.
-  return g.cyclotomic_pow_u256(ff::Fr::modulus()).is_one();
+  // so the order-r check costs ~254 Karabina compressed squarings.
+  return g.cyclotomic_pow_compressed(ff::Fr::modulus()).is_one();
+}
+
+PairingCounters pairing_counters() {
+  return {g_chains.load(std::memory_order_relaxed),
+          g_final_exps.load(std::memory_order_relaxed)};
+}
+
+void reset_pairing_counters() {
+  g_chains.store(0, std::memory_order_relaxed);
+  g_final_exps.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dsaudit::pairing

@@ -22,6 +22,7 @@
 // the pairing level).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -101,5 +102,17 @@ bool gt_in_subgroup(const Fp12& g);
 /// purely as the differential-test oracle for the prepared engine.
 Fp12 miller_loop_textbook(const G1& p, const G2& q);
 Fp12 pairing_textbook(const G1& p, const G2& q);
+
+/// Process-wide pairing-cost telemetry: `chains` counts Miller chains
+/// evaluated — one per finite (G1, G2) pair in any pairing or product, i.e.
+/// "number of pairings" in the paper's accounting — and `final_exps` counts
+/// final exponentiations. The batched-settlement tests assert "3 pairings
+/// for a whole block" against deltas of these counters.
+struct PairingCounters {
+  std::uint64_t chains = 0;
+  std::uint64_t final_exps = 0;
+};
+PairingCounters pairing_counters();
+void reset_pairing_counters();
 
 }  // namespace dsaudit::pairing

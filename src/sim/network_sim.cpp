@@ -17,6 +17,9 @@ NetworkSim::NetworkSim(NetworkConfig config)
   }
   auto bseed = rng_.bytes32();
   beacon_ = std::make_unique<chain::TrustedBeacon>(bseed);
+  if (config_.batched_settlement) {
+    batch_ = std::make_unique<contract::BatchSettlement>(config_.rng_seed);
+  }
   for (std::size_t p = 0; p < config_.num_providers; ++p) {
     ring_.join("provider-" + std::to_string(p));
   }
@@ -73,8 +76,11 @@ void NetworkSim::deploy() {
       if (behavior == ProviderBehavior::DropsData) {
         for (auto& b : dep->held.chunks[0]) b = audit::Fr::zero();
       }
-      dep->prover = std::make_unique<audit::Prover>(owner_keys_[o].pk, dep->held,
-                                                    dep->tag);
+      // Contract-serving provers answer num_audits rounds: build both
+      // prepared MSM tables (psi over the SRS powers, sigma over the tags).
+      dep->prover = std::make_unique<audit::Prover>(
+          owner_keys_[o].pk, dep->held, dep->tag, /*prepare_psi=*/true,
+          /*prepare_sigma=*/true);
 
       contract::ContractTerms terms;
       terms.owner = owner;
@@ -86,10 +92,12 @@ void NetworkSim::deploy() {
       terms.penalty_per_fail = config_.penalty_per_fail;
       terms.challenged_chunks = config_.challenged_chunks;
       terms.private_proofs = config_.private_proofs;
+      terms.batch_gas_discount = config_.batch_gas_discount;
 
       dep->contract = std::make_unique<contract::AuditContract>(
           chain_, *beacon_, terms, owner_keys_[o].pk, dep->name,
           dep->file.num_chunks());
+      if (batch_) dep->contract->enable_deferred_settlement(*batch_);
       if (behavior != ProviderBehavior::Unresponsive) {
         dep->prover_rng = std::make_unique<primitives::SecureRng>(
             primitives::SecureRng::deterministic(

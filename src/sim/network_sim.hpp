@@ -33,6 +33,13 @@ struct NetworkConfig {
   std::uint64_t penalty_per_fail = 25;
   std::size_t challenged_chunks = 8;
   bool private_proofs = true;
+  /// Settle every round due at one chain instant as a single batch
+  /// (contract::BatchSettlement): same outcomes, ledger and chain state as
+  /// inline settlement, block-level verification cost.
+  bool batched_settlement = false;
+  /// With batched settlement: price prove-txs by the calibrated batch
+  /// discount row instead of the flat per-round gas constant.
+  bool batch_gas_discount = false;
   std::uint64_t rng_seed = 1;
 };
 
@@ -83,6 +90,11 @@ class NetworkSim {
   std::vector<const contract::AuditContract*> contracts_of(
       const std::string& provider) const;
 
+  /// The shared block-settlement engine (null unless batched_settlement).
+  const contract::BatchSettlement* batch_settlement() const {
+    return batch_.get();
+  }
+
   /// True iff `owner` can still reconstruct its file from honest providers'
   /// shards (exercises the erasure layer against the injected failures).
   bool owner_can_recover(std::size_t owner) const;
@@ -107,6 +119,7 @@ class NetworkSim {
   primitives::SecureRng rng_;
   chain::Blockchain chain_;
   std::unique_ptr<chain::TrustedBeacon> beacon_;
+  std::unique_ptr<contract::BatchSettlement> batch_;
   storage::ChordRing ring_;
   std::map<std::string, ProviderBehavior> behavior_;
   std::vector<audit::KeyPair> owner_keys_;

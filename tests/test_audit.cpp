@@ -288,6 +288,24 @@ TEST(AuditVerifier, PreparedVerifierMatchesFreeFunctions) {
   EXPECT_FALSE(verifier.verify_batch(instances, rng));
 }
 
+TEST(AuditProver, PreparedSigmaTableMatchesColdPath) {
+  // The sigma subset-MSM over the prepared tag table must emit byte-for-byte
+  // the proofs of the gather-then-cold-MSM path it replaces.
+  auto rng = SecureRng::deterministic(415);
+  Scenario sc = make_scenario(5000, 8, rng);
+  Prover prepared(sc.kp.pk, sc.file, sc.tag, /*prepare_psi=*/true,
+                  /*prepare_sigma=*/true);
+  Prover cold(sc.kp.pk, sc.file, sc.tag);
+  for (int i = 0; i < 3; ++i) {
+    Challenge chal = make_challenge(rng, 4 + 3 * i);
+    EXPECT_EQ(serialize(prepared.prove(chal)), serialize(cold.prove(chal)));
+    auto rng_a = SecureRng::deterministic(500 + i);
+    auto rng_b = SecureRng::deterministic(500 + i);
+    EXPECT_EQ(serialize(prepared.prove_private(chal, rng_a)),
+              serialize(cold.prove_private(chal, rng_b)));
+  }
+}
+
 TEST(AuditProver, PreparedPsiTablesMatchColdPath) {
   // The prepared shifted-base tables for pk.g1_alpha_powers must leave the
   // proof bit-identical to the cold-MSM prover.

@@ -217,6 +217,60 @@ TEST(ParallelDifferential, ProverEmitsIdenticalProofBytes) {
       });
 }
 
+TEST(ParallelDifferential, BatchedSettlementIdenticalAcrossThreadCounts) {
+  // Deferred settlement enqueues rounds from concurrent prepare stages; the
+  // canonical transcript ordering inside BatchSettlement must make batch
+  // outcomes, gas (with the discount row) and the ledger independent of the
+  // pool width.
+  struct Results {
+    sim::NetworkStats stats;
+    std::vector<std::uint64_t> balances;
+    std::uint64_t batches = 0;
+    std::uint64_t culprits = 0;
+  };
+  for_thread_counts<Results>(
+      [] {
+        sim::NetworkConfig c;
+        c.num_owners = 2;
+        c.num_providers = 3;
+        c.file_bytes = 1000;
+        c.s = 5;
+        c.erasure_data = 2;
+        c.erasure_parity = 1;
+        c.num_audits = 2;
+        c.challenged_chunks = 999;
+        c.private_proofs = true;
+        c.batched_settlement = true;
+        c.batch_gas_discount = true;
+        sim::NetworkSim net(c);
+        net.set_behavior("provider-1", sim::ProviderBehavior::DropsData);
+        net.deploy();
+        net.run_to_completion();
+        Results r;
+        r.stats = net.stats();
+        for (std::size_t o = 0; o < c.num_owners; ++o) {
+          r.balances.push_back(net.balance("owner-" + std::to_string(o)));
+        }
+        for (std::size_t p = 0; p < c.num_providers; ++p) {
+          r.balances.push_back(net.balance("provider-" + std::to_string(p)));
+        }
+        r.batches = net.batch_settlement()->stats().batches;
+        r.culprits = net.batch_settlement()->stats().culprits;
+        return r;
+      },
+      [](const Results& base, const Results& got, unsigned threads) {
+        EXPECT_EQ(base.stats.passes, got.stats.passes) << threads << " threads";
+        EXPECT_EQ(base.stats.fails, got.stats.fails) << threads << " threads";
+        EXPECT_EQ(base.stats.total_gas, got.stats.total_gas)
+            << threads << " threads";
+        EXPECT_EQ(base.stats.chain_bytes, got.stats.chain_bytes)
+            << threads << " threads";
+        EXPECT_EQ(base.balances, got.balances) << threads << " threads";
+        EXPECT_EQ(base.batches, got.batches) << threads << " threads";
+        EXPECT_EQ(base.culprits, got.culprits) << threads << " threads";
+      });
+}
+
 TEST(ParallelDifferential, NetworkSimStatsAndLedgerIdentical) {
   struct Results {
     sim::NetworkStats stats;

@@ -1,0 +1,396 @@
+// Batched round settlement, end to end: the audit-layer engine (cross-key
+// and private batches, exact pairing counts, culprit isolation by
+// bisection), the contract-layer BatchSettlement (weight freshness,
+// cross-contract blocks), and batched-vs-sequential bit identity of the
+// whole simulated network — chain state, gas totals and ledger.
+#include <gtest/gtest.h>
+
+#include "audit/protocol.hpp"
+#include "audit/serialize.hpp"
+#include "contract/batch_settlement.hpp"
+#include "econ/cost_model.hpp"
+#include "pairing/pairing.hpp"
+#include "sim/network_sim.hpp"
+
+namespace dsaudit {
+namespace {
+
+using audit::BasicInstance;
+using audit::Challenge;
+using audit::Fr;
+using audit::KeyPair;
+using audit::PreparedFile;
+using audit::Prover;
+using audit::SettlementInstance;
+using audit::SettlementOutcome;
+using audit::Verifier;
+using primitives::SecureRng;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, SecureRng& rng) {
+  std::vector<std::uint8_t> v(n);
+  rng.fill(v);
+  return v;
+}
+
+struct Scenario {
+  KeyPair kp;
+  storage::EncodedFile file;
+  audit::FileTag tag;
+  Fr name;
+};
+
+Scenario make_scenario(std::size_t file_size, std::size_t s, SecureRng& rng) {
+  Scenario sc;
+  sc.kp = audit::keygen(s, rng);
+  auto data = random_bytes(file_size, rng);
+  sc.file = storage::encode_file(data, s);
+  sc.name = Fr::random(rng);
+  sc.tag = audit::generate_tags(sc.kp.sk, sc.kp.pk, sc.file, sc.name);
+  return sc;
+}
+
+Challenge make_challenge(SecureRng& rng, std::size_t k) {
+  Challenge c;
+  c.c1 = rng.bytes32();
+  c.c2 = rng.bytes32();
+  c.r = Fr::random(rng);
+  c.k = k;
+  return c;
+}
+
+std::array<std::uint8_t, 32> seed_of(SecureRng& rng) { return rng.bytes32(); }
+
+// ---------------------------------------------------------------------------
+// audit::verify_settlement — the aggregation engine.
+// ---------------------------------------------------------------------------
+
+TEST(Settlement, SameKeyBatchIsExactlyThreePairings) {
+  auto rng = SecureRng::deterministic(900);
+  Scenario sc = make_scenario(4000, 6, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(16);
+  for (auto& inst : instances) {
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 5);
+    inst.basic = prover.prove(inst.challenge);
+  }
+  pairing::reset_pairing_counters();
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng));
+  auto counters = pairing::pairing_counters();
+
+  EXPECT_TRUE(out.all_ok());
+  EXPECT_EQ(out.batch_checks, 1u);
+  EXPECT_EQ(out.single_checks, 0u);
+  // The headline invariant: 16 rounds of one key settle with EXACTLY 3
+  // Miller chains and one final exponentiation.
+  EXPECT_EQ(counters.chains, 3u);
+  EXPECT_EQ(counters.final_exps, 1u);
+}
+
+TEST(Settlement, CrossKeyBatchCostsOnePlusTwoPerKey) {
+  auto rng = SecureRng::deterministic(901);
+  Scenario a = make_scenario(3000, 5, rng);
+  Scenario b = make_scenario(3500, 6, rng);
+  Verifier va(a.kp.pk), vb(b.kp.pk);
+  PreparedFile ca = audit::prepare_file(a.name, a.file.num_chunks());
+  PreparedFile cb = audit::prepare_file(b.name, b.file.num_chunks());
+  Prover pa(a.kp.pk, a.file, a.tag), pb(b.kp.pk, b.file, b.tag);
+
+  std::vector<SettlementInstance> instances;
+  for (int i = 0; i < 4; ++i) {
+    SettlementInstance inst;
+    const bool first = i % 2 == 0;
+    inst.verifier = first ? &va : &vb;
+    inst.file = first ? &ca : &cb;
+    inst.challenge = make_challenge(rng, 4);
+    inst.basic = (first ? pa : pb).prove(inst.challenge);
+    instances.push_back(std::move(inst));
+  }
+  pairing::reset_pairing_counters();
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng));
+  auto counters = pairing::pairing_counters();
+
+  EXPECT_TRUE(out.all_ok());
+  // Two distinct keys: shared generator chain + (epsilon, delta) per key.
+  EXPECT_EQ(counters.chains, 1u + 2u * 2u);
+  EXPECT_EQ(counters.final_exps, 1u);
+}
+
+TEST(Settlement, SameKeyAcrossDistinctVerifierObjectsStillGroups) {
+  auto rng = SecureRng::deterministic(902);
+  Scenario sc = make_scenario(3000, 5, rng);
+  // Two Verifier objects over the same public key (two contracts of one
+  // owner): content-based grouping must still give 3 pairings.
+  Verifier v1(sc.kp.pk), v2(sc.kp.pk);
+  EXPECT_EQ(v1.key_id(), v2.key_id());
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(4);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    instances[i].verifier = i % 2 ? &v1 : &v2;
+    instances[i].file = &ctx;
+    instances[i].challenge = make_challenge(rng, 4);
+    instances[i].basic = prover.prove(instances[i].challenge);
+  }
+  pairing::reset_pairing_counters();
+  EXPECT_TRUE(audit::verify_settlement(instances, seed_of(rng)).all_ok());
+  EXPECT_EQ(pairing::pairing_counters().chains, 3u);
+}
+
+TEST(Settlement, PrivateAndMixedProofBatches) {
+  auto rng = SecureRng::deterministic(903);
+  Scenario sc = make_scenario(4000, 6, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(6);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    instances[i].verifier = &verifier;
+    instances[i].file = &ctx;
+    instances[i].challenge = make_challenge(rng, 5);
+    if (i % 2 == 0) {
+      instances[i].priv = prover.prove_private(instances[i].challenge, rng);
+    } else {
+      instances[i].basic = prover.prove(instances[i].challenge);
+    }
+  }
+  pairing::reset_pairing_counters();
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng));
+  EXPECT_TRUE(out.all_ok());
+  // The private commitments fold into the GT side; still 3 pairings.
+  EXPECT_EQ(pairing::pairing_counters().chains, 3u);
+
+  // A tampered private proof fails its round (and only its round).
+  instances[2].priv->y_prime += Fr::one();
+  out = audit::verify_settlement(instances, seed_of(rng));
+  EXPECT_FALSE(out.ok[2]);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (i != 2) EXPECT_TRUE(out.ok[i]) << i;
+  }
+}
+
+TEST(Settlement, BisectionIsolatesSingleCulprit) {
+  auto rng = SecureRng::deterministic(904);
+  Scenario sc = make_scenario(4000, 6, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(9);
+  for (auto& inst : instances) {
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 5);
+    inst.basic = prover.prove(inst.challenge);
+  }
+  instances[5].basic->y += Fr::one();  // the cheater
+
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng));
+  EXPECT_FALSE(out.all_ok());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(out.ok[i], i != 5) << i;
+  }
+  // Bisection ran: more than one aggregate check, and every leaf it opened
+  // was re-verified exactly.
+  EXPECT_GT(out.batch_checks, 1u);
+  EXPECT_GE(out.single_checks, 1u);
+}
+
+TEST(Settlement, BisectionIsolatesMultipleCulprits) {
+  auto rng = SecureRng::deterministic(905);
+  Scenario sc = make_scenario(4000, 6, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(12);
+  for (auto& inst : instances) {
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 5);
+    inst.basic = prover.prove(inst.challenge);
+  }
+  // Three cheaters in different halves, plus adjacent honest rounds.
+  instances[0].basic->y += Fr::one();
+  instances[6].basic->sigma = instances[6].basic->sigma + curve::G1::generator();
+  instances[11].basic->psi = -instances[11].basic->psi;
+
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng));
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const bool cheat = i == 0 || i == 6 || i == 11;
+    EXPECT_EQ(out.ok[i], !cheat) << i;
+  }
+}
+
+TEST(Settlement, MalformedInstancesFailWithoutPoisoningTheBatch) {
+  auto rng = SecureRng::deterministic(906);
+  Scenario sc = make_scenario(3000, 5, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(4);
+  for (auto& inst : instances) {
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 4);
+    inst.basic = prover.prove(inst.challenge);
+  }
+  instances[0].verifier = nullptr;              // no key
+  instances[1].basic.reset();                   // no proof at all
+  instances[2].priv = audit::ProofPrivate{};    // both shapes engaged
+
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng));
+  EXPECT_FALSE(out.ok[0]);
+  EXPECT_FALSE(out.ok[1]);
+  EXPECT_FALSE(out.ok[2]);
+  EXPECT_TRUE(out.ok[3]);
+
+  // And the empty batch is trivially clean.
+  EXPECT_TRUE(audit::verify_settlement({}, seed_of(rng)).all_ok());
+}
+
+TEST(Settlement, ColdPathWithoutPreparedFileMatches) {
+  auto rng = SecureRng::deterministic(907);
+  Scenario sc = make_scenario(3000, 5, rng);
+  Verifier verifier(sc.kp.pk);
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  SettlementInstance inst;
+  inst.verifier = &verifier;
+  inst.name = sc.name;
+  inst.num_chunks = sc.file.num_chunks();
+  inst.challenge = make_challenge(rng, 4);
+  inst.basic = prover.prove(inst.challenge);
+  EXPECT_TRUE(
+      audit::verify_settlement(std::span<const SettlementInstance>(&inst, 1),
+                               seed_of(rng))
+          .all_ok());
+  inst.basic->y += Fr::one();
+  EXPECT_FALSE(
+      audit::verify_settlement(std::span<const SettlementInstance>(&inst, 1),
+                               seed_of(rng))
+          .all_ok());
+}
+
+// ---------------------------------------------------------------------------
+// contract::BatchSettlement — the block-level coordinator.
+// ---------------------------------------------------------------------------
+
+TEST(BatchSettlementEngine, ReplayedWeightSeedsAreRejected) {
+  contract::BatchSettlement batch(7);
+  auto rng = SecureRng::deterministic(908);
+  auto seed = rng.bytes32();
+  EXPECT_TRUE(batch.consume_weight_seed(seed));
+  EXPECT_FALSE(batch.consume_weight_seed(seed));  // replay refused
+  EXPECT_TRUE(batch.consume_weight_seed(rng.bytes32()));
+}
+
+TEST(BatchSettlementEngine, UnknownTicketThrows) {
+  contract::BatchSettlement batch(8);
+  EXPECT_THROW(batch.outcome({42, 0}), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs sequential settlement of a whole simulated network.
+// ---------------------------------------------------------------------------
+
+struct SimSnapshot {
+  sim::NetworkStats stats;
+  std::vector<std::uint64_t> balances;
+  std::size_t blocks = 0;
+  std::size_t txs = 0;
+};
+
+SimSnapshot run_sim(bool batched, bool discount, std::size_t num_owners = 2,
+                    sim::ProviderBehavior bad = sim::ProviderBehavior::DropsData) {
+  sim::NetworkConfig c;
+  c.num_owners = num_owners;
+  c.num_providers = 3;
+  c.file_bytes = 1000;
+  c.s = 5;
+  c.erasure_data = 2;
+  c.erasure_parity = 1;
+  c.num_audits = 2;
+  c.challenged_chunks = 999;  // sample every chunk: corruption always caught
+  c.private_proofs = true;
+  c.batched_settlement = batched;
+  c.batch_gas_discount = discount;
+  sim::NetworkSim net(c);
+  net.set_behavior("provider-1", bad);
+  net.deploy();
+  net.run_to_completion();
+  SimSnapshot snap;
+  snap.stats = net.stats();
+  for (std::size_t o = 0; o < c.num_owners; ++o) {
+    snap.balances.push_back(net.balance("owner-" + std::to_string(o)));
+  }
+  for (std::size_t p = 0; p < c.num_providers; ++p) {
+    snap.balances.push_back(net.balance("provider-" + std::to_string(p)));
+  }
+  snap.blocks = net.chain().blocks().size();
+  snap.txs = net.chain().transactions().size();
+  if (batched) {
+    const contract::BatchSettlement* bs = net.batch_settlement();
+    EXPECT_NE(bs, nullptr);
+    EXPECT_GT(bs->stats().batches, 0u);
+    EXPECT_EQ(bs->stats().rounds, snap.stats.total_rounds);
+  }
+  return snap;
+}
+
+TEST(BatchedSettlementSim, BitIdenticalToSequentialSettlement) {
+  SimSnapshot seq = run_sim(false, false);
+  SimSnapshot bat = run_sim(true, false);
+  // Honest providers in the cheater's block still pass: outcomes identical.
+  EXPECT_EQ(seq.stats.total_rounds, bat.stats.total_rounds);
+  EXPECT_EQ(seq.stats.passes, bat.stats.passes);
+  EXPECT_EQ(seq.stats.fails, bat.stats.fails);
+  EXPECT_EQ(seq.stats.timeouts, bat.stats.timeouts);
+  // Chain state, gas totals and ledger: bit-identical.
+  EXPECT_EQ(seq.stats.total_gas, bat.stats.total_gas);
+  EXPECT_EQ(seq.stats.chain_bytes, bat.stats.chain_bytes);
+  EXPECT_EQ(seq.balances, bat.balances);
+  EXPECT_EQ(seq.blocks, bat.blocks);
+  EXPECT_EQ(seq.txs, bat.txs);
+  EXPECT_GT(bat.stats.fails, 0u);  // the cheater was actually caught
+}
+
+TEST(BatchedSettlementSim, CulpritIsolationAtPopulationScale) {
+  SimSnapshot bat = run_sim(true, false, 3);
+  // provider-1 holds some shards; every one of its rounds fails, every
+  // other round passes — no honest round pays for the cheater.
+  EXPECT_GT(bat.stats.fails, 0u);
+  EXPECT_EQ(bat.stats.timeouts, 0u);
+  EXPECT_EQ(bat.stats.passes + bat.stats.fails, bat.stats.total_rounds);
+}
+
+TEST(BatchedSettlementSim, GasDiscountRowIsExactAndCheaper) {
+  econ::AuditCostModel model;
+  // The discount row nests inside the §VII-B anchor: a batch of one is the
+  // unbatched constant...
+  ASSERT_DOUBLE_EQ(model.verify_prep_ms + model.verify_pair_ms, model.verify_ms);
+  EXPECT_EQ(model.gas_per_audit_batched(1), model.gas_per_audit());
+  EXPECT_EQ(model.gas_per_audit_batched(1), 589'000u);
+  // ...and larger blocks are strictly cheaper, monotonically.
+  EXPECT_LT(model.gas_per_audit_batched(8), model.gas_per_audit_batched(2));
+  EXPECT_LT(model.gas_per_audit_batched(64), model.gas_per_audit_batched(8));
+  EXPECT_THROW(model.batched_verify_ms(0), std::invalid_argument);
+
+  // In the sim: 2 owners x 3 shards = 6 deployments, all audited at the
+  // same instants, so every round settles in a batch of 6 and pays the
+  // exact calibrated batch-of-6 constant.
+  SimSnapshot bat = run_sim(true, true, 2, sim::ProviderBehavior::Honest);
+  const std::uint64_t expected = model.gas_per_audit_batched(6);
+  EXPECT_EQ(bat.stats.total_gas, bat.stats.total_rounds * expected);
+  EXPECT_LT(bat.stats.total_gas, bat.stats.total_rounds * 589'000u);
+}
+
+}  // namespace
+}  // namespace dsaudit
