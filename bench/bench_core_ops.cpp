@@ -416,6 +416,49 @@ void BM_GtPowKarabina(benchmark::State& state) {
 }
 BENCHMARK(BM_GtPowKarabina);
 
+/// The settlement weights' shape, shared by both multi-exp benchmarks so
+/// their ratio (the README speedup table) always compares like for like:
+/// n random GT elements with dense 128-bit exponents.
+std::pair<std::vector<ff::Fp12>, std::vector<ff::U256>> gt_multipow_inputs(
+    std::size_t n) {
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng()), curve::g2_random(rng()));
+  std::vector<ff::Fp12> bases(n);
+  std::vector<ff::U256> exps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bases[i] = g.cyclotomic_pow_u256(ff::Fr::random(rng()).to_u256());
+    exps[i] = ff::U256{rng().next_u64(), rng().next_u64(), 0, 0};
+  }
+  return {std::move(bases), std::move(exps)};
+}
+
+/// GT multi-exponentiation through the shared-squaring engine; items/sec is
+/// per-element throughput.
+void BM_GtMultiPow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto [bases, exps] = gt_multipow_inputs(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ff::Fp12::multi_pow(bases, exps));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GtMultiPow)->Arg(2)->Arg(8)->Arg(64);
+
+/// The naive baseline for the same shape: n independent 128-bit ladders
+/// (what verify_settlement paid per round before the multi-exp reroute).
+void BM_GtMultiPowNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto [bases, exps] = gt_multipow_inputs(n);
+  for (auto _ : state) {
+    ff::Fp12 acc = ff::Fp12::one();
+    for (std::size_t i = 0; i < n; ++i) {
+      acc *= bases[i].cyclotomic_pow_u256(exps[i]);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GtMultiPowNaive)->Arg(2)->Arg(8)->Arg(64);
+
 /// Settling `batch_size` same-key Eq. 1 rounds in one weighted check (3
 /// pairings total); time is for the whole batch — divide by the argument
 /// for per-round cost. bench_settlement emits the JSON trajectory.

@@ -23,6 +23,10 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+double ms_per_round(Clock::time_point t0, int reps, std::size_t rounds) {
+  return ms_since(t0) / reps / static_cast<double>(rounds);
+}
+
 struct Shape {
   const char* label;
   bool private_proofs;
@@ -112,7 +116,41 @@ int main(int argc, char** argv) {
           return std::fprintf(stderr, "batch verify failed\n"), 1;
         }
       }
-      shape.rows.push_back({size, ms_since(t0) / reps / size});
+      shape.rows.push_back({size, ms_per_round(t0, reps, size)});
+    }
+  }
+
+  // Window sweep: a settlement window spanning `window` chain instants of 4
+  // due private rounds each settles their union in one flush under one
+  // Fiat–Shamir seed — the per-round cost of fattening small blocks.
+  constexpr std::size_t kRoundsPerInstant = 4;
+  const std::size_t windows[] = {1, 4, 16};
+  struct WindowRow {
+    std::size_t window;
+    std::size_t rounds;
+    double ms_per_round;
+  };
+  std::vector<WindowRow> window_rows;
+  {
+    std::vector<audit::SettlementInstance> pool(64);
+    for (auto& inst : pool) {
+      inst.verifier = &verifier;
+      inst.file = &ctx;
+      inst.challenge = challenge_from(rng, kK);
+      inst.priv = prover.prove_private(inst.challenge, rng);
+    }
+    for (std::size_t window : windows) {
+      const std::size_t rounds = kRoundsPerInstant * window;
+      std::vector<audit::SettlementInstance> batch(pool.begin(),
+                                                   pool.begin() + rounds);
+      auto seed = rng.bytes32();
+      auto t0 = Clock::now();
+      for (int r = 0; r < reps; ++r) {
+        if (!audit::verify_settlement(batch, seed).all_ok()) {
+          return std::fprintf(stderr, "window sweep verify failed\n"), 1;
+        }
+      }
+      window_rows.push_back({window, rounds, ms_per_round(t0, reps, rounds)});
     }
   }
 
@@ -135,12 +173,23 @@ int main(int argc, char** argv) {
                     1000.0 / row.ms_per_round);
       json += buf;
     }
-    std::snprintf(buf, sizeof(buf), "\n    ],\n    \"speedup_at_64\": %.2f\n  }%s\n",
-                  shape.unbatched_ms / shape.rows.back().ms_per_round,
-                  si == 0 ? "," : "");
+    std::snprintf(buf, sizeof(buf), "\n    ],\n    \"speedup_at_64\": %.2f\n  },\n",
+                  shape.unbatched_ms / shape.rows.back().ms_per_round);
     json += buf;
   }
-  json += "}\n";
+  json += "  \"window_sweep\": {\n    \"shape\": \"private\", \"rounds_per_instant\": " +
+          std::to_string(kRoundsPerInstant) + ",\n    \"rows\": [";
+  for (std::size_t i = 0; i < window_rows.size(); ++i) {
+    const auto& row = window_rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n      {\"window\": %zu, \"rounds\": %zu, "
+                  "\"ms_per_round\": %.3f, \"rounds_per_sec\": %.1f}",
+                  i ? "," : "", row.window, row.rounds, row.ms_per_round,
+                  1000.0 / row.ms_per_round);
+    json += buf;
+  }
+  json += "\n    ]\n  }\n}\n";
 
   std::fputs(json.c_str(), stdout);
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {

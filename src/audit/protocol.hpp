@@ -209,21 +209,39 @@ struct SettlementOutcome {
   }
 };
 
+/// Engine knobs for verify_settlement.
+struct SettlementOptions {
+  /// Soundness-budget gate: the default random weights are 128 bits, leaving
+  /// a residual forgery probability of ~2^-128 per batch. Setting this flag
+  /// truncates them to 64 bits — halving the weighting MSM scalar lengths
+  /// and the GT multi-exponentiation chain — at ~2^-64 per batch. That is
+  /// still far below any economic attack threshold for per-round escrow
+  /// stakes, but it is a protocol-level soundness decision, so it must be
+  /// opted into explicitly rather than defaulted.
+  bool reduced_soundness_weights = false;
+};
+
 /// Settles any mix of Eq. 1 / Eq. 2 rounds spanning files, keys and
 /// contracts in (nearly) one verification: every instance's pairing equation
-/// is scaled by a random 128-bit weight derived from `weight_seed` and the
-/// instance position, and all terms aggregate per fixed G2 point — the
-/// generator term is shared globally, epsilon/delta per distinct key, so a
-/// clean batch costs exactly 1 + 2·(#keys) pairings (3 for the same-key
-/// case) plus one GT product for the private commitments. When the combined
-/// check fails, the batch is bisected recursively so each culprit is
-/// isolated by exact per-round checks — honest rounds in the same block
-/// always settle Pass.
+/// is scaled by a random weight (128-bit by default; see SettlementOptions)
+/// derived from `weight_seed` and the instance position, and all terms
+/// aggregate per fixed G2 point — the generator term is shared globally,
+/// epsilon/delta per distinct key, so a clean batch costs exactly
+/// 1 + 2·(#keys) pairings (3 for the same-key case). The weighted
+/// aggregation itself is batch-shaped: the G1 terms fold through Pippenger
+/// MSMs over the weights, and the private R^rho commitments fold through
+/// one shared-squaring GT multi-exponentiation (Fp12::multi_pow) instead of
+/// a per-round GT ladder. When the combined check fails, the batch is
+/// bisected recursively so each culprit is isolated by exact per-round
+/// checks — honest rounds in the same block always settle Pass.
 ///
-/// Deterministic in (instances, weight_seed) at every thread count. The
-/// caller must use a FRESH weight_seed per batch (derive it from the batch
-/// transcript; see contract::BatchSettlement) — replaying a seed an
-/// adversary has seen would let them craft cancelling forgeries.
+/// Deterministic in (instances, weight_seed, options) at every thread
+/// count. The caller must use a FRESH weight_seed per batch (derive it from
+/// the batch transcript; see contract::BatchSettlement) — replaying a seed
+/// an adversary has seen would let them craft cancelling forgeries.
+SettlementOutcome verify_settlement(std::span<const SettlementInstance> instances,
+                                    const std::array<std::uint8_t, 32>& weight_seed,
+                                    const SettlementOptions& options);
 SettlementOutcome verify_settlement(std::span<const SettlementInstance> instances,
                                     const std::array<std::uint8_t, 32>& weight_seed);
 

@@ -48,6 +48,12 @@ struct ChainConfig {
   std::uint64_t max_block_gas = 30'000'000;
   std::size_t block_overhead_bytes = 500;   // header+receipts amortized
   std::size_t tx_overhead_bytes = 110;      // envelope per tx
+  /// Deferred-settlement window (seconds). Rounds due anywhere inside one
+  /// window settle together at its boundary (the next multiple of this
+  /// value) — fattening small batches at population scale. 0 or 1 means
+  /// per-instant settlement: every boundary coincides with the due instant,
+  /// byte-identical to the pre-window behavior.
+  Timestamp settlement_window_s = 0;
 };
 
 /// Scheduled callback ("Ethereum Alarm Clock" in Fig. 2): fires the first
@@ -68,6 +74,17 @@ class Blockchain {
   explicit Blockchain(ChainConfig config = {});
 
   Timestamp now() const { return now_; }
+
+  /// Configured deferred-settlement window (see ChainConfig).
+  Timestamp settlement_window() const { return config_.settlement_window_s; }
+  /// First window boundary at or after `t`: ceil(t / window) * window, or
+  /// `t` itself when windows are disabled (window <= 1). Work due at `t`
+  /// settles at this instant.
+  Timestamp settlement_boundary(Timestamp t) const {
+    const Timestamp w = config_.settlement_window_s;
+    if (w <= 1) return t;
+    return (t + w - 1) / w * w;
+  }
 
   // --- ledger -------------------------------------------------------------
   void mint(const Address& who, std::uint64_t amount);

@@ -32,7 +32,8 @@ std::mutex& beacon_mutex() {
 AuditContract::AuditContract(chain::Blockchain& chain,
                              chain::RandomnessBeacon& beacon, ContractTerms terms,
                              PublicKey pk, audit::Fr file_name,
-                             std::size_t num_chunks)
+                             std::size_t num_chunks,
+                             std::optional<audit::PreparedFile> prepared)
     : chain_(chain),
       beacon_(beacon),
       terms_(std::move(terms)),
@@ -45,7 +46,12 @@ AuditContract::AuditContract(chain::Blockchain& chain,
   require(num_chunks_ > 0, "empty file");
   require(terms_.response_window_s < terms_.audit_period_s,
           "response window must fit inside the audit period");
-  file_ctx_ = audit::prepare_file(file_name_, num_chunks_);
+  if (prepared && prepared->num_chunks == num_chunks_ &&
+      prepared->name == file_name_) {
+    file_ctx_ = std::move(*prepared);
+  } else {
+    file_ctx_ = audit::prepare_file(file_name_, num_chunks_);
+  }
 }
 
 void AuditContract::emit(const std::string& what) {
@@ -248,64 +254,81 @@ void AuditContract::on_verify_due(Timestamp now) {
     staged_verify_.reset();
     return;
   }
-  RoundRecord& rec = rounds_.back();
-
   if (!pending_proof_) {
     staged_verify_.reset();
-    rec.outcome = RoundOutcome::Timeout;
+    rounds_.back().outcome = RoundOutcome::Timeout;
     emit("fail");
     if (terms_.penalty_per_fail > 0) {
       chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
     }
-  } else {
-    if (!staged_verify_) prepare_verify(now);
-    bool ok;
-    std::size_t batch_size = 1;
-    if (staged_verify_->ticket) {
-      // Deferred settlement: the batch flushed between this instant's
-      // prepares and actions (or flushes now, on the direct-call path).
-      BatchSettlement::Outcome res = batch_->outcome(*staged_verify_->ticket);
-      ok = res.ok;
-      batch_size = res.batch_size;
-      rec.verify_ms = res.flush_ms;  // telemetry: the whole block's verify
-    } else {
-      ok = staged_verify_->ok;
-      rec.verify_ms = staged_verify_->verify_ms;  // telemetry only
-    }
+    advance_round();
+    return;
+  }
+  if (!staged_verify_) prepare_verify(now);
+  if (staged_verify_->ticket) {
+    const BatchSettlement::Ticket ticket = *staged_verify_->ticket;
     staged_verify_.reset();
-    // The prove tx carries the proof bytes and triggers on-chain
-    // verification; gas follows the §VII-B extrapolation at the model's
-    // calibrated verification time, NOT this run's wall clock — settlement
-    // must be a deterministic function of on-chain data (with the batch
-    // discount, of on-chain data plus the block's batch size).
-    chain::Transaction tx;
-    tx.from = terms_.provider;
-    tx.description = "prove";
-    tx.payload_bytes = rec.proof_bytes;
-    tx.gas_used = terms_.batch_gas_discount
-                      ? cost_.gas.audit_tx_gas(rec.proof_bytes,
-                                               cost_.challenge_bytes,
-                                               cost_.batched_verify_ms(batch_size))
-                      : cost_.gas.audit_tx_gas(rec.proof_bytes,
-                                               cost_.challenge_bytes,
-                                               cost_.verify_ms);
-    chain_.submit(tx);
-    rec.gas_used = tx.gas_used;
-
-    if (ok) {
-      rec.outcome = RoundOutcome::Pass;
-      emit("pass");
-      if (terms_.reward_per_audit > 0) {
-        chain_.transfer(address_, terms_.provider, terms_.reward_per_audit);
-      }
+    pending_proof_.reset();
+    if (auto res = batch_->try_outcome(ticket, now)) {
+      // Per-instant window: the batch flushed between this instant's
+      // prepares and actions (or flushes on demand, on direct-call paths).
+      finalize_proved(*res);
     } else {
-      rec.outcome = RoundOutcome::Fail;
-      emit("fail");
-      if (terms_.penalty_per_fail > 0) {
-        chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
-      }
+      // Windowed settlement: the batch stays open until the window
+      // boundary; redeem the ticket there. The flush hook runs before any
+      // action of that instant, so the outcome is ready when this fires.
+      chain_.schedule(ticket.settle_at, [this, ticket](Timestamp) {
+        finalize_proved(batch_->outcome(ticket));
+      });
+    }
+    return;
+  }
+  const BatchSettlement::Outcome inline_res{staged_verify_->ok, 1,
+                                            staged_verify_->verify_ms};
+  staged_verify_.reset();
+  pending_proof_.reset();
+  finalize_proved(inline_res);
+}
+
+void AuditContract::finalize_proved(const BatchSettlement::Outcome& outcome) {
+  RoundRecord& rec = rounds_.back();
+  rec.verify_ms = outcome.flush_ms;  // telemetry: this round's (or its whole
+                                     // window's) measured verification time
+  // The prove tx carries the proof bytes and triggers on-chain
+  // verification; gas follows the §VII-B extrapolation at the model's
+  // calibrated verification time, NOT this run's wall clock — settlement
+  // must be a deterministic function of on-chain data (with the batch
+  // discount, of on-chain data plus the settled batch's size).
+  chain::Transaction tx;
+  tx.from = terms_.provider;
+  tx.description = "prove";
+  tx.payload_bytes = rec.proof_bytes;
+  tx.gas_used =
+      terms_.batch_gas_discount
+          ? cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
+                                   cost_.batched_verify_ms(outcome.batch_size))
+          : cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
+                                   cost_.verify_ms);
+  chain_.submit(tx);
+  rec.gas_used = tx.gas_used;
+
+  if (outcome.ok) {
+    rec.outcome = RoundOutcome::Pass;
+    emit("pass");
+    if (terms_.reward_per_audit > 0) {
+      chain_.transfer(address_, terms_.provider, terms_.reward_per_audit);
+    }
+  } else {
+    rec.outcome = RoundOutcome::Fail;
+    emit("fail");
+    if (terms_.penalty_per_fail > 0) {
+      chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
     }
   }
+  advance_round();
+}
+
+void AuditContract::advance_round() {
   pending_proof_.reset();
   ++cnt_;
   if (cnt_ >= terms_.num_audits) {

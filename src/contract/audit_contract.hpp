@@ -87,9 +87,15 @@ class AuditContract {
   using Responder =
       std::function<std::optional<std::vector<std::uint8_t>>(const Challenge&)>;
 
+  /// `prepared` optionally injects the per-file verification context (chunk
+  /// hash points + shifted-base table) built elsewhere — NetworkSim builds
+  /// them for whole deployments in parallel before the sequential contract
+  /// phase. It must match (file_name, num_chunks); mismatches (or nullopt)
+  /// fall back to building the context here.
   AuditContract(chain::Blockchain& chain, chain::RandomnessBeacon& beacon,
                 ContractTerms terms, PublicKey pk, audit::Fr file_name,
-                std::size_t num_chunks);
+                std::size_t num_chunks,
+                std::optional<audit::PreparedFile> prepared = std::nullopt);
 
   // Self-referential (verifier_ borrows pk_) and scheduled callbacks capture
   // `this`: copying or moving would leave either pointing into the source.
@@ -139,6 +145,15 @@ class AuditContract {
   void on_challenge_due(Timestamp now);
   void prepare_verify(Timestamp now);
   void on_verify_due(Timestamp now);
+  /// Tail of a proved round (prove tx, gas, payout) once its outcome is
+  /// known — inline, same-instant batched, or redeemed at a later window
+  /// boundary (windowed settlement defers redemption to Ticket::settle_at).
+  void finalize_proved(const BatchSettlement::Outcome& outcome);
+  /// Round bookkeeping shared by every outcome path: bump the counter,
+  /// close at the horizon or schedule the next challenge on the original
+  /// cadence (anchored to this round's challenge time, so a window-deferred
+  /// redemption does not stretch the audit period).
+  void advance_round();
   void settle_and_close();
   Challenge challenge_from_beacon(std::uint64_t round) const;
   std::array<std::uint8_t, 32> round_transcript() const;

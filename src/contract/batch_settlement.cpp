@@ -19,33 +19,103 @@ BatchSettlement::Ticket BatchSettlement::enqueue(
     chain::Blockchain& chain, audit::SettlementInstance instance,
     const std::array<std::uint8_t, 32>& transcript) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Ticket t{current_batch_, pending_.size()};
+  const chain::Timestamp now = chain.now();
+  if (pending_.empty()) {
+    // First round of a fresh window: fix the boundary every enqueue of this
+    // window settles at. Boundaries are aligned multiples of the chain's
+    // window, so later enqueues inside the window agree on it.
+    window_deadline_ = chain.settlement_boundary(now);
+  }
+  if (!any_instant_ || last_instant_ != now) {
+    any_instant_ = true;
+    last_instant_ = now;
+    ++stats_.instants;
+  }
+  Ticket t{current_batch_, pending_.size(), window_deadline_};
   pending_.push_back(std::move(instance));
   transcripts_.push_back(transcript);
   if (!hook_armed_) {
     hook_armed_ = true;
-    chain.defer_until_actions([this](chain::Timestamp) {
-      std::lock_guard<std::mutex> hook_lock(mutex_);
-      flush_locked();
+    chain.defer_until_actions([this, &chain](chain::Timestamp at) {
+      std::unique_lock<std::mutex> hook_lock(mutex_);
+      on_instant(chain, at, hook_lock);
     });
   }
   return t;
 }
 
-BatchSettlement::Outcome BatchSettlement::outcome(const Ticket& ticket) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ticket.batch == current_batch_ && !pending_.empty()) {
-    // Direct-call path (no advance()-driven hook): settle on first demand —
-    // everything due at this instant has been enqueued by now.
-    flush_locked();
+/// Runs between the prepares and the actions of every instant that touched
+/// the batch (armed per instant by enqueue, and once more at the boundary by
+/// the scheduled boundary task): flushes when the instant has reached the
+/// window deadline, otherwise makes sure the boundary task exists so the
+/// flush fires there — always before any redemption action of that instant.
+void BatchSettlement::on_instant(chain::Blockchain& chain,
+                                 chain::Timestamp now,
+                                 std::unique_lock<std::mutex>& lock) {
+  hook_armed_ = false;
+  if (pending_.empty()) return;
+  if (now >= window_deadline_) {
+    flush(lock);
+    return;
   }
+  if (!boundary_armed_) {
+    boundary_armed_ = true;
+    // The task's prepare re-registers this hook at the boundary instant, so
+    // the flush still runs after every prepare there (rounds due exactly at
+    // the boundary join the window) and before every action (which redeem).
+    chain.schedule(
+        window_deadline_,
+        [this, &chain](chain::Timestamp) {
+          chain.defer_until_actions([this, &chain](chain::Timestamp at) {
+            std::unique_lock<std::mutex> hook_lock(mutex_);
+            on_instant(chain, at, hook_lock);
+          });
+        },
+        [](chain::Timestamp) {});
+  }
+}
+
+std::optional<BatchSettlement::Outcome> BatchSettlement::try_outcome(
+    const Ticket& ticket, chain::Timestamp now) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (ticket.batch == current_batch_ && !pending_.empty() &&
+      now >= window_deadline_) {
+    // Direct-call path (no advance()-driven hook): settle on first demand —
+    // everything due by the deadline has been enqueued by now.
+    flush(lock);
+  }
+  wait_for_flush_locked(lock, ticket.batch);
+  auto it = results_.find(ticket.batch);
+  if (it == results_.end()) {
+    if (ticket.batch >= current_batch_) return std::nullopt;  // window open
+    throw std::logic_error("BatchSettlement: unknown ticket");
+  }
+  if (ticket.index >= it->second.ok.size()) {
+    throw std::logic_error("BatchSettlement: unknown ticket");
+  }
+  return Outcome{it->second.ok[ticket.index], it->second.ok.size(),
+                 it->second.flush_ms};
+}
+
+BatchSettlement::Outcome BatchSettlement::outcome(const Ticket& ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (ticket.batch == current_batch_ && !pending_.empty()) {
+    flush(lock);
+  }
+  wait_for_flush_locked(lock, ticket.batch);
   auto it = results_.find(ticket.batch);
   if (it == results_.end() || ticket.index >= it->second.ok.size()) {
     throw std::logic_error("BatchSettlement: unknown ticket");
   }
-  Outcome out{it->second.ok[ticket.index], it->second.ok.size(),
-              it->second.flush_ms};
-  return out;
+  return Outcome{it->second.ok[ticket.index], it->second.ok.size(),
+                 it->second.flush_ms};
+}
+
+void BatchSettlement::wait_for_flush_locked(std::unique_lock<std::mutex>& lock,
+                                            std::uint64_t batch) {
+  flush_cv_.wait(lock, [&] {
+    return !flush_in_progress_ || flushing_batch_ != batch;
+  });
 }
 
 bool BatchSettlement::consume_weight_seed(
@@ -59,39 +129,64 @@ bool BatchSettlement::consume_weight_seed_locked(
   return used_seeds_.insert(seed).second;
 }
 
-void BatchSettlement::flush_locked() {
-  if (pending_.empty()) {
-    hook_armed_ = false;
-    return;
-  }
+std::optional<std::array<std::uint8_t, 32>> BatchSettlement::last_weight_seed()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_seed_;
+}
+
+void BatchSettlement::flush(std::unique_lock<std::mutex>& lock) {
+  if (pending_.empty()) return;
+  // Snapshot the open window under the lock: batch contents, identity and
+  // seed material. Enqueues racing with the verification below start the
+  // next window against a fresh batch id.
+  std::vector<audit::SettlementInstance> snapshot;
+  snapshot.swap(pending_);
+  std::vector<std::array<std::uint8_t, 32>> transcripts;
+  transcripts.swap(transcripts_);
+  const std::uint64_t batch_id = current_batch_++;
+  const chain::Timestamp deadline = window_deadline_;
+  const std::uint64_t nonce = nonce_rng_.next_u64();
+  boundary_armed_ = false;
+
   // Canonical batch order: sort by transcript so the weight schedule and
   // results are independent of the concurrent enqueue arrival order.
-  std::vector<std::size_t> perm(pending_.size());
+  std::vector<std::size_t> perm(snapshot.size());
   std::iota(perm.begin(), perm.end(), std::size_t{0});
-  std::sort(perm.begin(), perm.end(), [this](std::size_t a, std::size_t b) {
-    return transcripts_[a] < transcripts_[b];
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return transcripts[a] < transcripts[b];
   });
   std::vector<audit::SettlementInstance> sorted;
-  sorted.reserve(pending_.size());
-  for (std::size_t p : perm) sorted.push_back(std::move(pending_[p]));
+  sorted.reserve(snapshot.size());
+  for (std::size_t p : perm) sorted.push_back(std::move(snapshot[p]));
 
-  // Fiat–Shamir weight seed over (fresh nonce || every round's transcript):
-  // weights are fixed only after all proofs are committed, and the nonce
-  // keeps the schedule fresh even for a byte-identical batch.
-  std::vector<std::uint8_t> preimage(8 + 32 * perm.size());
-  const std::uint64_t nonce = nonce_rng_.next_u64();
+  // Fiat–Shamir weight seed over (fresh nonce || window boundary || every
+  // round's transcript): weights are fixed only after all proofs across the
+  // whole window are committed, the boundary binds the seed to its window,
+  // and the nonce keeps the schedule fresh even for a byte-identical batch.
+  std::vector<std::uint8_t> preimage(16 + 32 * perm.size());
   for (int b = 0; b < 8; ++b) {
     preimage[b] = static_cast<std::uint8_t>(nonce >> (8 * b));
+    preimage[8 + b] = static_cast<std::uint8_t>(deadline >> (8 * b));
   }
   for (std::size_t j = 0; j < perm.size(); ++j) {
-    std::memcpy(preimage.data() + 8 + 32 * j, transcripts_[perm[j]].data(), 32);
+    std::memcpy(preimage.data() + 16 + 32 * j, transcripts[perm[j]].data(), 32);
   }
   auto seed = primitives::Keccak256::hash(
       std::span<const std::uint8_t>(preimage.data(), preimage.size()));
   if (!consume_weight_seed_locked(seed)) {
     throw std::logic_error("BatchSettlement: replayed weight seed");
   }
+  last_seed_ = seed;
 
+  // The verification itself runs unlocked: it fans out over the thread
+  // pool, and the engine mutex must never wrap the pool's submit lock
+  // (concurrent prepare stages enqueue from inside it). Redeemers of this
+  // batch arriving meanwhile block on wait_for_flush_locked instead of
+  // mis-reading the not-yet-stored result as an unknown ticket.
+  flush_in_progress_ = true;
+  flushing_batch_ = batch_id;
+  lock.unlock();
   auto counters_before = pairing::pairing_counters();
   auto t0 = std::chrono::steady_clock::now();
   audit::SettlementOutcome res = audit::verify_settlement(sorted, seed);
@@ -99,9 +194,10 @@ void BatchSettlement::flush_locked() {
                   std::chrono::steady_clock::now() - t0)
                   .count();
   auto counters_after = pairing::pairing_counters();
+  lock.lock();
 
   BatchResult batch;
-  batch.ok.assign(pending_.size(), false);
+  batch.ok.assign(perm.size(), false);
   for (std::size_t j = 0; j < perm.size(); ++j) {
     batch.ok[perm[j]] = res.ok[j];
   }
@@ -114,15 +210,12 @@ void BatchSettlement::flush_locked() {
   stats_.pairing_chains += counters_after.chains - counters_before.chains;
   for (bool ok : batch.ok) stats_.culprits += !ok;
 
-  results_[current_batch_] = std::move(batch);
-  // Bound the redemption window: tickets are redeemed within their own
-  // instant; anything older than a few batches is an abandoned round.
+  results_[batch_id] = std::move(batch);
+  // Bound the redemption window: tickets are redeemed by their window
+  // boundary; anything older than a few windows is an abandoned round.
   while (results_.size() > 16) results_.erase(results_.begin());
-
-  pending_.clear();
-  transcripts_.clear();
-  hook_armed_ = false;
-  ++current_batch_;
+  flush_in_progress_ = false;
+  flush_cv_.notify_all();
 }
 
 BatchSettlement::Stats BatchSettlement::stats() const {

@@ -1,5 +1,6 @@
 // Block-level deferred settlement: the engine that turns per-round
-// verification cost into per-block cost.
+// verification cost into per-block (and, with a settlement window, per-
+// multi-block) cost.
 //
 // Contracts in deferred mode hand their due rounds here from their prepare
 // stages (which the Blockchain runs concurrently across contracts); the
@@ -10,12 +11,25 @@
 // hook. Each contract's action then redeems its ticket sequentially in
 // schedule order, so ledger, gas and event ordering are identical to inline
 // settlement at every thread count.
+//
+// With a settlement window configured on the chain
+// (ChainConfig::settlement_window_s > 1), the batch stays open across chain
+// instants: rounds due anywhere inside the window keep enqueueing, the
+// engine schedules one boundary task, and the flush fires once at the
+// window boundary under a single Fiat–Shamir seed covering every round of
+// the window (the boundary timestamp is folded into the seed preimage, and
+// the replay registry records the per-window seed). Contracts whose rounds
+// were due mid-window redeem their tickets at the boundary (Ticket::
+// settle_at tells them when). Window <= 1 degenerates to the per-instant
+// behavior above, bit-identically.
 #pragma once
 
 #include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -31,6 +45,10 @@ class BatchSettlement {
   struct Ticket {
     std::uint64_t batch = 0;
     std::size_t index = 0;  // enqueue position within the batch
+    /// The window boundary this round settles at (== the enqueue instant
+    /// when windows are disabled). A contract whose try_outcome comes back
+    /// empty schedules its redemption action here.
+    chain::Timestamp settle_at = 0;
   };
 
   struct Outcome {
@@ -40,8 +58,9 @@ class BatchSettlement {
   };
 
   struct Stats {
-    std::uint64_t batches = 0;        // flushes performed
+    std::uint64_t batches = 0;        // flushes performed (== windows settled)
     std::uint64_t rounds = 0;         // instances settled
+    std::uint64_t instants = 0;       // distinct chain instants that enqueued
     std::uint64_t batch_checks = 0;   // weighted aggregate checks (incl. bisection)
     std::uint64_t single_checks = 0;  // bisection leaves re-verified exactly
     std::uint64_t culprits = 0;       // rounds isolated as failing
@@ -56,15 +75,25 @@ class BatchSettlement {
   /// concurrent prepare stages. `transcript` must commit the round's
   /// identity, challenge and proof bytes: it orders the batch canonically
   /// (so results are independent of arrival order) and feeds the
-  /// Fiat–Shamir weight seed. The first enqueue of a batch arms the chain's
-  /// defer_until_actions hook so the flush runs once, after every prepare.
-  /// The instance borrows its verifier/file contexts — the owning contract
-  /// keeps them alive.
+  /// Fiat–Shamir weight seed. The first enqueue at an instant arms the
+  /// chain's defer_until_actions hook; the hook flushes when the instant is
+  /// at the window boundary and otherwise schedules the boundary task that
+  /// will. The instance borrows its verifier/file contexts — the owning
+  /// contract keeps them alive.
   Ticket enqueue(chain::Blockchain& chain, audit::SettlementInstance instance,
                  const std::array<std::uint8_t, 32>& transcript);
 
-  /// Redeem a ticket (from the contract's action). Flushes the pending
-  /// batch first when no chain hook ran (direct-call test paths).
+  /// Redeem a ticket if its batch has flushed. When the ticket's batch is
+  /// still open and `now` has reached the window deadline (always true for
+  /// per-instant windows on the direct-call test paths), the batch flushes
+  /// on demand first; a mid-window call returns nullopt and the contract
+  /// should retry at Ticket::settle_at. Throws on a ticket that references
+  /// a flushed batch it was never part of.
+  std::optional<Outcome> try_outcome(const Ticket& ticket, chain::Timestamp now);
+
+  /// Redeem a ticket unconditionally (flushes the pending batch first when
+  /// it is still open — the boundary-task path guarantees the flush already
+  /// ran by the time a deferred redemption action fires).
   Outcome outcome(const Ticket& ticket);
 
   /// Weight-seed freshness registry: records `seed` as consumed, returns
@@ -74,16 +103,42 @@ class BatchSettlement {
   /// never triggers in normal operation. Thread-safe like enqueue/outcome.
   bool consume_weight_seed(const std::array<std::uint8_t, 32>& seed);
 
+  /// The Fiat–Shamir seed of the most recent flush (nullopt before the
+  /// first): each settled window's seed sits in the replay registry, so a
+  /// replay of it is refused — the adversarial tests pin this.
+  std::optional<std::array<std::uint8_t, 32>> last_weight_seed() const;
+
   Stats stats() const;
 
  private:
-  void flush_locked();
+  void on_instant(chain::Blockchain& chain, chain::Timestamp now,
+                  std::unique_lock<std::mutex>& lock);
+  /// Settles the open batch. Called with `lock` held; the heavy
+  /// verification itself runs with the lock RELEASED (the engine mutex must
+  /// never be held across the thread pool's submit lock — enqueue runs on
+  /// pool workers under it, and holding both in opposite orders is a lock
+  /// inversion). Snapshot-out, verify, store-back: enqueues that land
+  /// mid-verification open the next batch.
+  void flush(std::unique_lock<std::mutex>& lock);
   bool consume_weight_seed_locked(const std::array<std::uint8_t, 32>& seed);
 
+  /// Blocks until no flush of `batch` is mid-verification (flush releases
+  /// the mutex around the heavy verify; a concurrent redeemer of that batch
+  /// must wait for the result store, not mis-read it as unknown).
+  void wait_for_flush_locked(std::unique_lock<std::mutex>& lock,
+                             std::uint64_t batch);
+
   mutable std::mutex mutex_;
+  std::condition_variable flush_cv_;
+  bool flush_in_progress_ = false;
+  std::uint64_t flushing_batch_ = 0;
   primitives::SecureRng nonce_rng_;
   std::uint64_t current_batch_ = 0;
   bool hook_armed_ = false;
+  bool boundary_armed_ = false;
+  chain::Timestamp window_deadline_ = 0;  // boundary of the open window
+  chain::Timestamp last_instant_ = 0;
+  bool any_instant_ = false;
   std::vector<audit::SettlementInstance> pending_;
   std::vector<std::array<std::uint8_t, 32>> transcripts_;
   struct BatchResult {
@@ -92,6 +147,7 @@ class BatchSettlement {
   };
   std::map<std::uint64_t, BatchResult> results_;
   std::set<std::array<std::uint8_t, 32>> used_seeds_;
+  std::optional<std::array<std::uint8_t, 32>> last_seed_;
   Stats stats_;
 };
 

@@ -16,6 +16,20 @@ std::uint64_t AuditCostModel::gas_per_audit_batched(std::size_t batch_size) cons
                           batched_verify_ms(batch_size));
 }
 
+double AuditCostModel::windowed_verify_ms(std::size_t rounds_per_instant,
+                                          std::size_t window) const {
+  if (window == 0) {
+    throw std::invalid_argument("windowed_verify_ms: empty window");
+  }
+  return batched_verify_ms(rounds_per_instant * window);
+}
+
+std::uint64_t AuditCostModel::gas_per_audit_windowed(
+    std::size_t rounds_per_instant, std::size_t window) const {
+  return gas.audit_tx_gas(proof_bytes, challenge_bytes,
+                          windowed_verify_ms(rounds_per_instant, window));
+}
+
 double contract_fee_usd(const AuditCostModel& model, unsigned duration_days,
                         double audits_per_day, unsigned num_providers) {
   if (audits_per_day <= 0 || num_providers == 0) {

@@ -235,6 +235,24 @@ class Fp12 {
     return cyclotomic_pow_compressed(U256{e});
   }
 
+  /// GT multi-exponentiation: prod_i bases[i]^{exps[i]} with ONE shared
+  /// cyclotomic squaring chain for the whole batch (Straus interleaving —
+  /// the same shared-doubling idea as the Pippenger MSM, in multiplicative
+  /// notation). Per base: a small table of window powers plus one table
+  /// multiply per nonzero digit; per batch: max_bits squarings total,
+  /// instead of max_bits *per element*. The window width is chosen at
+  /// runtime from (n, max_bits) by a deterministic cost model. n == 1
+  /// delegates to the Karabina compressed chain (the one shape where
+  /// compressed squarings win: no interleaved multiplies, so the whole
+  /// chain stays compressed and decompresses with one batched inversion);
+  /// for n >= 2 the interleaved table multiplies would force a per-window
+  /// decompression, so the shared chain uses plain Granger–Scott squarings.
+  /// Same contract as every cyclotomic_*: inputs must lie in the cyclotomic
+  /// subgroup (every GT element qualifies). The per-element
+  /// cyclotomic_pow_u256 ladder is retained as the differential oracle.
+  /// Throws std::invalid_argument on bases/exps length mismatch.
+  static Fp12 multi_pow(std::span<const Fp12> bases, std::span<const U256> exps);
+
   /// p^6-power Frobenius; for elements of the cyclotomic subgroup (unit
   /// norm) this equals the inverse.
   Fp12 conjugate() const { return {c0, -c1}; }

@@ -7,8 +7,20 @@
 
 namespace dsaudit::sim {
 
+namespace {
+
+chain::ChainConfig chain_config_for(const NetworkConfig& config) {
+  chain::ChainConfig cc;
+  cc.settlement_window_s = config.settlement_window_s;
+  return cc;
+}
+
+}  // namespace
+
 NetworkSim::NetworkSim(NetworkConfig config)
-    : config_(config), rng_(primitives::SecureRng::deterministic(config.rng_seed)) {
+    : config_(config),
+      rng_(primitives::SecureRng::deterministic(config.rng_seed)),
+      chain_(chain_config_for(config)) {
   if (config_.num_owners == 0 || config_.num_providers == 0) {
     throw std::invalid_argument("NetworkSim: need owners and providers");
   }
@@ -38,15 +50,18 @@ void NetworkSim::deploy() {
   storage::ReedSolomon rs(config_.erasure_data, config_.erasure_parity);
 
   // Provers and contracts borrow owner_keys_[o].pk for their whole lifetime;
-  // reserve up front so push_back never reallocates under those references.
-  owner_keys_.reserve(config_.num_owners);
+  // size up front so nothing reallocates under those references.
+  owner_keys_.resize(config_.num_owners);
   owner_data_.reserve(config_.num_owners);
   owner_shards_.reserve(config_.num_owners);
 
+  // Phase 1 (sequential): everything drawn from the shared network RNG —
+  // owner data, file names — plus ring placement and ledger mints, in a
+  // fixed order that no pool width can disturb.
+  std::vector<ProviderBehavior> behaviors;
   for (std::size_t o = 0; o < config_.num_owners; ++o) {
     std::string owner = "owner-" + std::to_string(o);
     chain_.mint(owner, 1'000'000);
-    owner_keys_.push_back(audit::keygen(config_.s, rng_));
     std::vector<std::uint8_t> data(config_.file_bytes);
     rng_.fill(data);
     owner_data_.push_back(data);
@@ -62,70 +77,106 @@ void NetworkSim::deploy() {
 
       auto dep = std::make_unique<Deployment>();
       dep->placement = {o, sh, provider};
-      dep->file = storage::encode_file(owner_shards_[o][sh], config_.s);
-      dep->held = dep->file;
       dep->name = audit::Fr::random(rng_);
-      dep->tag = audit::generate_tags(owner_keys_[o].sk, owner_keys_[o].pk,
-                                      dep->file, dep->name,
-                                      parallel::thread_count());
-
       ProviderBehavior behavior = ProviderBehavior::Honest;
       if (auto it = behavior_.find(provider); it != behavior_.end()) {
         behavior = it->second;
       }
-      if (behavior == ProviderBehavior::DropsData) {
-        for (auto& b : dep->held.chunks[0]) b = audit::Fr::zero();
-      }
-      // Contract-serving provers answer num_audits rounds: build both
-      // prepared MSM tables (psi over the SRS powers, sigma over the tags).
-      dep->prover = std::make_unique<audit::Prover>(
-          owner_keys_[o].pk, dep->held, dep->tag, /*prepare_psi=*/true,
-          /*prepare_sigma=*/true);
-
-      contract::ContractTerms terms;
-      terms.owner = owner;
-      terms.provider = provider;
-      terms.num_audits = config_.num_audits;
-      terms.audit_period_s = config_.audit_period_s;
-      terms.response_window_s = config_.response_window_s;
-      terms.reward_per_audit = config_.reward_per_audit;
-      terms.penalty_per_fail = config_.penalty_per_fail;
-      terms.challenged_chunks = config_.challenged_chunks;
-      terms.private_proofs = config_.private_proofs;
-      terms.batch_gas_discount = config_.batch_gas_discount;
-
-      dep->contract = std::make_unique<contract::AuditContract>(
-          chain_, *beacon_, terms, owner_keys_[o].pk, dep->name,
-          dep->file.num_chunks());
-      if (batch_) dep->contract->enable_deferred_settlement(*batch_);
-      if (behavior != ProviderBehavior::Unresponsive) {
-        dep->prover_rng = std::make_unique<primitives::SecureRng>(
-            primitives::SecureRng::deterministic(
-                config_.rng_seed ^ (0x9E3779B97F4A7C15ULL *
-                                    (deployments_.size() + 1))));
-        audit::Prover* prover = dep->prover.get();
-        bool priv = config_.private_proofs;
-        primitives::SecureRng* rng = dep->prover_rng.get();
-        dep->contract->set_responder(
-            [prover, priv, rng](const audit::Challenge& chal)
-                -> std::optional<std::vector<std::uint8_t>> {
-              if (priv) return audit::serialize(prover->prove_private(chal, *rng));
-              return audit::serialize(prover->prove(chal));
-            });
-      }
-      dep->contract->negotiated();
-      dep->contract->acked(true);
-      dep->contract->freeze();
-      placements_.push_back(dep->placement);
+      behaviors.push_back(behavior);
       deployments_.push_back(std::move(dep));
     }
+  }
+
+  // Phase 2 (parallel): per-owner key generation. Each owner's keys come
+  // from an RNG derived from the network seed and the owner index (the same
+  // scheme as the per-deployment prover RNGs), so concurrently generated
+  // keys never share an RNG stream and the output is byte-identical at
+  // every DSAUDIT_THREADS setting.
+  parallel::parallel_for(config_.num_owners, [&](std::size_t o) {
+    auto key_rng = primitives::SecureRng::deterministic(
+        config_.rng_seed ^ (0xC2B2AE3D27D4EB4FULL * (o + 1)));
+    owner_keys_[o] = audit::keygen(config_.s, key_rng);
+  });
+
+  // Phase 3 (parallel): the heavy per-deployment crypto — file encoding,
+  // failure injection, tag generation, the prover's prepared MSM tables and
+  // the verifier-side per-file context. Whole deployments shard across the
+  // pool; the primitives' own inner sharding collapses inline on workers.
+  std::vector<audit::PreparedFile> file_ctxs(deployments_.size());
+  parallel::parallel_for(deployments_.size(), [&](std::size_t i) {
+    Deployment& dep = *deployments_[i];
+    const std::size_t o = dep.placement.owner;
+    dep.file = storage::encode_file(owner_shards_[o][dep.placement.shard],
+                                    config_.s);
+    dep.held = dep.file;
+    dep.tag = audit::generate_tags(owner_keys_[o].sk, owner_keys_[o].pk,
+                                   dep.file, dep.name,
+                                   parallel::thread_count());
+    if (behaviors[i] == ProviderBehavior::DropsData) {
+      for (auto& b : dep.held.chunks[0]) b = audit::Fr::zero();
+    }
+    // Contract-serving provers answer num_audits rounds: build both
+    // prepared MSM tables (psi over the SRS powers, sigma over the tags).
+    dep.prover = std::make_unique<audit::Prover>(
+        owner_keys_[o].pk, dep.held, dep.tag, /*prepare_psi=*/true,
+        /*prepare_sigma=*/true);
+    file_ctxs[i] = audit::prepare_file(dep.name, dep.file.num_chunks());
+  });
+
+  // Phase 4 (sequential): contracts and their chain transactions, in
+  // deployment order — addresses, tx ordering and escrow flows are chain
+  // state and stay single-threaded.
+  for (std::size_t i = 0; i < deployments_.size(); ++i) {
+    Deployment& dep = *deployments_[i];
+    const std::size_t o = dep.placement.owner;
+    contract::ContractTerms terms;
+    terms.owner = "owner-" + std::to_string(o);
+    terms.provider = dep.placement.provider;
+    terms.num_audits = config_.num_audits;
+    terms.audit_period_s = config_.audit_period_s;
+    terms.response_window_s = config_.response_window_s;
+    terms.reward_per_audit = config_.reward_per_audit;
+    terms.penalty_per_fail = config_.penalty_per_fail;
+    terms.challenged_chunks = config_.challenged_chunks;
+    terms.private_proofs = config_.private_proofs;
+    terms.batch_gas_discount = config_.batch_gas_discount;
+
+    dep.contract = std::make_unique<contract::AuditContract>(
+        chain_, *beacon_, terms, owner_keys_[o].pk, dep.name,
+        dep.file.num_chunks(), std::move(file_ctxs[i]));
+    if (batch_) dep.contract->enable_deferred_settlement(*batch_);
+    if (behaviors[i] != ProviderBehavior::Unresponsive) {
+      dep.prover_rng = std::make_unique<primitives::SecureRng>(
+          primitives::SecureRng::deterministic(
+              config_.rng_seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
+      audit::Prover* prover = dep.prover.get();
+      bool priv = config_.private_proofs;
+      primitives::SecureRng* rng = dep.prover_rng.get();
+      dep.contract->set_responder(
+          [prover, priv, rng](const audit::Challenge& chal)
+              -> std::optional<std::vector<std::uint8_t>> {
+            if (priv) return audit::serialize(prover->prove_private(chal, *rng));
+            return audit::serialize(prover->prove(chal));
+          });
+    }
+    dep.contract->negotiated();
+    dep.contract->acked(true);
+    dep.contract->freeze();
+    placements_.push_back(dep.placement);
   }
   initial_money_ = total_money();
 }
 
 void NetworkSim::run_to_completion() {
   if (!deployed_) throw std::logic_error("NetworkSim: deploy first");
-  chain_.advance((config_.num_audits + 2) * config_.audit_period_s);
+  // Windowed settlement defers each round's redemption by up to one window;
+  // widen the horizon accordingly (zero extra when windows are off or
+  // degenerate, keeping those chains byte-identical to the unwindowed run).
+  chain::Timestamp slack =
+      config_.settlement_window_s > 1
+          ? (config_.num_audits + 2) * config_.settlement_window_s
+          : 0;
+  chain_.advance((config_.num_audits + 2) * config_.audit_period_s + slack);
   for (const auto& dep : deployments_) {
     if (dep->contract->state() != contract::State::Closed) {
       throw std::logic_error("NetworkSim: a contract failed to complete");

@@ -40,6 +40,11 @@ struct NetworkConfig {
   /// With batched settlement: price prove-txs by the calibrated batch
   /// discount row instead of the flat per-round gas constant.
   bool batch_gas_discount = false;
+  /// With batched settlement: widen each settlement batch across a window
+  /// of chain instants (seconds; rounds due inside one window settle
+  /// together at its boundary, under one Fiat–Shamir seed). 0 or 1 keeps
+  /// the per-instant behavior, bit-identically.
+  chain::Timestamp settlement_window_s = 0;
   std::uint64_t rng_seed = 1;
 };
 
@@ -93,6 +98,15 @@ class NetworkSim {
   /// The shared block-settlement engine (null unless batched_settlement).
   const contract::BatchSettlement* batch_settlement() const {
     return batch_.get();
+  }
+
+  // Deployment introspection for the cross-thread-count differential tests
+  // (deploy() shards whole deployments over the pool; keys, tags and the
+  // ledger must come out byte-identical at every width).
+  const std::vector<audit::KeyPair>& owner_keys() const { return owner_keys_; }
+  std::size_t num_deployments() const { return deployments_.size(); }
+  const audit::FileTag& deployment_tag(std::size_t i) const {
+    return deployments_.at(i)->tag;
   }
 
   /// True iff `owner` can still reconstruct its file from honest providers'

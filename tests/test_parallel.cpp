@@ -271,6 +271,126 @@ TEST(ParallelDifferential, BatchedSettlementIdenticalAcrossThreadCounts) {
       });
 }
 
+TEST(ParallelDifferential, DeployKeysTagsAndLedgerByteIdentical) {
+  // deploy() shards whole deployments over the pool (per-owner derived key
+  // RNGs, concurrent keygen/tagging/table builds); the emitted keys, tags
+  // and the post-run ledger must be byte-identical at every pool width.
+  struct Results {
+    std::vector<std::vector<std::uint8_t>> pk_bytes;
+    std::vector<std::vector<std::uint8_t>> tag_bytes;
+    std::vector<std::uint64_t> balances;
+    std::uint64_t total_gas = 0;
+  };
+  for_thread_counts<Results>(
+      [] {
+        sim::NetworkConfig c;
+        c.num_owners = 3;
+        c.num_providers = 3;
+        c.file_bytes = 900;
+        c.s = 5;
+        c.erasure_data = 2;
+        c.erasure_parity = 1;
+        c.num_audits = 1;
+        c.challenged_chunks = 999;
+        c.private_proofs = true;
+        sim::NetworkSim net(c);
+        net.deploy();
+        net.run_to_completion();
+        Results r;
+        for (const auto& kp : net.owner_keys()) {
+          r.pk_bytes.push_back(audit::serialize(kp.pk, true));
+        }
+        for (std::size_t i = 0; i < net.num_deployments(); ++i) {
+          r.tag_bytes.push_back(audit::serialize(net.deployment_tag(i)));
+        }
+        for (std::size_t o = 0; o < c.num_owners; ++o) {
+          r.balances.push_back(net.balance("owner-" + std::to_string(o)));
+        }
+        for (std::size_t p = 0; p < c.num_providers; ++p) {
+          r.balances.push_back(net.balance("provider-" + std::to_string(p)));
+        }
+        r.total_gas = net.stats().total_gas;
+        return r;
+      },
+      [](const Results& base, const Results& got, unsigned threads) {
+        EXPECT_EQ(base.pk_bytes, got.pk_bytes) << threads << " threads";
+        EXPECT_EQ(base.tag_bytes, got.tag_bytes) << threads << " threads";
+        EXPECT_EQ(base.balances, got.balances) << threads << " threads";
+        EXPECT_EQ(base.total_gas, got.total_gas) << threads << " threads";
+      });
+}
+
+TEST(ParallelDifferential, WindowedSettlementIdenticalAcrossThreadCounts) {
+  // Inline, per-instant deferred and window=1 deferred settlement must be
+  // mutually bit-identical (chain bytes, gas, ledger) AND independent of
+  // the pool width — the windowed acceptance invariant, at 1/2/8 threads.
+  struct Snapshot {
+    sim::NetworkStats stats;
+    std::vector<std::uint64_t> balances;
+    std::size_t blocks = 0;
+    std::size_t chain_bytes = 0;
+  };
+  struct Results {
+    Snapshot inline_run, per_instant, window1;
+  };
+  auto snapshot_of = [](bool batched, chain::Timestamp window) {
+    sim::NetworkConfig c;
+    c.num_owners = 2;
+    c.num_providers = 3;
+    c.file_bytes = 1000;
+    c.s = 5;
+    c.erasure_data = 2;
+    c.erasure_parity = 1;
+    c.num_audits = 2;
+    c.challenged_chunks = 999;
+    c.private_proofs = true;
+    c.batched_settlement = batched;
+    c.settlement_window_s = window;
+    sim::NetworkSim net(c);
+    net.set_behavior("provider-1", sim::ProviderBehavior::DropsData);
+    net.deploy();
+    net.run_to_completion();
+    Snapshot s;
+    s.stats = net.stats();
+    for (std::size_t o = 0; o < c.num_owners; ++o) {
+      s.balances.push_back(net.balance("owner-" + std::to_string(o)));
+    }
+    for (std::size_t p = 0; p < c.num_providers; ++p) {
+      s.balances.push_back(net.balance("provider-" + std::to_string(p)));
+    }
+    s.blocks = net.chain().blocks().size();
+    s.chain_bytes = net.chain().total_chain_bytes();
+    return s;
+  };
+  auto expect_equal = [](const Snapshot& x, const Snapshot& y,
+                         const char* what) {
+    EXPECT_EQ(x.stats.passes, y.stats.passes) << what;
+    EXPECT_EQ(x.stats.fails, y.stats.fails) << what;
+    EXPECT_EQ(x.stats.timeouts, y.stats.timeouts) << what;
+    EXPECT_EQ(x.stats.total_gas, y.stats.total_gas) << what;
+    EXPECT_EQ(x.chain_bytes, y.chain_bytes) << what;
+    EXPECT_EQ(x.balances, y.balances) << what;
+    EXPECT_EQ(x.blocks, y.blocks) << what;
+  };
+  for_thread_counts<Results>(
+      [&] {
+        Results r;
+        r.inline_run = snapshot_of(false, 0);
+        r.per_instant = snapshot_of(true, 0);
+        r.window1 = snapshot_of(true, 1);
+        expect_equal(r.inline_run, r.per_instant, "inline vs per-instant");
+        expect_equal(r.inline_run, r.window1, "inline vs window=1");
+        return r;
+      },
+      [&](const Results& base, const Results& got, unsigned threads) {
+        (void)threads;
+        expect_equal(base.inline_run, got.inline_run, "inline across threads");
+        expect_equal(base.per_instant, got.per_instant,
+                     "per-instant across threads");
+        expect_equal(base.window1, got.window1, "window=1 across threads");
+      });
+}
+
 TEST(ParallelDifferential, NetworkSimStatsAndLedgerIdentical) {
   struct Results {
     sim::NetworkStats stats;

@@ -233,6 +233,93 @@ TEST(Properties, AuthenticatorHomomorphism) {
   EXPECT_EQ(combined, expect);
 }
 
+// ---------------------------------------------------------------------------
+// GT multi-exponentiation: Fp12::multi_pow pinned bit-identical to the
+// retained naive per-element ladder, across batch shapes and exponent edge
+// cases, plus GT-subgroup closure.
+// ---------------------------------------------------------------------------
+
+/// Random GT elements: powers of one pairing output (stays in the order-r
+/// cyclotomic subgroup, the multi_pow contract).
+std::vector<ff::Fp12> random_gt_elements(std::size_t n, const ff::Fp12& g,
+                                         SecureRng& rng) {
+  std::vector<ff::Fp12> out(n);
+  for (auto& b : out) {
+    b = g.cyclotomic_pow_u256(ff::Fr::random(rng).to_u256());
+  }
+  return out;
+}
+
+TEST(GtMultiExp, MatchesNaivePerElementOracle) {
+  auto rng = SecureRng::deterministic(1100);
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng), curve::g2_random(rng));
+  ff::U256 rm1;
+  bigint::sub_with_borrow(ff::Fr::modulus(), ff::U256{1}, rm1);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{17}, std::size_t{64}}) {
+    auto bases = random_gt_elements(n, g, rng);
+    std::vector<ff::U256> exps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Cycle the edge exponents through every batch position across sizes:
+      // 0, 1, r-1 (the conjugate), dense 128-bit, dense 64-bit.
+      switch ((i + n) % 5) {
+        case 0: exps[i] = ff::U256{}; break;
+        case 1: exps[i] = ff::U256{1}; break;
+        case 2: exps[i] = rm1; break;
+        case 3: exps[i] = ff::U256{rng.next_u64(), rng.next_u64(), 0, 0}; break;
+        default: exps[i] = ff::U256{rng.next_u64()}; break;
+      }
+    }
+    ff::Fp12 expect = ff::Fp12::one();
+    for (std::size_t i = 0; i < n; ++i) {
+      expect *= bases[i].cyclotomic_pow_u256(exps[i]);
+    }
+    ff::Fp12 got = ff::Fp12::multi_pow(bases, exps);
+    EXPECT_TRUE(got == expect) << "n=" << n;  // bit-identical field element
+  }
+}
+
+TEST(GtMultiExp, HomogeneousEdgeExponents) {
+  auto rng = SecureRng::deterministic(1101);
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng), curve::g2_random(rng));
+  auto bases = random_gt_elements(5, g, rng);
+  // All-zero exponents: the empty product.
+  std::vector<ff::U256> zeros(bases.size(), ff::U256{});
+  EXPECT_TRUE(ff::Fp12::multi_pow(bases, zeros).is_one());
+  // All-one exponents: the plain product.
+  std::vector<ff::U256> ones(bases.size(), ff::U256{1});
+  ff::Fp12 prod = ff::Fp12::one();
+  for (const auto& b : bases) prod *= b;
+  EXPECT_TRUE(ff::Fp12::multi_pow(bases, ones) == prod);
+  // r-1 on every slot: the product of conjugates (g^{r-1} = g^{-1} in GT).
+  ff::U256 rm1;
+  bigint::sub_with_borrow(ff::Fr::modulus(), ff::U256{1}, rm1);
+  std::vector<ff::U256> invs(bases.size(), rm1);
+  ff::Fp12 conj = ff::Fp12::one();
+  for (const auto& b : bases) conj *= b.conjugate();
+  EXPECT_TRUE(ff::Fp12::multi_pow(bases, invs) == conj);
+  // Identity bases contribute nothing.
+  std::vector<ff::Fp12> units(3, ff::Fp12::one());
+  std::vector<ff::U256> exps(3, ff::U256{rng.next_u64()});
+  EXPECT_TRUE(ff::Fp12::multi_pow(units, exps).is_one());
+  // Length mismatch is an error, not a silent truncation.
+  EXPECT_THROW(ff::Fp12::multi_pow(bases, std::span<const ff::U256>(ones.data(), 2)),
+               std::invalid_argument);
+}
+
+TEST(GtMultiExp, SubgroupClosure) {
+  // multi_pow over GT inputs stays in GT: the order-r subgroup membership
+  // test (cyclotomic identity + order check) accepts every output.
+  auto rng = SecureRng::deterministic(1102);
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng), curve::g2_random(rng));
+  auto bases = random_gt_elements(9, g, rng);
+  std::vector<ff::U256> exps(bases.size());
+  for (auto& e : exps) e = ff::U256{rng.next_u64(), rng.next_u64(), 0, 0};
+  ff::Fp12 out = ff::Fp12::multi_pow(bases, exps);
+  EXPECT_TRUE(pairing::gt_in_subgroup(out));
+  EXPECT_TRUE(out.pow_u256(ff::Fr::modulus()).is_one());
+}
+
 TEST(Properties, CodecPreservesArbitrarySizes) {
   auto rng = SecureRng::deterministic(1011);
   for (int i = 0; i < 40; ++i) {

@@ -279,6 +279,131 @@ TEST(Settlement, ColdPathWithoutPreparedFileMatches) {
           .all_ok());
 }
 
+TEST(Settlement, CheaterAtEveryWindowPosition) {
+  // A multi-instant window batch: two keys, three file contexts, mixed
+  // Eq. 1 / Eq. 2 shapes — then a cheating round injected at EVERY position
+  // in turn. Bisection must isolate exactly the culprit; every honest round
+  // in the same window settles Pass, whichever position cheats.
+  auto rng = SecureRng::deterministic(910);
+  Scenario a = make_scenario(3000, 5, rng);
+  Scenario b = make_scenario(2500, 5, rng);
+  Verifier va(a.kp.pk), vb(b.kp.pk);
+  PreparedFile ca = audit::prepare_file(a.name, a.file.num_chunks());
+  PreparedFile cb = audit::prepare_file(b.name, b.file.num_chunks());
+  Prover pa(a.kp.pk, a.file, a.tag), pb(b.kp.pk, b.file, b.tag);
+
+  std::vector<SettlementInstance> window(8);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const bool first_key = i % 3 != 0;
+    auto& inst = window[i];
+    inst.verifier = first_key ? &va : &vb;
+    inst.file = first_key ? &ca : &cb;
+    inst.challenge = make_challenge(rng, 4);
+    Prover& p = first_key ? pa : pb;
+    if (i % 2 == 0) {
+      inst.priv = p.prove_private(inst.challenge, rng);
+    } else {
+      inst.basic = p.prove(inst.challenge);
+    }
+  }
+
+  for (std::size_t cheat = 0; cheat < window.size(); ++cheat) {
+    std::vector<SettlementInstance> batch = window;
+    if (batch[cheat].basic) {
+      batch[cheat].basic->y += Fr::one();
+    } else {
+      batch[cheat].priv->y_prime += Fr::one();
+    }
+    SettlementOutcome out = audit::verify_settlement(batch, seed_of(rng));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(out.ok[i], i != cheat) << "cheat at " << cheat << ", round " << i;
+    }
+    EXPECT_GT(out.batch_checks, 1u) << cheat;   // bisection actually ran
+    EXPECT_GE(out.single_checks, 1u) << cheat;  // and re-verified the leaf
+  }
+}
+
+TEST(Settlement, MixedShapeWindowPairingCountAcrossKeys) {
+  // >= 3 contracts' worth of rounds (three file contexts) over 2 distinct
+  // keys, Eq. 1 and Eq. 2 mixed: a clean window must cost exactly
+  // 1 + 2 * (#keys) Miller chains and one final exponentiation, with every
+  // private commitment folded through the shared GT multi-exponentiation.
+  auto rng = SecureRng::deterministic(911);
+  Scenario a = make_scenario(3200, 6, rng);
+  Scenario b = make_scenario(2400, 4, rng);
+  Verifier va(a.kp.pk), vb(b.kp.pk);
+  PreparedFile ca1 = audit::prepare_file(a.name, a.file.num_chunks());
+  Fr second_name = Fr::random(rng);
+  auto second_tag = audit::generate_tags(a.kp.sk, a.kp.pk, a.file, second_name);
+  PreparedFile ca2 = audit::prepare_file(second_name, a.file.num_chunks());
+  PreparedFile cb = audit::prepare_file(b.name, b.file.num_chunks());
+  Prover pa1(a.kp.pk, a.file, a.tag), pa2(a.kp.pk, a.file, second_tag);
+  Prover pb(b.kp.pk, b.file, b.tag);
+
+  std::vector<SettlementInstance> instances(9);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    auto& inst = instances[i];
+    switch (i % 3) {
+      case 0: inst.verifier = &va; inst.file = &ca1; break;
+      case 1: inst.verifier = &va; inst.file = &ca2; break;
+      default: inst.verifier = &vb; inst.file = &cb; break;
+    }
+    inst.challenge = make_challenge(rng, 4);
+    Prover& p = i % 3 == 0 ? pa1 : i % 3 == 1 ? pa2 : pb;
+    if (i % 2 == 0) {
+      inst.priv = p.prove_private(inst.challenge, rng);
+    } else {
+      inst.basic = p.prove(inst.challenge);
+    }
+  }
+  pairing::reset_pairing_counters();
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng));
+  auto counters = pairing::pairing_counters();
+  EXPECT_TRUE(out.all_ok());
+  EXPECT_EQ(out.batch_checks, 1u);
+  EXPECT_EQ(counters.chains, 1u + 2u * 2u);
+  EXPECT_EQ(counters.final_exps, 1u);
+
+  // One cheater per key, different shapes: exactly those two rounds fail.
+  instances[3].basic->sigma = instances[3].basic->sigma + curve::G1::generator();
+  instances[8].priv->y_prime += Fr::one();
+  out = audit::verify_settlement(instances, seed_of(rng));
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(out.ok[i], i != 3 && i != 8) << i;
+  }
+}
+
+TEST(Settlement, ReducedSoundnessWeightsAreGatedAndWork) {
+  // The 64-bit-weight mode: explicit opt-in, settles honest windows, still
+  // catches tampering (residual soundness ~2^-64 per batch).
+  auto rng = SecureRng::deterministic(912);
+  Scenario sc = make_scenario(3000, 5, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(6);
+  for (auto& inst : instances) {
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 4);
+    inst.priv = prover.prove_private(inst.challenge, rng);
+  }
+  audit::SettlementOptions reduced;
+  reduced.reduced_soundness_weights = true;
+  auto seed = seed_of(rng);
+  EXPECT_TRUE(audit::verify_settlement(instances, seed, reduced).all_ok());
+  // Same batch, same seed, default soundness: also clean (the width only
+  // changes the weights, not the verdicts).
+  EXPECT_TRUE(audit::verify_settlement(instances, seed).all_ok());
+
+  instances[4].priv->psi = -instances[4].priv->psi;
+  SettlementOutcome out = audit::verify_settlement(instances, seed_of(rng), reduced);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(out.ok[i], i != 4) << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // contract::BatchSettlement — the block-level coordinator.
 // ---------------------------------------------------------------------------
@@ -294,7 +419,147 @@ TEST(BatchSettlementEngine, ReplayedWeightSeedsAreRejected) {
 
 TEST(BatchSettlementEngine, UnknownTicketThrows) {
   contract::BatchSettlement batch(8);
-  EXPECT_THROW(batch.outcome({42, 0}), std::logic_error);
+  EXPECT_THROW(batch.outcome({42, 0, 0}), std::logic_error);
+}
+
+TEST(BatchSettlementEngine, FlushSeedEntersReplayRegistry) {
+  // Every settled window's derived Fiat–Shamir seed lands in the freshness
+  // registry: replaying it is refused, and consecutive windows never share
+  // a seed.
+  auto rng = SecureRng::deterministic(909);
+  Scenario sc = make_scenario(2500, 5, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  chain::Blockchain chain;
+  contract::BatchSettlement batch(9);
+  EXPECT_FALSE(batch.last_weight_seed().has_value());
+
+  std::array<std::uint8_t, 32> seeds[2];
+  for (int window = 0; window < 2; ++window) {
+    SettlementInstance inst;
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 4);
+    inst.basic = prover.prove(inst.challenge);
+    auto ticket = batch.enqueue(chain, std::move(inst), rng.bytes32());
+    EXPECT_TRUE(batch.outcome(ticket).ok);  // direct-call flush
+    ASSERT_TRUE(batch.last_weight_seed().has_value());
+    seeds[window] = *batch.last_weight_seed();
+    // The flush itself consumed the seed — a replay is refused.
+    EXPECT_FALSE(batch.consume_weight_seed(seeds[window]));
+  }
+  EXPECT_NE(seeds[0], seeds[1]);  // fresh nonce per window
+}
+
+// ---------------------------------------------------------------------------
+// Windowed settlement across chain instants.
+// ---------------------------------------------------------------------------
+
+/// Three contracts over two keys with staggered audit cadences and mixed
+/// proof shapes, all deferring into one shared engine on a chain with a
+/// settlement window: rounds due at three DIFFERENT instants must settle in
+/// one flush at the window boundary, for 1 + 2·keys pairings total.
+TEST(WindowedSettlement, MultiInstantWindowMixedShapesAcrossContracts) {
+  auto rng = SecureRng::deterministic(920);
+  Scenario a = make_scenario(2500, 5, rng);
+  Scenario b = make_scenario(2000, 4, rng);
+
+  chain::ChainConfig cc;
+  cc.settlement_window_s = 4000;
+  chain::Blockchain chain(cc);
+  chain::TrustedBeacon beacon(rng.bytes32());
+  contract::BatchSettlement batch(11);
+
+  struct Party {
+    Scenario* sc;
+    chain::Timestamp period;
+    bool priv;
+    std::unique_ptr<Prover> prover;
+    std::unique_ptr<primitives::SecureRng> prng;
+    std::unique_ptr<contract::AuditContract> contract;
+  };
+  Party parties[3] = {{&a, 1000, false, nullptr, nullptr, nullptr},
+                      {&a, 1300, true, nullptr, nullptr, nullptr},
+                      {&b, 1600, true, nullptr, nullptr, nullptr}};
+  for (int i = 0; i < 3; ++i) {
+    Party& p = parties[i];
+    std::string owner = "owner-" + std::to_string(i);
+    std::string provider = "provider-" + std::to_string(i);
+    chain.mint(owner, 100'000);
+    chain.mint(provider, 100'000);
+    p.prover = std::make_unique<Prover>(p.sc->kp.pk, p.sc->file, p.sc->tag);
+    p.prng = std::make_unique<SecureRng>(SecureRng::deterministic(921 + i));
+    contract::ContractTerms terms;
+    terms.owner = owner;
+    terms.provider = provider;
+    terms.num_audits = 2;
+    terms.audit_period_s = p.period;
+    terms.response_window_s = 100;
+    terms.reward_per_audit = 10;
+    terms.penalty_per_fail = 25;
+    terms.challenged_chunks = 4;
+    terms.private_proofs = p.priv;
+    p.contract = std::make_unique<contract::AuditContract>(
+        chain, beacon, terms, p.sc->kp.pk, p.sc->name,
+        p.sc->file.num_chunks());
+    p.contract->enable_deferred_settlement(batch);
+    Prover* prover = p.prover.get();
+    primitives::SecureRng* prng = p.prng.get();
+    bool priv = p.priv;
+    p.contract->set_responder(
+        [prover, prng, priv](const Challenge& chal)
+            -> std::optional<std::vector<std::uint8_t>> {
+          if (priv) return audit::serialize(prover->prove_private(chal, *prng));
+          return audit::serialize(prover->prove(chal));
+        });
+    p.contract->negotiated();
+    p.contract->acked(true);
+    p.contract->freeze();
+  }
+
+  // Round 1 of the three contracts is due at t = 1100, 1400 and 1700; the
+  // window boundary is 4000. Nothing settles before it...
+  pairing::reset_pairing_counters();
+  chain.advance(3999);
+  EXPECT_EQ(batch.stats().batches, 0u);
+  EXPECT_EQ(pairing::pairing_counters().chains, 0u);
+  for (const Party& p : parties) {
+    EXPECT_EQ(p.contract->rounds_completed(), 0u);
+  }
+
+  // ...and the boundary settles all three rounds in ONE flush: a shared
+  // generator chain plus (epsilon, delta) per distinct key.
+  chain.advance(2);
+  EXPECT_EQ(batch.stats().batches, 1u);
+  EXPECT_EQ(batch.stats().rounds, 3u);
+  EXPECT_EQ(batch.stats().instants, 3u);  // three distinct due instants
+  EXPECT_EQ(pairing::pairing_counters().chains, 1u + 2u * 2u);
+  EXPECT_EQ(pairing::pairing_counters().final_exps, 1u);
+  for (const Party& p : parties) {
+    EXPECT_EQ(p.contract->rounds_completed(), 1u);
+    EXPECT_EQ(p.contract->passes(), 1u);
+  }
+
+  // The window's seed sits in the replay registry.
+  ASSERT_TRUE(batch.last_weight_seed().has_value());
+  EXPECT_FALSE(batch.consume_weight_seed(*batch.last_weight_seed()));
+
+  // Round 2 re-challenges on the original cadence (anchored at the round-1
+  // challenge times, all past by now, so they fire together) and settles at
+  // the next boundary; everything completes and everyone was paid.
+  chain.advance(20'000);
+  EXPECT_EQ(batch.stats().batches, 2u);
+  EXPECT_EQ(batch.stats().rounds, 6u);
+  for (const Party& p : parties) {
+    EXPECT_EQ(p.contract->state(), contract::State::Closed);
+    EXPECT_EQ(p.contract->passes(), 2u);
+    EXPECT_EQ(p.contract->fails() + p.contract->timeouts(), 0u);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(chain.balance("provider-" + std::to_string(i)), 100'000u + 2 * 10);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -309,7 +574,8 @@ struct SimSnapshot {
 };
 
 SimSnapshot run_sim(bool batched, bool discount, std::size_t num_owners = 2,
-                    sim::ProviderBehavior bad = sim::ProviderBehavior::DropsData) {
+                    sim::ProviderBehavior bad = sim::ProviderBehavior::DropsData,
+                    chain::Timestamp settlement_window_s = 0) {
   sim::NetworkConfig c;
   c.num_owners = num_owners;
   c.num_providers = 3;
@@ -322,6 +588,7 @@ SimSnapshot run_sim(bool batched, bool discount, std::size_t num_owners = 2,
   c.private_proofs = true;
   c.batched_settlement = batched;
   c.batch_gas_discount = discount;
+  c.settlement_window_s = settlement_window_s;
   sim::NetworkSim net(c);
   net.set_behavior("provider-1", bad);
   net.deploy();
@@ -362,6 +629,45 @@ TEST(BatchedSettlementSim, BitIdenticalToSequentialSettlement) {
   EXPECT_GT(bat.stats.fails, 0u);  // the cheater was actually caught
 }
 
+TEST(WindowedSettlementSim, Window1BitIdenticalToPerInstantAndInline) {
+  // The acceptance invariant: a settlement window of 1 degenerates to the
+  // per-instant deferred engine, which is itself bit-identical to inline
+  // settlement — chain bytes, gas totals, ledger, block and tx counts.
+  SimSnapshot inline_run = run_sim(false, false);
+  SimSnapshot per_instant = run_sim(true, false);
+  SimSnapshot window1 = run_sim(true, false, 2,
+                                sim::ProviderBehavior::DropsData, 1);
+  for (const SimSnapshot* other : {&per_instant, &window1}) {
+    EXPECT_EQ(inline_run.stats.total_rounds, other->stats.total_rounds);
+    EXPECT_EQ(inline_run.stats.passes, other->stats.passes);
+    EXPECT_EQ(inline_run.stats.fails, other->stats.fails);
+    EXPECT_EQ(inline_run.stats.timeouts, other->stats.timeouts);
+    EXPECT_EQ(inline_run.stats.total_gas, other->stats.total_gas);
+    EXPECT_EQ(inline_run.stats.chain_bytes, other->stats.chain_bytes);
+    EXPECT_EQ(inline_run.balances, other->balances);
+    EXPECT_EQ(inline_run.blocks, other->blocks);
+    EXPECT_EQ(inline_run.txs, other->txs);
+  }
+  EXPECT_GT(window1.stats.fails, 0u);  // the cheater was still caught
+}
+
+TEST(WindowedSettlementSim, WideWindowSettlesEveryRoundAndMatchesOutcomes) {
+  // A window spanning two audit periods: every round's redemption defers to
+  // a boundary, yet outcomes, payouts and (undiscounted) gas match the
+  // per-instant run exactly — the cheater loses every round, honest
+  // providers never pay for sharing its window.
+  SimSnapshot per_instant = run_sim(true, false);
+  SimSnapshot windowed = run_sim(true, false, 2,
+                                 sim::ProviderBehavior::DropsData, 7200);
+  EXPECT_EQ(per_instant.stats.total_rounds, windowed.stats.total_rounds);
+  EXPECT_EQ(per_instant.stats.passes, windowed.stats.passes);
+  EXPECT_EQ(per_instant.stats.fails, windowed.stats.fails);
+  EXPECT_EQ(windowed.stats.timeouts, 0u);
+  EXPECT_GT(windowed.stats.fails, 0u);
+  EXPECT_EQ(per_instant.stats.total_gas, windowed.stats.total_gas);
+  EXPECT_EQ(per_instant.balances, windowed.balances);
+}
+
 TEST(BatchedSettlementSim, CulpritIsolationAtPopulationScale) {
   SimSnapshot bat = run_sim(true, false, 3);
   // provider-1 holds some shards; every one of its rounds fails, every
@@ -382,6 +688,14 @@ TEST(BatchedSettlementSim, GasDiscountRowIsExactAndCheaper) {
   EXPECT_LT(model.gas_per_audit_batched(8), model.gas_per_audit_batched(2));
   EXPECT_LT(model.gas_per_audit_batched(64), model.gas_per_audit_batched(8));
   EXPECT_THROW(model.batched_verify_ms(0), std::invalid_argument);
+  // Window-aware rows nest in the batched rows: window 1 reproduces the
+  // per-instant figures (down to the 589,000-gas anchor at one round per
+  // instant), and fattening the window is strictly cheaper.
+  EXPECT_EQ(model.gas_per_audit_windowed(6, 1), model.gas_per_audit_batched(6));
+  EXPECT_EQ(model.gas_per_audit_windowed(1, 1), 589'000u);
+  EXPECT_EQ(model.gas_per_audit_windowed(2, 8), model.gas_per_audit_batched(16));
+  EXPECT_LT(model.gas_per_audit_windowed(6, 4), model.gas_per_audit_batched(6));
+  EXPECT_THROW(model.windowed_verify_ms(6, 0), std::invalid_argument);
 
   // In the sim: 2 owners x 3 shards = 6 deployments, all audited at the
   // same instants, so every round settles in a batch of 6 and pays the
