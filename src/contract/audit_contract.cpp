@@ -1,5 +1,6 @@
 #include "contract/audit_contract.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <mutex>
@@ -28,6 +29,17 @@ std::mutex& beacon_mutex() {
 }
 
 }  // namespace
+
+const char* to_string(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::None: return "none";
+    case CloseReason::Expired: return "expired";
+    case CloseReason::Rejected: return "rejected";
+    case CloseReason::ProviderExit: return "provider-exit";
+    case CloseReason::Slashed: return "slashed";
+  }
+  return "?";
+}
 
 AuditContract::AuditContract(chain::Blockchain& chain,
                              chain::RandomnessBeacon& beacon, ContractTerms terms,
@@ -85,8 +97,7 @@ void AuditContract::acked(bool accept) {
   if (!accept) {
     // §VI-A: S can walk away, wasting D's storage fee — "good to none but
     // worse to himself under a robust reputation-based system".
-    state_ = State::Closed;
-    emit("terminated-by-provider");
+    close(CloseReason::Rejected, "terminated-by-provider");
     return;
   }
   state_ = State::Freeze;
@@ -136,6 +147,18 @@ void AuditContract::schedule_challenge(Timestamp when) {
                   [this](Timestamp now) { on_challenge_due(now); });
 }
 
+std::optional<std::vector<std::uint8_t>> AuditContract::ask_responder(
+    const Challenge& c) {
+  if (!responder_) return std::nullopt;
+  try {
+    return responder_(c);
+  } catch (...) {
+    // A fault injected into the prover (possibly on a pool worker, inside a
+    // concurrent prepare) must cost the provider the round, not the process.
+    return std::nullopt;
+  }
+}
+
 void AuditContract::prepare_challenge(Timestamp /*now*/) {
   if (state_ != State::Audit || cnt_ >= terms_.num_audits) return;
   StagedChallenge staged;
@@ -146,7 +169,7 @@ void AuditContract::prepare_challenge(Timestamp /*now*/) {
   // Provider reacts off-chain; in the simulation the responder runs here —
   // possibly concurrently with other contracts' provers — and its proof
   // "arrives" as a tx in the response window.
-  if (responder_) staged.proof = responder_(staged.challenge);
+  staged.proof = ask_responder(staged.challenge);
   staged_challenge_ = std::move(staged);
 }
 
@@ -167,7 +190,7 @@ void AuditContract::on_challenge_due(Timestamp /*now*/) {
   } else {
     // Unprepared path (direct calls in tests): same work, inline.
     rec.challenge = challenge_from_beacon(cnt_);
-    if (responder_) proof = responder_(rec.challenge);
+    proof = ask_responder(rec.challenge);
   }
   rec.challenged_at = chain_.now();
 
@@ -256,11 +279,26 @@ void AuditContract::on_verify_due(Timestamp now) {
   }
   if (!pending_proof_) {
     staged_verify_.reset();
-    rounds_.back().outcome = RoundOutcome::Timeout;
+    RoundRecord& rec = rounds_.back();
+    if (rec.retries < terms_.timeout_retry_limit && responder_) {
+      // Requeue with bounded retry: a transient miss inside a settlement
+      // window is re-attempted at the next boundary (one response window
+      // later when windows are off) instead of being slashed immediately.
+      ++rec.retries;
+      emit("timeout-retry");
+      Timestamp retry_at = chain_.settlement_window() > 1
+                               ? chain_.settlement_boundary(now + 1)
+                               : now + terms_.response_window_s;
+      chain_.schedule(retry_at, [this](Timestamp t) { prepare_retry(t); },
+                      [this](Timestamp t) { on_retry_due(t); });
+      return;
+    }
+    rec.outcome = RoundOutcome::Timeout;
     emit("fail");
     if (terms_.penalty_per_fail > 0) {
       chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
     }
+    ++consecutive_misses_;
     advance_round();
     return;
   }
@@ -277,7 +315,10 @@ void AuditContract::on_verify_due(Timestamp now) {
       // Windowed settlement: the batch stays open until the window
       // boundary; redeem the ticket there. The flush hook runs before any
       // action of that instant, so the outcome is ready when this fires.
+      // A provider exit can close the contract (aborting this round) before
+      // the boundary — a dead round must not settle.
       chain_.schedule(ticket.settle_at, [this, ticket](Timestamp) {
+        if (state_ != State::Prove) return;
         finalize_proved(batch_->outcome(ticket));
       });
     }
@@ -288,6 +329,47 @@ void AuditContract::on_verify_due(Timestamp now) {
   staged_verify_.reset();
   pending_proof_.reset();
   finalize_proved(inline_res);
+}
+
+void AuditContract::prepare_retry(Timestamp /*now*/) {
+  if (state_ != State::Prove || pending_proof_) return;
+  StagedChallenge staged;
+  staged.challenge = rounds_.back().challenge;  // same round, same challenge
+  staged.proof = ask_responder(staged.challenge);
+  staged_challenge_ = std::move(staged);
+}
+
+void AuditContract::on_retry_due(Timestamp now) {
+  if (state_ != State::Prove || pending_proof_) {  // closed/settled meanwhile
+    staged_challenge_.reset();
+    return;
+  }
+  std::optional<std::vector<std::uint8_t>> proof;
+  if (staged_challenge_) {
+    proof = std::move(staged_challenge_->proof);
+    staged_challenge_.reset();
+  } else {
+    proof = ask_responder(rounds_.back().challenge);  // direct-call path
+  }
+  // The retry rebroadcasts the challenge reference on chain; the response
+  // window restarts from the retry instant.
+  chain::Transaction tx;
+  tx.from = address_;
+  tx.description = "retry";
+  tx.payload_bytes = 48;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{48});
+  chain_.submit(tx);
+  emit("retried");
+  if (proof) {
+    RoundRecord& rec = rounds_.back();
+    pending_proof_ = std::move(proof);
+    rec.proved_at = now;
+    rec.proof_bytes = pending_proof_->size();
+    emit("proofposted");
+  }
+  chain_.schedule(now + terms_.response_window_s,
+                  [this](Timestamp t) { prepare_verify(t); },
+                  [this](Timestamp t) { on_verify_due(t); });
 }
 
 void AuditContract::finalize_proved(const BatchSettlement::Outcome& outcome) {
@@ -318,12 +400,14 @@ void AuditContract::finalize_proved(const BatchSettlement::Outcome& outcome) {
     if (terms_.reward_per_audit > 0) {
       chain_.transfer(address_, terms_.provider, terms_.reward_per_audit);
     }
+    consecutive_misses_ = 0;
   } else {
     rec.outcome = RoundOutcome::Fail;
     emit("fail");
     if (terms_.penalty_per_fail > 0) {
       chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
     }
+    ++consecutive_misses_;
   }
   advance_round();
 }
@@ -331,6 +415,11 @@ void AuditContract::finalize_proved(const BatchSettlement::Outcome& outcome) {
 void AuditContract::advance_round() {
   pending_proof_.reset();
   ++cnt_;
+  if (terms_.slash_after_consecutive > 0 &&
+      consecutive_misses_ >= terms_.slash_after_consecutive) {
+    slash_and_close();
+    return;
+  }
   if (cnt_ >= terms_.num_audits) {
     settle_and_close();
     return;
@@ -350,8 +439,61 @@ void AuditContract::settle_and_close() {
   if (kept_collateral > 0) {
     chain_.transfer(address_, terms_.provider, kept_collateral);
   }
+  close(CloseReason::Expired, "expired");
+}
+
+void AuditContract::slash_and_close() {
+  // Missed-deadline slashing: the provider abandoned the contract, so the
+  // owner is made whole from everything still escrowed — the undelivered
+  // reward pool AND the provider's remaining collateral.
+  std::uint64_t remaining = chain_.balance(address_);
+  if (remaining > 0) chain_.transfer(address_, terms_.owner, remaining);
+  chain::Transaction tx;
+  tx.from = address_;
+  tx.description = "slashed";
+  tx.payload_bytes = 8;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{8});
+  chain_.submit(tx);
+  close(CloseReason::Slashed, "slashed");
+}
+
+void AuditContract::provider_exit() {
+  require(state_ == State::Audit || state_ == State::Prove,
+          "provider_exit: contract not live");
+  if (state_ == State::Prove && rounds_.size() > cnt_) {
+    // The in-flight round never settles; it moves no money either way.
+    rounds_.back().outcome = RoundOutcome::Aborted;
+  }
+  // Escrow release: the owner recovers every undelivered reward plus an
+  // exit fee of one penalty_per_fail carved from the provider's remaining
+  // collateral; the provider keeps the rest of its collateral.
+  std::uint64_t escrow = chain_.balance(address_);
+  std::uint64_t remaining_rewards =
+      terms_.reward_per_audit * (terms_.num_audits - passes());
+  if (remaining_rewards > escrow) remaining_rewards = escrow;
+  std::uint64_t remaining_collateral = escrow - remaining_rewards;
+  std::uint64_t exit_fee =
+      std::min<std::uint64_t>(terms_.penalty_per_fail, remaining_collateral);
+  if (remaining_rewards + exit_fee > 0) {
+    chain_.transfer(address_, terms_.owner, remaining_rewards + exit_fee);
+  }
+  if (remaining_collateral > exit_fee) {
+    chain_.transfer(address_, terms_.provider, remaining_collateral - exit_fee);
+  }
+  chain::Transaction tx;
+  tx.from = terms_.provider;
+  tx.description = "provider-exit";
+  tx.payload_bytes = 8;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{8});
+  chain_.submit(tx);
+  close(CloseReason::ProviderExit, "provider-exit");
+}
+
+void AuditContract::close(CloseReason reason, const std::string& event) {
   state_ = State::Closed;
-  emit("expired");
+  close_reason_ = reason;
+  emit(event);
+  if (on_closed_) on_closed_(reason);
 }
 
 std::uint64_t AuditContract::passes() const {
@@ -367,6 +509,11 @@ std::uint64_t AuditContract::fails() const {
 std::uint64_t AuditContract::timeouts() const {
   std::uint64_t n = 0;
   for (const auto& r : rounds_) n += r.outcome == RoundOutcome::Timeout;
+  return n;
+}
+std::uint64_t AuditContract::timeout_retries() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rounds_) n += r.retries;
   return n;
 }
 

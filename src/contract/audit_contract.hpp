@@ -38,7 +38,25 @@ enum class State {
   Closed,         // contract expired or terminated
 };
 
-enum class RoundOutcome { Pass, Fail, Timeout };
+enum class RoundOutcome {
+  Pass,
+  Fail,
+  Timeout,
+  /// The contract terminated (provider exit / slash) while this round was
+  /// in flight: the round never settled and moved no money.
+  Aborted,
+};
+
+/// Why a contract reached State::Closed.
+enum class CloseReason {
+  None,          // not closed yet
+  Expired,       // all num_audits rounds settled (Fig. 2's natural end)
+  Rejected,      // S walked away at ACK
+  ProviderExit,  // S invoked the early-exit path mid-contract
+  Slashed,       // S crossed the consecutive missed-deadline threshold
+};
+
+const char* to_string(CloseReason reason);
 
 struct ContractTerms {
   Address owner;
@@ -56,6 +74,18 @@ struct ContractTerms {
   /// batched and inline settlement stay bit-identical unless the discount
   /// is explicitly priced in.
   bool batch_gas_discount = false;
+  /// Requeue-with-bounded-retry: a round whose proof misses the response
+  /// window is re-attempted up to this many times — at the next settlement
+  /// boundary in windowed mode, one response window later otherwise —
+  /// before it finally settles as Timeout with the penalty. 0 (default)
+  /// keeps the original miss-once-lose-once behavior bit-identically.
+  std::uint32_t timeout_retry_limit = 0;
+  /// Missed-deadline slashing: after this many CONSECUTIVE non-passing
+  /// rounds (Timeout or Fail, once retries are exhausted) the contract
+  /// terminates early and the provider forfeits the entire remaining
+  /// escrow — undelivered rewards and collateral — to the owner.
+  /// 0 (default) disables slashing, preserving the original lifecycle.
+  std::uint32_t slash_after_consecutive = 0;
 };
 
 struct RoundRecord {
@@ -70,6 +100,7 @@ struct RoundRecord {
   double verify_ms = 0;
   std::uint64_t gas_used = 0;  // prove-tx gas incl. on-chain verification
   RoundOutcome outcome = RoundOutcome::Timeout;
+  std::uint32_t retries = 0;   // timeout re-attempts consumed by this round
 };
 
 struct ContractEvent {
@@ -111,7 +142,24 @@ class AuditContract {
   void freeze();
 
   // --- Audit phase ----------------------------------------------------------
+  /// Responder exceptions are contained: a throwing responder is treated as
+  /// an unresponsive one (the round times out / retries), so an injected
+  /// fault inside a concurrent prepare fails a round, not the process.
   void set_responder(Responder responder) { responder_ = std::move(responder); }
+
+  /// Provider-abort lifecycle: S walks away from a live contract (Audit or
+  /// Prove). Escrow release rules: the owner receives every undelivered
+  /// reward plus an exit fee of one penalty_per_fail taken from the
+  /// provider's remaining collateral; the provider keeps the rest. An
+  /// in-flight round is recorded as Aborted (it moves no money). The
+  /// contract closes with CloseReason::ProviderExit.
+  void provider_exit();
+
+  /// Invoked exactly once when the contract reaches State::Closed, from the
+  /// sequential action phase — NetworkSim hangs shard-repair scheduling off
+  /// this. Set before the contract can close.
+  using ClosedCallback = std::function<void(CloseReason)>;
+  void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
 
   /// Deferred-settlement mode: this contract's due rounds queue into `batch`
   /// (shared across contracts) and settle together with every round due at
@@ -123,6 +171,7 @@ class AuditContract {
 
   // --- inspection -----------------------------------------------------------
   State state() const { return state_; }
+  CloseReason close_reason() const { return close_reason_; }
   std::uint64_t rounds_completed() const { return cnt_; }
   const std::vector<RoundRecord>& rounds() const { return rounds_; }
   const std::vector<ContractEvent>& events() const { return events_; }
@@ -132,11 +181,14 @@ class AuditContract {
 
   std::uint64_t passes() const;
   std::uint64_t fails() const;     // verification failures
-  std::uint64_t timeouts() const;  // missing proofs
+  std::uint64_t timeouts() const;  // missing proofs (retries exhausted)
+  std::uint64_t timeout_retries() const;  // re-attempts across all rounds
 
  private:
   void emit(const std::string& what);
   void schedule_challenge(Timestamp when);
+  /// Run the responder with exception containment (a throw == no proof).
+  std::optional<std::vector<std::uint8_t>> ask_responder(const Challenge& c);
   /// Heavy, chain-state-free halves of the round callbacks. The Blockchain
   /// runs them concurrently across contracts due at the same instant (see
   /// ScheduledTask::prepare); the matching *_due actions consume the staged
@@ -145,6 +197,10 @@ class AuditContract {
   void on_challenge_due(Timestamp now);
   void prepare_verify(Timestamp now);
   void on_verify_due(Timestamp now);
+  /// Requeue path: re-ask the responder for the in-flight round's proof at
+  /// a later instant (next settlement boundary / one response window on).
+  void prepare_retry(Timestamp now);
+  void on_retry_due(Timestamp now);
   /// Tail of a proved round (prove tx, gas, payout) once its outcome is
   /// known — inline, same-instant batched, or redeemed at a later window
   /// boundary (windowed settlement defers redemption to Ticket::settle_at).
@@ -155,6 +211,11 @@ class AuditContract {
   /// redemption does not stretch the audit period).
   void advance_round();
   void settle_and_close();
+  /// Missed-deadline slashing: drain the whole remaining escrow to the
+  /// owner and terminate with CloseReason::Slashed.
+  void slash_and_close();
+  /// Shared closure tail: set state/reason, emit, fire on_closed_ once.
+  void close(CloseReason reason, const std::string& event);
   Challenge challenge_from_beacon(std::uint64_t round) const;
   std::array<std::uint8_t, 32> round_transcript() const;
 
@@ -174,8 +235,13 @@ class AuditContract {
   Address address_;
 
   State state_ = State::Uninitialized;
+  CloseReason close_reason_ = CloseReason::None;
   std::uint64_t cnt_ = 0;
+  /// Consecutive non-passing rounds (Fail/Timeout); reset by every Pass.
+  /// Feeds the slash_after_consecutive threshold.
+  std::uint32_t consecutive_misses_ = 0;
   Responder responder_;
+  ClosedCallback on_closed_;
   BatchSettlement* batch_ = nullptr;  // non-owning; set by enable_deferred_...
   std::optional<std::vector<std::uint8_t>> pending_proof_;
   std::vector<RoundRecord> rounds_;

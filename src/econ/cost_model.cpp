@@ -30,6 +30,19 @@ std::uint64_t AuditCostModel::gas_per_audit_windowed(
                           windowed_verify_ms(rounds_per_instant, window));
 }
 
+std::uint64_t AuditCostModel::repair_gas(std::size_t tag_bytes) const {
+  // Placement record: new provider address (20) + file name (16) + shard
+  // index (4). The tag set and the record both land in contract storage so
+  // future audits can run against the replacement shard.
+  const std::size_t record_bytes = tag_bytes + 40;
+  return gas.tx_base + gas.calldata_gas(record_bytes) +
+         gas.storage_word * ((record_bytes + 31) / 32);
+}
+
+double AuditCostModel::repair_usd(std::size_t tag_bytes) const {
+  return price.usd(repair_gas(tag_bytes));
+}
+
 double contract_fee_usd(const AuditCostModel& model, unsigned duration_days,
                         double audits_per_day, unsigned num_providers) {
   if (audits_per_day <= 0 || num_providers == 0) {

@@ -47,6 +47,14 @@ struct AuditCostModel {
                             std::size_t window) const;
   std::uint64_t gas_per_audit_windowed(std::size_t rounds_per_instant,
                                        std::size_t window) const;
+
+  /// Repair row (fault engine): re-deploying one lost shard puts the
+  /// replacement shard's fresh tag set plus a placement record (new
+  /// provider, file name — 40 bytes) on chain, mirroring the `negotiated`
+  /// storage tx of the original deployment. Deterministic in tag_bytes
+  /// alone, like every other settlement figure.
+  std::uint64_t repair_gas(std::size_t tag_bytes) const;
+  double repair_usd(std::size_t tag_bytes) const;
 };
 
 /// Fig. 6: total auditing fees over a contract, with a tunable frequency and

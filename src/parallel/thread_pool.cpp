@@ -35,11 +35,17 @@ struct Job {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t n = 0;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::mutex err_mutex;
   std::exception_ptr error;
 
   void run_indices() {
     for (;;) {
+      // Fail fast: once any task has thrown, stop claiming indices — the
+      // first captured exception is rethrown on the submitting caller at
+      // join (Pool::run), and a faulted job must not keep executing
+      // unrelated work after its outcome is already decided.
+      if (failed.load(std::memory_order_acquire)) return;
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
@@ -47,6 +53,7 @@ struct Job {
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mutex);
         if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_release);
       }
     }
   }

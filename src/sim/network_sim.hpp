@@ -5,7 +5,11 @@
 // This is the harness behind the system-wide results (§VII-D / Fig. 10):
 // tests and examples use it to measure chain growth, audit pass rates,
 // escrow conservation and provider-side proving load at population scale,
-// with per-provider failure injection (drop data / go offline).
+// with per-provider failure injection (drop data / go offline) and — via
+// set_fault_schedule — the deterministic fault engine (src/sim/fault.hpp):
+// timed crash / offline / shard-loss / proof-fault / early-exit events whose
+// consequences flow through slashing, timeout retries and Reed–Solomon
+// repair onto Chord successors.
 #pragma once
 
 #include <map>
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "contract/audit_contract.hpp"
+#include "sim/fault.hpp"
 #include "storage/dht.hpp"
 #include "storage/erasure.hpp"
 
@@ -45,6 +50,13 @@ struct NetworkConfig {
   /// together at its boundary, under one Fiat–Shamir seed). 0 or 1 keeps
   /// the per-instant behavior, bit-identically.
   chain::Timestamp settlement_window_s = 0;
+  /// Fault-engine contract knobs, forwarded into every ContractTerms
+  /// (0 = off, preserving the original miss-once / run-to-expiry lifecycle).
+  std::uint32_t timeout_retry_limit = 0;
+  std::uint32_t slash_after_consecutive = 0;
+  /// Ceiling on shard re-deployments across the whole run; once reached,
+  /// a further irrecoverable shard is declared lost instead of repaired.
+  std::size_t max_repairs = 16;
   std::uint64_t rng_seed = 1;
 };
 
@@ -66,9 +78,21 @@ struct NetworkStats {
   std::uint64_t passes = 0;
   std::uint64_t fails = 0;
   std::uint64_t timeouts = 0;
-  std::uint64_t total_gas = 0;
+  std::uint64_t total_gas = 0;  // audit rounds only (the §VII-B figures)
   std::size_t chain_bytes = 0;
   double total_usd = 0;
+  // Fault-engine churn/repair telemetry (all zero without a fault schedule).
+  std::uint64_t crashes = 0;
+  std::uint64_t offline_events = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t shard_losses = 0;
+  std::uint64_t slashes = 0;          // contracts closed CloseReason::Slashed
+  std::uint64_t provider_exits = 0;   // contracts closed CloseReason::ProviderExit
+  std::uint64_t timeout_retries = 0;  // requeued rounds across all contracts
+  std::uint64_t repairs = 0;          // shards re-deployed
+  std::uint64_t bytes_repaired = 0;
+  std::uint64_t data_loss_events = 0; // owners whose data was declared lost
+  std::uint64_t repair_gas = 0;       // repair txs (separate from total_gas)
 };
 
 class NetworkSim {
@@ -78,10 +102,19 @@ class NetworkSim {
   /// Override one provider's behaviour before deploy() (default Honest).
   void set_behavior(const std::string& provider, ProviderBehavior b);
 
+  /// Install a fault schedule before deploy(). Events are applied as
+  /// sequential chain actions at their timestamps; availability is served
+  /// from an immutable FaultView so concurrently-running prepare stages
+  /// never observe a mutation — results are bit-identical at every
+  /// DSAUDIT_THREADS setting.
+  void set_fault_schedule(FaultSchedule schedule);
+
   /// Encode, tag and place every owner's shards; open and fund contracts.
   void deploy();
 
-  /// Run the full contract horizon on the simulated chain.
+  /// Run the full contract horizon on the simulated chain. Fault runs open
+  /// repair contracts mid-flight; the horizon extends (in bounded epochs)
+  /// until every contract — original and repair — reaches Closed.
   void run_to_completion();
 
   // --- results --------------------------------------------------------------
@@ -109,13 +142,31 @@ class NetworkSim {
     return deployments_.at(i)->tag;
   }
 
-  /// True iff `owner` can still reconstruct its file from honest providers'
-  /// shards (exercises the erasure layer against the injected failures).
+  /// True iff `owner` can still reconstruct its file from live, intact
+  /// shards (original or repaired) held by honest providers.
   bool owner_can_recover(std::size_t owner) const;
+
+  /// True iff this owner's data was declared lost: fewer than k live shards
+  /// at repair time, no eligible replacement provider, or the repair budget
+  /// (max_repairs) was exhausted.
+  bool data_lost(std::size_t owner) const;
+
+  /// Post-run checker; throws std::logic_error naming the violated
+  /// invariant:
+  ///   - money conservation (total_money unchanged since deploy),
+  ///   - exact escrow accounting (every closed contract holds zero),
+  ///   - liveness (every contract Closed; every challenged round settled
+  ///     Pass/Fail/Timeout or explicitly Aborted by a provider exit, with
+  ///     the settled count matching rounds_completed exactly),
+  ///   - recoverability-or-declared-loss for every owner,
+  ///   - a terminal disposition (repair or declared loss) for every
+  ///     fault-invalidated shard.
+  void check_invariants() const;
 
  private:
   struct Deployment {
     Placement placement;
+    std::size_t provider_index = 0;  // into the provider-N namespace
     storage::EncodedFile file;   // what the provider *should* hold
     storage::EncodedFile held;   // what it actually holds (failure injection)
     audit::FileTag tag;
@@ -126,8 +177,28 @@ class NetworkSim {
     // never share an RNG stream: results stay deterministic at every
     // DSAUDIT_THREADS setting.
     std::unique_ptr<primitives::SecureRng> prover_rng;
-    std::unique_ptr<contract::AuditContract> contract;
+    std::unique_ptr<contract::AuditContract> contract;  // null iff a repair
+                                                        // had no rounds left
+    // Fault-engine lifecycle.
+    bool shard_ok = true;       // provider still holds intact shard data
+    bool needs_repair = false;  // a fault invalidated this deployment
+    bool repair_done = false;   // terminal disposition reached (repair/loss)
+    bool retired = false;       // superseded by a repair deployment
   };
+
+  ProviderBehavior behavior_of(const std::string& provider) const;
+  /// Shared by deploy() and the repair path: terms from config (with
+  /// `num_audits` rounds), deferred settlement, the fault-aware responder,
+  /// the on-closed hook, then negotiated/acked/freeze. dep.prover_rng must
+  /// be set first for any provider that answers challenges.
+  void install_contract(Deployment& dep, std::size_t dep_index,
+                        std::uint64_t num_audits,
+                        std::optional<audit::PreparedFile> prepared);
+  void apply_fault(const FaultEvent& ev, chain::Timestamp now);
+  void schedule_repair(std::size_t dep_index);
+  void run_repair(std::size_t dep_index, chain::Timestamp now);
+  void declare_data_loss(std::size_t owner);
+  bool all_contracts_closed() const;
 
   NetworkConfig config_;
   primitives::SecureRng rng_;
@@ -143,6 +214,23 @@ class NetworkSim {
   std::vector<std::unique_ptr<Deployment>> deployments_;
   std::uint64_t initial_money_ = 0;
   bool deployed_ = false;
+
+  // Fault engine.
+  FaultSchedule fault_schedule_;
+  bool have_faults_ = false;
+  FaultView fault_view_;
+  std::vector<storage::NodeId> provider_ids_;        // ring ids, by index
+  std::map<std::string, std::size_t> provider_index_;
+  /// Live deployment serving each (owner, shard) — repair repoints this.
+  std::vector<std::vector<std::size_t>> current_dep_;
+  std::vector<bool> data_lost_;
+  std::size_t repair_seq_ = 0;  // derives each repair's RNG stream
+  struct Churn {
+    std::uint64_t crashes = 0, offline_events = 0, rejoins = 0,
+                  shard_losses = 0, slashes = 0, provider_exits = 0,
+                  repairs = 0, bytes_repaired = 0, data_loss_events = 0,
+                  repair_gas = 0;
+  } churn_;
 };
 
 }  // namespace dsaudit::sim

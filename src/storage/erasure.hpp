@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace dsaudit::storage {
@@ -32,6 +33,16 @@ class ReedSolomon {
   /// padding. Returns nullopt if fewer than k shards are present.
   std::optional<std::vector<std::uint8_t>> reconstruct(
       const std::vector<std::optional<std::vector<std::uint8_t>>>& shards,
+      std::size_t original_size) const;
+
+  /// Sparse form for repair paths that gather surviving shards one by one:
+  /// each entry is (shard index, shard bytes). Throws std::invalid_argument
+  /// on a duplicate or out-of-range index — a buggy caller must get a clear
+  /// error, never a silently garbage decode. Returns nullopt when fewer
+  /// than k distinct shards are supplied.
+  std::optional<std::vector<std::uint8_t>> reconstruct(
+      const std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>>&
+          indexed_shards,
       std::size_t original_size) const;
 
  private:

@@ -142,6 +142,121 @@ TEST(Contract, CorruptedDataFailsOnlyWhenSampled) {
   EXPECT_EQ(w.chain.balance("alice"), 1'000'000 + 6 * 250u);
 }
 
+TEST(Contract, ConsecutiveTimeoutsTripTheSlash) {
+  ContractTerms terms = default_terms();
+  terms.slash_after_consecutive = 2;
+  World w(terms);
+  // No responder installed: S misses every deadline.
+  CloseReason seen = CloseReason::None;
+  w.contract->set_on_closed([&](CloseReason r) { seen = r; });
+  w.contract->negotiated();
+  w.contract->acked(true);
+  w.contract->freeze();
+  w.chain.advance(4 * terms.audit_period_s);
+  EXPECT_EQ(w.contract->state(), State::Closed);
+  EXPECT_EQ(w.contract->close_reason(), CloseReason::Slashed);
+  EXPECT_EQ(seen, CloseReason::Slashed);
+  // Round 2 is never challenged: the threshold fires first.
+  EXPECT_EQ(w.contract->rounds_completed(), 2u);
+  EXPECT_EQ(w.contract->timeouts(), 2u);
+  // The owner ends up with the ENTIRE escrow: two settled penalties plus
+  // everything left (undelivered rewards and remaining collateral).
+  EXPECT_EQ(w.chain.balance("alice"), 1'000'000 + 3 * 250u);
+  EXPECT_EQ(w.chain.balance("bob"), 1'000'000 - 3 * 250u);
+  EXPECT_EQ(w.contract->escrow_balance(), 0u);
+}
+
+TEST(Contract, TimeoutRetryRedeemsALateProvider) {
+  ContractTerms terms = default_terms();
+  terms.timeout_retry_limit = 1;
+  World w(terms);
+  // Round 0's first challenge (t=3600) gets no proof; the retry challenge
+  // (issued at t=4800, one response window past the missed deadline) does.
+  auto honest = w.honest_responder(true);
+  w.contract->set_responder(
+      [&w, honest](const audit::Challenge& chal)
+          -> std::optional<std::vector<std::uint8_t>> {
+        if (w.chain.now() < 4200) return std::nullopt;
+        return honest(chal);
+      });
+  w.contract->negotiated();
+  w.contract->acked(true);
+  w.contract->freeze();
+  w.chain.advance(4 * terms.audit_period_s);
+  EXPECT_EQ(w.contract->state(), State::Closed);
+  EXPECT_EQ(w.contract->close_reason(), CloseReason::Expired);
+  EXPECT_EQ(w.contract->passes(), 3u);
+  EXPECT_EQ(w.contract->timeouts(), 0u);
+  EXPECT_EQ(w.contract->timeout_retries(), 1u);
+  EXPECT_EQ(w.contract->rounds()[0].retries, 1u);
+  // The redeemed round pays like any pass: the happy-path ledger.
+  EXPECT_EQ(w.chain.balance("bob"), 1'000'000 + 300u);
+  EXPECT_EQ(w.chain.balance("alice"), 1'000'000 - 300u);
+}
+
+TEST(Contract, RetryBudgetExhaustedStillSettlesTimeout) {
+  ContractTerms terms = default_terms();
+  terms.timeout_retry_limit = 1;
+  World w(terms);
+  // Proofs only flow from round 1 on (t >= 7200): round 0's first attempt
+  // AND its retry both miss, so the retry budget runs out and the round
+  // settles Timeout — one penalty, then business as usual.
+  auto honest = w.honest_responder(true);
+  w.contract->set_responder(
+      [&w, honest](const audit::Challenge& chal)
+          -> std::optional<std::vector<std::uint8_t>> {
+        if (w.chain.now() < 7200) return std::nullopt;
+        return honest(chal);
+      });
+  w.contract->negotiated();
+  w.contract->acked(true);
+  w.contract->freeze();
+  w.chain.advance(4 * terms.audit_period_s);
+  EXPECT_EQ(w.contract->state(), State::Closed);
+  EXPECT_EQ(w.contract->passes(), 2u);
+  EXPECT_EQ(w.contract->timeouts(), 1u);
+  EXPECT_EQ(w.contract->timeout_retries(), 1u);
+  EXPECT_EQ(w.chain.balance("alice"),
+            1'000'000 - 2 * 100u + 250u);  // 2 rewards out, 1 penalty in
+}
+
+TEST(Contract, ProviderExitSettlesEscrowAndAbortsInFlightRound) {
+  ContractTerms terms = default_terms();
+  World w(terms);
+  w.contract->set_responder(w.honest_responder(true));
+  CloseReason seen = CloseReason::None;
+  w.contract->set_on_closed([&](CloseReason r) { seen = r; });
+  w.contract->negotiated();
+  w.contract->acked(true);
+  w.contract->freeze();
+  // Stop just past round 0's challenge (t=3600): the proof is posted but
+  // the verify deadline (t=4200) hasn't arrived — the round is in flight.
+  w.chain.advance(terms.audit_period_s + 10);
+  ASSERT_EQ(w.contract->state(), State::Prove);
+
+  w.contract->provider_exit();
+  EXPECT_EQ(w.contract->state(), State::Closed);
+  EXPECT_EQ(w.contract->close_reason(), CloseReason::ProviderExit);
+  EXPECT_EQ(seen, CloseReason::ProviderExit);
+  // Escrow release: alice recovers all 3 undelivered rewards plus a one-
+  // penalty exit fee; bob keeps the rest of his collateral.
+  EXPECT_EQ(w.chain.balance("alice"), 1'000'000 + 250u);
+  EXPECT_EQ(w.chain.balance("bob"), 1'000'000 - 250u);
+  EXPECT_EQ(w.contract->escrow_balance(), 0u);
+  // The in-flight round is recorded Aborted and never settles.
+  ASSERT_EQ(w.contract->rounds().size(), 1u);
+  EXPECT_EQ(w.contract->rounds()[0].outcome, RoundOutcome::Aborted);
+  EXPECT_EQ(w.contract->rounds_completed(), 0u);
+
+  // The already-scheduled verify deadline must be inert on a closed
+  // contract: no further settlement, no ledger movement.
+  w.chain.advance(2 * terms.audit_period_s);
+  EXPECT_EQ(w.contract->rounds_completed(), 0u);
+  EXPECT_EQ(w.chain.balance("alice"), 1'000'000 + 250u);
+  EXPECT_EQ(w.chain.balance("bob"), 1'000'000 - 250u);
+  EXPECT_THROW(w.contract->provider_exit(), std::logic_error);
+}
+
 TEST(Contract, ProviderCanRejectAtAck) {
   ContractTerms terms = default_terms();
   World w(terms);

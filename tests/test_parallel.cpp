@@ -87,6 +87,34 @@ TEST(ThreadPool, ExceptionsPropagateToTheCaller) {
   parallel::set_thread_count(0);
 }
 
+TEST(ThreadPool, FailFastStopsClaimingIndicesAfterAThrow) {
+  // A failed task must not just propagate — remaining unclaimed indices are
+  // abandoned, so a huge parallel_for dies promptly instead of grinding on.
+  parallel::set_thread_count(4);
+  constexpr std::size_t n = 100'000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(parallel::parallel_for(n,
+                                      [&](std::size_t i) {
+                                        if (i == 0) throw std::runtime_error("first");
+                                        executed.fetch_add(1);
+                                      }),
+               std::runtime_error);
+  // Workers in flight when the flag flips may finish their current index,
+  // but the bulk of the range must never start.
+  EXPECT_LT(executed.load(), n / 2);
+  // The single-thread inline path fails fast trivially (index order).
+  parallel::set_thread_count(1);
+  executed = 0;
+  EXPECT_THROW(parallel::parallel_for(n,
+                                      [&](std::size_t i) {
+                                        if (i == 0) throw std::runtime_error("first");
+                                        executed.fetch_add(1);
+                                      }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 0u);
+  parallel::set_thread_count(0);
+}
+
 TEST(ThreadPool, NestedCallsRunInline) {
   parallel::set_thread_count(4);
   std::atomic<int> total{0};

@@ -1,8 +1,16 @@
 // Network-simulation tests: population-scale behaviour of the full system —
-// audit outcomes, money conservation, chain growth, failure recovery.
+// audit outcomes, money conservation, chain growth, failure recovery, and
+// the fault engine's exact churn/repair accounting under hand-written
+// schedules (the randomized sweep lives in test_chaos.cpp).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "econ/cost_model.hpp"
 #include "sim/network_sim.hpp"
+#include "storage/codec.hpp"
+#include "storage/dht.hpp"
 
 namespace dsaudit::sim {
 namespace {
@@ -148,6 +156,239 @@ TEST(NetworkSim, NonPrivateModeAlsoRuns) {
   net.deploy();
   net.run_to_completion();
   EXPECT_EQ(net.stats().passes, net.stats().total_rounds);
+}
+
+// ---------------------------------------------------------------------------
+// Fault engine: hand-written schedules with exact-constant accounting.
+// ---------------------------------------------------------------------------
+
+// Mirrors deploy()'s DHT placement so a test can pick its victim before the
+// sim exists: shard (o, sh) lands on the sh-th ring successor of
+// "owner-<o>/archive". Placement depends only on the name set, not the seed.
+std::vector<std::vector<std::string>> predicted_placements(
+    const NetworkConfig& c) {
+  storage::ChordRing ring;
+  for (std::size_t p = 0; p < c.num_providers; ++p) {
+    ring.join("provider-" + std::to_string(p));
+  }
+  const std::size_t shards = c.erasure_data + c.erasure_parity;
+  std::vector<std::vector<std::string>> out(c.num_owners);
+  for (std::size_t o = 0; o < c.num_owners; ++o) {
+    auto holders = ring.successors(
+        storage::ring_hash("owner-" + std::to_string(o) + "/archive"), shards);
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      out[o].push_back(*ring.node_name(holders[sh % holders.size()]));
+    }
+  }
+  return out;
+}
+
+struct Victim {
+  std::string name;
+  std::size_t index = 0;
+  std::uint64_t contracts = 0;  // deployments it holds
+};
+
+// owner-0's shard-0 holder: guaranteed at least one contract.
+Victim pick_victim(const NetworkConfig& c) {
+  auto where = predicted_placements(c);
+  Victim v;
+  v.name = where[0][0];
+  v.index = std::stoul(v.name.substr(v.name.find('-') + 1));
+  for (const auto& row : where) {
+    for (const auto& p : row) v.contracts += (p == v.name);
+  }
+  return v;
+}
+
+// Tag size of a repaired shard: small_config shards are ceil(1200/2) = 600
+// bytes, re-encoded at s blocks per chunk with one 32-byte sigma per chunk.
+std::size_t repair_tag_bytes(const NetworkConfig& c) {
+  const std::size_t shard_len =
+      (c.file_bytes + c.erasure_data - 1) / c.erasure_data;
+  return storage::encode_file(std::vector<std::uint8_t>(shard_len), c.s)
+             .num_chunks() *
+         32;
+}
+
+TEST(NetworkSimFaults, CrashedProviderIsSlashedAndItsShardsRepaired) {
+  NetworkConfig c = small_config();
+  c.slash_after_consecutive = 2;
+  const Victim v = pick_victim(c);
+  ASSERT_GE(v.contracts, 1u);
+
+  NetworkSim net(c);
+  FaultSchedule sched;
+  sched.events.push_back({100, v.index, FaultKind::Crash, 0});
+  net.set_fault_schedule(sched);
+  net.deploy();
+  // Collateral is already escrowed; a slashed provider never gets it back,
+  // so its balance must end exactly where it stands now.
+  const std::uint64_t post_freeze = net.balance(v.name);
+  net.run_to_completion();
+  net.check_invariants();
+
+  auto st = net.stats();
+  EXPECT_EQ(st.crashes, 1u);
+  EXPECT_EQ(st.slashes, v.contracts);
+  EXPECT_EQ(st.timeouts, 2u * v.contracts);  // two misses, then slashed
+  EXPECT_EQ(st.timeout_retries, 0u);         // retries are off here
+  EXPECT_EQ(st.fails, 0u);
+  // Each slashed contract settled 2 of its 3 rounds; its repair contract
+  // runs the remaining 1 — the network-wide round count is unchanged.
+  EXPECT_EQ(st.total_rounds, 36u);
+  EXPECT_EQ(st.passes, st.total_rounds - st.timeouts);
+  EXPECT_EQ(st.repairs, v.contracts);
+  EXPECT_EQ(st.bytes_repaired, v.contracts * 600u);  // ceil(1200/2) per shard
+  EXPECT_EQ(st.data_loss_events, 0u);
+
+  // Repair pricing is deterministic in the replacement shard's tag size.
+  econ::AuditCostModel model;
+  EXPECT_EQ(st.repair_gas, v.contracts * model.repair_gas(repair_tag_bytes(c)));
+
+  EXPECT_EQ(net.balance(v.name), post_freeze);
+  for (std::size_t o = 0; o < c.num_owners; ++o) {
+    EXPECT_TRUE(net.owner_can_recover(o)) << "owner " << o;
+    EXPECT_FALSE(net.data_lost(o));
+  }
+}
+
+TEST(NetworkSimFaults, ShardLossFailsProofsThenSlashesAndRepairs) {
+  NetworkConfig c = small_config();
+  c.slash_after_consecutive = 2;
+  const Victim v = pick_victim(c);
+
+  NetworkSim net(c);
+  FaultSchedule sched;
+  sched.events.push_back({100, v.index, FaultKind::ShardLoss, 0});
+  net.set_fault_schedule(sched);
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+
+  auto st = net.stats();
+  // Unlike a crash, the provider keeps answering — over zeroed data, so the
+  // proofs verify false and the consecutive-miss counter trips the slash.
+  EXPECT_EQ(st.shard_losses, 1u);
+  EXPECT_EQ(st.crashes, 0u);
+  EXPECT_EQ(st.fails, 2u * v.contracts);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.slashes, v.contracts);
+  EXPECT_EQ(st.repairs, v.contracts);
+  EXPECT_EQ(st.bytes_repaired, v.contracts * 600u);
+  EXPECT_EQ(st.total_rounds, 36u);
+  EXPECT_EQ(st.passes, st.total_rounds - st.fails);
+  for (std::size_t o = 0; o < c.num_owners; ++o) {
+    EXPECT_TRUE(net.owner_can_recover(o)) << "owner " << o;
+  }
+}
+
+TEST(NetworkSimFaults, EarlyExitAbortsInFlightRoundAndRepairsElsewhere) {
+  NetworkConfig c = small_config();
+  const Victim v = pick_victim(c);
+
+  NetworkSim net(c);
+  FaultSchedule sched;
+  // Round 0 is challenged at t=3600 and verifies at t=4200: at t=3700 every
+  // contract of the victim is mid-round (Prove) and must abort cleanly.
+  sched.events.push_back({3700, v.index, FaultKind::EarlyExit, 0});
+  net.set_fault_schedule(sched);
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+
+  auto st = net.stats();
+  EXPECT_EQ(st.provider_exits, v.contracts);
+  EXPECT_EQ(st.slashes, 0u);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.fails, 0u);
+  // The aborted rounds never settled (rounds_completed excludes them), so
+  // each repair contract replays all 3 audits: the total is unchanged and
+  // every settled round passed.
+  EXPECT_EQ(st.total_rounds, 36u);
+  EXPECT_EQ(st.passes, 36u);
+  EXPECT_EQ(st.repairs, v.contracts);
+  EXPECT_EQ(st.data_loss_events, 0u);
+  for (const auto* ctr : net.contracts_of(v.name)) {
+    EXPECT_EQ(ctr->close_reason(), contract::CloseReason::ProviderExit);
+  }
+  for (std::size_t o = 0; o < c.num_owners; ++o) {
+    EXPECT_TRUE(net.owner_can_recover(o)) << "owner " << o;
+  }
+}
+
+TEST(NetworkSimFaults, DelayedProofIsSavedByTimeoutRetry) {
+  NetworkConfig c = small_config();
+  c.timeout_retry_limit = 1;
+  const Victim v = pick_victim(c);
+
+  NetworkSim net(c);
+  FaultSchedule sched;
+  // Round 1's challenge (t=7200) lands in the delay gap [7200, 7800): the
+  // deadline passes, the retry re-issues at t=8400 and succeeds.
+  sched.events.push_back({7200, v.index, FaultKind::DelayProof, 0});
+  net.set_fault_schedule(sched);
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+
+  auto st = net.stats();
+  EXPECT_EQ(st.timeout_retries, v.contracts);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.fails, 0u);
+  EXPECT_EQ(st.total_rounds, 36u);
+  EXPECT_EQ(st.passes, 36u);
+  EXPECT_EQ(st.repairs, 0u);
+  EXPECT_EQ(st.slashes, 0u);
+}
+
+TEST(NetworkSimFaults, DroppedProofExhaustsRetryAndCostsThePenalty) {
+  NetworkConfig c = small_config();
+  c.timeout_retry_limit = 1;
+  const Victim v = pick_victim(c);
+
+  NetworkSim net(c);
+  FaultSchedule sched;
+  // Drop gap [7200, 7200 + 2*600 + 1): the first retry (t=8400) also fails,
+  // the retry budget is spent, and the round settles Timeout.
+  sched.events.push_back({7200, v.index, FaultKind::DropProof, 0});
+  net.set_fault_schedule(sched);
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+
+  auto st = net.stats();
+  EXPECT_EQ(st.timeout_retries, v.contracts);
+  EXPECT_EQ(st.timeouts, v.contracts);
+  EXPECT_EQ(st.fails, 0u);
+  EXPECT_EQ(st.total_rounds, 36u);
+  EXPECT_EQ(st.passes, 36u - v.contracts);
+  EXPECT_EQ(st.repairs, 0u);  // transient: data was never at risk
+  EXPECT_EQ(st.slashes, 0u);
+}
+
+TEST(NetworkSimFaults, OfflineProviderRejoinsAndCountersSaySo) {
+  NetworkConfig c = small_config();
+  const Victim v = pick_victim(c);
+
+  NetworkSim net(c);
+  FaultSchedule sched;
+  // Gap [4300, 6300) sits strictly between round 0's verify (4200) and
+  // round 1's challenge (7200): no round is touched, only the churn
+  // counters move.
+  sched.events.push_back({4300, v.index, FaultKind::Offline, 2000});
+  net.set_fault_schedule(sched);
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+
+  auto st = net.stats();
+  EXPECT_EQ(st.offline_events, 1u);
+  EXPECT_EQ(st.rejoins, 1u);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.total_rounds, 36u);
+  EXPECT_EQ(st.passes, 36u);
+  EXPECT_EQ(st.repairs, 0u);
 }
 
 }  // namespace

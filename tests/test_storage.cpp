@@ -1,7 +1,9 @@
 // Storage substrate tests: codec, GF(256), Reed–Solomon, Chord DHT.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <utility>
 
 #include "storage/codec.hpp"
 #include "storage/dht.hpp"
@@ -162,6 +164,43 @@ TEST(Erasure, FailsBelowThreshold) {
   EXPECT_FALSE(rs.reconstruct(present, data.size()).has_value());
 }
 
+TEST(Erasure, IndexedReconstructMatchesDenseForm) {
+  auto rng = SecureRng::deterministic(101);
+  auto data = random_bytes(317, rng);
+  ReedSolomon rs(3, 7);
+  auto shards = rs.encode(data);
+  // Sparse gather in arbitrary order, parity-heavy subset.
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> survivors{
+      {9, shards[9]}, {0, shards[0]}, {5, shards[5]}};
+  auto rec = rs.reconstruct(survivors, data.size());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, data);
+  // Extra shards beyond k are fine too.
+  survivors.push_back({3, shards[3]});
+  EXPECT_EQ(*rs.reconstruct(survivors, data.size()), data);
+}
+
+TEST(Erasure, IndexedReconstructRejectsBadIndices) {
+  auto rng = SecureRng::deterministic(102);
+  auto data = random_bytes(64, rng);
+  ReedSolomon rs(2, 2);
+  auto shards = rs.encode(data);
+  // Duplicate index: must throw, never decode garbage. (The repair path
+  // feeds this from per-provider survivor lists — a double-count would
+  // silently fabricate data.)
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> dup{
+      {1, shards[1]}, {1, shards[1]}};
+  EXPECT_THROW(rs.reconstruct(dup, data.size()), std::invalid_argument);
+  // Out-of-range index.
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> oob{
+      {0, shards[0]}, {4, shards[1]}};
+  EXPECT_THROW(rs.reconstruct(oob, data.size()), std::invalid_argument);
+  // Fewer than k distinct shards: nullopt, not a throw.
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> thin{
+      {3, shards[3]}};
+  EXPECT_FALSE(rs.reconstruct(thin, data.size()).has_value());
+}
+
 TEST(Erasure, ParameterValidation) {
   EXPECT_THROW(ReedSolomon(0, 2), std::invalid_argument);
   EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
@@ -243,6 +282,44 @@ TEST(Dht, SuccessorsDistinctAndOrdered) {
   EXPECT_EQ(uniq.size(), 10u);
   // Requesting more than ring size clamps.
   EXPECT_EQ(ring.successors(0, 100).size(), 20u);
+}
+
+TEST(Dht, LookupStaysCorrectAcrossLeaveAndRejoin) {
+  // The repair path re-runs successor lookups after churn: ownership must
+  // hand over to the clockwise successor on leave and hand back on rejoin.
+  ChordRing ring;
+  std::map<NodeId, std::string> ids;
+  for (int i = 0; i < 12; ++i) {
+    std::string name = "churn-" + std::to_string(i);
+    ids[ring.join(name)] = name;
+  }
+  auto rng = SecureRng::deterministic(103);
+  std::vector<NodeId> keys;
+  for (int i = 0; i < 40; ++i) keys.push_back(rng.next_u64());
+
+  auto owner_of = [&](NodeId key) { return ring.lookup(key).responsible; };
+  std::map<NodeId, NodeId> before;
+  for (NodeId k : keys) before[k] = owner_of(k);
+
+  // Drop one node: exactly its keys move, everyone else's stay put.
+  NodeId gone = before.begin()->second;
+  ring.leave(gone);
+  for (NodeId k : keys) {
+    NodeId now = owner_of(k);
+    if (before[k] == gone) {
+      EXPECT_NE(now, gone);
+    } else {
+      EXPECT_EQ(now, before[k]) << "unrelated key moved on leave";
+    }
+  }
+
+  // Rejoin under the same name: same ring id (ids are name hashes), so the
+  // original ownership map is restored exactly.
+  NodeId back = ring.join(ids.at(gone));
+  EXPECT_EQ(back, gone);
+  for (NodeId k : keys) {
+    EXPECT_EQ(owner_of(k), before[k]) << "ownership not restored on rejoin";
+  }
 }
 
 TEST(Dht, EmptyRingThrows) {
