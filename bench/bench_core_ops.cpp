@@ -53,6 +53,18 @@ void BM_G1ScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_G1ScalarMul);
 
+/// The pre-GLV generic route: 5-bit signed wNAF over the whole 254-bit
+/// scalar. BM_G1ScalarMul (above) takes the GLV half-length interleaved
+/// route; the gap between the two rows is the endomorphism dividend.
+void BM_G1ScalarMulWnaf(benchmark::State& state) {
+  curve::G1 p = curve::g1_random(rng());
+  ff::Fr k = ff::Fr::random(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul_wnaf(k.to_u256()));
+  }
+}
+BENCHMARK(BM_G1ScalarMulWnaf);
+
 void BM_G1ScalarMulNaive(benchmark::State& state) {
   curve::G1 p = curve::g1_random(rng());
   ff::Fr k = ff::Fr::random(rng());
@@ -442,6 +454,19 @@ void BM_GtMultiPow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_GtMultiPow)->Arg(2)->Arg(8)->Arg(64);
+
+/// The unsigned-window Straus engine on the same inputs: full-size tables,
+/// no conjugate trick. The delta against BM_GtMultiPow is what the
+/// signed-digit recoding buys.
+void BM_GtMultiPowUnsigned(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto [bases, exps] = gt_multipow_inputs(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ff::Fp12::multi_pow_unsigned(bases, exps));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GtMultiPowUnsigned)->Arg(2)->Arg(8)->Arg(64);
 
 /// The naive baseline for the same shape: n independent 128-bit ladders
 /// (what verify_settlement paid per round before the multi-exp reroute).

@@ -386,19 +386,25 @@ bool Verifier::verify_batch(std::span<const BasicInstance> instances,
 
 namespace {
 
-/// Per-instance pairing-equation terms, unweighted (exact single checks at
-/// bisection leaves) plus the instance's random weight for aggregate batch
-/// checks. With the challenge scalar already folded onto G1 by the equation
-/// rearrangement, every term pairs against one of the key's three fixed
-/// prepared points:
+/// Per-instance pairing-equation components. Every instance's check is
 ///   basic:   e(s, g2) * e(e, eps) * e(d, delta) == 1
 ///   private: e(s, g2) * e(e, eps) * e(d, delta) * R == 1  (zeta folded in)
-/// The rho-weighted aggregation happens per batch check (MSMs over the G1
-/// terms, one GT multi-exp over the R commitments) rather than per instance
-/// — no per-round weighting scalar muls or GT ladders survive.
+/// with s = zeta*sigma, e = (zeta*r)*psi - y*g - zeta*chi, d = -zeta*psi
+/// (zeta = 1 for basic proofs). The batch check never materializes those
+/// per-instance points: the zeta/challenge scalars ride the rho batch
+/// weights into the per-slot MSMs — e.g. the eps slot aggregates
+/// sum_i [rho_i zeta_i r_i] psi_i - [sum_i rho_i y_i] g - [rho_i zeta_i]
+/// chi_i — so equation prep costs no arbitrary scalar muls at all; with the
+/// GLV split those 254-bit folded weights run at half-length anyway. The
+/// exact unweighted terms are only computed (from these components, with the
+/// identical formula/mul sequence) at bisection leaves and single-instance
+/// batches.
 struct SettleTerms {
   bool valid = false;
-  G1 s, e, d;
+  bool is_private = false;
+  G1 sigma, psi, chi;
+  Fr r_chal, y;           // challenge scalar; y (basic) or y' (private)
+  Fr zeta = Fr::one();    // hash_gt_to_fr(R) for private, 1 for basic
   Fp12 gt = Fp12::one();  // R for private instances, 1 for basic
   Fr rho = Fr::zero();    // random batch weight (zero when unweighted)
   std::size_t key = 0;    // verifier-group ordinal
@@ -445,9 +451,10 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
   }
   const bool need_weights = plausible > 1;
 
-  // Per-instance preparation — the chi aggregation, the zeta/rho scalar muls
-  // and the R^rho exponentiation — is embarrassingly parallel and dominates
-  // a big batch's cost; the pairing work that follows is shared.
+  // Per-instance preparation — the chi aggregation and the zeta hash — is
+  // embarrassingly parallel; all scalar weighting is deferred to the batch
+  // check's MSMs (or a leaf's exact check), so no arbitrary scalar muls
+  // happen here.
   std::vector<SettleTerms> terms(instances.size());
   parallel::parallel_for_ranges(
       instances.size(), [&](std::size_t begin, std::size_t end) {
@@ -467,20 +474,20 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
                        ? curve::msm_precomputed(inst.file->hashes, ex.indices,
                                                 ex.coefficients)
                        : compute_chi(inst.name, ex);
+          t.chi = chi;
+          t.r_chal = inst.challenge.r;
           if (has_basic) {
             const ProofBasic& p = *inst.basic;
-            t.s = p.sigma;
-            t.e = p.psi.mul(inst.challenge.r) - curve::g1_mul_generator(p.y) -
-                  chi;
-            t.d = -p.psi;
+            t.sigma = p.sigma;
+            t.psi = p.psi;
+            t.y = p.y;
           } else {
             const ProofPrivate& p = *inst.priv;
-            Fr zeta = hash_gt_to_fr(p.big_r);
-            G1 zeta_psi = p.psi.mul(zeta);
-            t.s = p.sigma.mul(zeta);
-            t.e = zeta_psi.mul(inst.challenge.r) -
-                  curve::g1_mul_generator(p.y_prime) - chi.mul(zeta);
-            t.d = -zeta_psi;
+            t.is_private = true;
+            t.sigma = p.sigma;
+            t.psi = p.psi;
+            t.y = p.y_prime;
+            t.zeta = hash_gt_to_fr(p.big_r);
             t.gt = p.big_r;
           }
           if (need_weights) t.rho = weight_at(weight_seed, i, weight_width);
@@ -502,12 +509,28 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
   }
   if (idx.empty()) return out;
 
+  // Exact unweighted check for one instance: materializes s/e/d with the
+  // same formulas (and the same multiplication sequence) the per-instance
+  // prep used before the weights were folded into the batch MSMs. Only paid
+  // at bisection leaves and single-instance batches.
   auto check_single = [&out](const SettleTerms& t) {
     ++out.single_checks;
+    G1 s, e, d;
+    if (t.is_private) {
+      G1 zeta_psi = t.psi.mul(t.zeta);
+      s = t.sigma.mul(t.zeta);
+      e = zeta_psi.mul(t.r_chal) - curve::g1_mul_generator(t.y) -
+          t.chi.mul(t.zeta);
+      d = -zeta_psi;
+    } else {
+      s = t.sigma;
+      e = t.psi.mul(t.r_chal) - curve::g1_mul_generator(t.y) - t.chi;
+      d = -t.psi;
+    }
     std::array<pairing::PreparedPair, 3> pairs{
-        pairing::PreparedPair{t.s, &t.v->prepared_g2()},
-        pairing::PreparedPair{t.e, &t.v->prepared_epsilon()},
-        pairing::PreparedPair{t.d, &t.v->prepared_delta()},
+        pairing::PreparedPair{s, &t.v->prepared_g2()},
+        pairing::PreparedPair{e, &t.v->prepared_epsilon()},
+        pairing::PreparedPair{d, &t.v->prepared_delta()},
     };
     Fp12 lhs = pairing::multi_pairing(std::span<const pairing::PreparedPair>(pairs));
     return (lhs * t.gt).is_one();
@@ -528,17 +551,27 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
     std::vector<Fr> sig_sc;
     sig_pts.reserve(m);
     sig_sc.reserve(m);
+    // eps slot per key: [rho zeta r] psi_i + [-rho zeta] chi_i, plus one
+    // shared generator base carrying sum_i [-rho y_i]; delta slot per key:
+    // [-rho zeta] psi_i. The folded weights are full 254-bit scalars, which
+    // the MSM layer runs GLV-split.
     std::vector<std::vector<G1>> eps_pts(groups.size()), delta_pts(groups.size());
-    std::vector<std::vector<Fr>> key_sc(groups.size());
+    std::vector<std::vector<Fr>> eps_sc(groups.size()), delta_sc(groups.size());
+    std::vector<Fr> gen_sc(groups.size(), Fr::zero());
     std::vector<Fp12> gt_bases;
     std::vector<bigint::U256> gt_exps;
     for (std::size_t j = lo; j < hi; ++j) {
       const SettleTerms& t = terms[idx[j]];
-      sig_pts.push_back(t.s);
-      sig_sc.push_back(t.rho);
-      eps_pts[t.key].push_back(t.e);
-      delta_pts[t.key].push_back(t.d);
-      key_sc[t.key].push_back(t.rho);
+      const Fr rz = t.rho * t.zeta;
+      sig_pts.push_back(t.sigma);
+      sig_sc.push_back(rz);
+      eps_pts[t.key].push_back(t.psi);
+      eps_sc[t.key].push_back(rz * t.r_chal);
+      eps_pts[t.key].push_back(t.chi);
+      eps_sc[t.key].push_back(-rz);
+      gen_sc[t.key] = gen_sc[t.key] - t.rho * t.y;
+      delta_pts[t.key].push_back(t.psi);
+      delta_sc[t.key].push_back(-rz);
       if (!t.gt.is_one()) {
         gt_bases.push_back(t.gt);
         gt_exps.push_back(t.rho.to_u256());
@@ -549,9 +582,13 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
     pairs.push_back({curve::msm<G1>(sig_pts, sig_sc), &groups[0]->prepared_g2()});
     for (std::size_t k = 0; k < groups.size(); ++k) {
       // Untouched keys aggregate to infinity and cost no Miller chain.
-      pairs.push_back({curve::msm<G1>(eps_pts[k], key_sc[k]),
+      if (!eps_pts[k].empty()) {
+        eps_pts[k].push_back(G1::generator());
+        eps_sc[k].push_back(gen_sc[k]);
+      }
+      pairs.push_back({curve::msm<G1>(eps_pts[k], eps_sc[k]),
                        &groups[k]->prepared_epsilon()});
-      pairs.push_back({curve::msm<G1>(delta_pts[k], key_sc[k]),
+      pairs.push_back({curve::msm<G1>(delta_pts[k], delta_sc[k]),
                        &groups[k]->prepared_delta()});
     }
     Fp12 gt = Fp12::multi_pow(gt_bases, gt_exps);

@@ -115,6 +115,32 @@ U512 mul_wide(const U256& a, const U256& b) {
   return r;
 }
 
+U256 mul_lo(const U256& a, const U256& b) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; i + j < 4; ++j) {
+      u128 v = static_cast<u128>(a.limb[i]) * b.limb[j] + r.limb[i + j] + carry;
+      r.limb[i + j] = static_cast<u64>(v);
+      carry = v >> 64;
+    }
+  }
+  return r;
+}
+
+U256 mul_high_rounded(const U256& a, const U256& b) {
+  U512 w = mul_wide(a, b);
+  // Add 2^255 to the low half and propagate the carry into the high half.
+  u128 carry = (static_cast<u128>(w.limb[3]) + (u64{1} << 63)) >> 64;
+  U256 hi = w.hi();
+  for (int i = 0; i < 4 && carry; ++i) {
+    u128 v = static_cast<u128>(hi.limb[i]) + carry;
+    hi.limb[i] = static_cast<u64>(v);
+    carry = v >> 64;
+  }
+  return hi;
+}
+
 U256 mod(const U512& a, const U256& m) {
   if (m.is_zero()) throw std::domain_error("mod: division by zero");
   // Binary long division over 512 bits: process from the most significant bit

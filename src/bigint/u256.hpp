@@ -170,6 +170,38 @@ struct U512 {
 /// Full 256x256 -> 512 bit product.
 U512 mul_wide(const U256& a, const U256& b);
 
+/// Low 256 bits of a * b (the product modulo 2^256) — the lattice-vector
+/// accumulation step of the GLV decomposition, where the small results are
+/// exact in two's complement even though the intermediate products wrap.
+U256 mul_lo(const U256& a, const U256& b);
+
+/// round(a * b / 2^256) = floor((a * b + 2^255) / 2^256): the widening
+/// mul-high with rounding used by the GLV Babai-rounding step, where b is a
+/// precomputed round(2^256 * v / r) constant.
+U256 mul_high_rounded(const U256& a, const U256& b);
+
+// Two's-complement views of U256: the GLV half-scalars come out of the
+// lattice subtraction as signed 256-bit values whose magnitudes are small
+// (< 2^128); these helpers split them back into (magnitude, sign).
+
+/// Top bit of a, read as the sign of the two's-complement interpretation.
+inline bool sign_bit(const U256& a) { return (a.limb[3] >> 63) != 0; }
+
+/// -a modulo 2^256 (two's-complement negation).
+inline U256 neg2c(const U256& a) {
+  U256 r;
+  sub_with_borrow(U256{}, a, r);
+  return r;
+}
+
+/// Magnitude of the two's-complement interpretation of a; sets `negative` to
+/// the sign. abs2c(a).first <= 2^255, and for GLV half-scalars the result is
+/// guaranteed < 2^128 (asserted by the decomposition).
+inline U256 abs2c(const U256& a, bool& negative) {
+  negative = sign_bit(a);
+  return negative ? neg2c(a) : a;
+}
+
 /// a mod m via binary long division. Slow (bit-by-bit); intended for
 /// init-time constant derivation only — hot paths use Montgomery reduction.
 U256 mod(const U512& a, const U256& m);

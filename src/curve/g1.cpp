@@ -1,5 +1,6 @@
 #include "curve/g1.hpp"
 
+#include "curve/glv.hpp"
 #include "primitives/keccak256.hpp"
 
 namespace dsaudit::curve {
@@ -13,6 +14,8 @@ const G1& G1Tag::generator() {
   static const G1 g{Fp::from_u64(1), Fp::from_u64(2)};
   return g;
 }
+
+const Fp& G1Tag::endo_beta() { return glv_params().beta; }
 
 const FixedBaseTable<G1>& g1_generator_table() {
   static const FixedBaseTable<G1> table(G1::generator());

@@ -21,6 +21,13 @@ using ff::Fp;
 struct G1Tag {
   static const Fp& curve_b();
   static const Point<Fp, G1Tag>& generator();
+  /// GLV endomorphism constant: phi(x, y) = (endo_beta() * x, y) acts as
+  /// multiplication by lambda on G1 (cofactor 1, so on every curve point).
+  /// Declaring this opts the whole scalar layer — Point::mul, msm,
+  /// msm_precomputed — into endomorphism-split mode for this group; G2's tag
+  /// deliberately omits it (the twist's cofactor points break the eigenvalue
+  /// relation, and g2_in_subgroup needs integer-multiple semantics).
+  static const Fp& endo_beta();
 };
 
 using G1 = Point<Fp, G1Tag>;

@@ -59,6 +59,28 @@ G2 g2_random(primitives::SecureRng& rng) {
 
 bool g2_in_subgroup(const G2& p) {
   if (!p.is_on_curve()) return false;
+  if (p.is_infinity()) return true;
+  // psi(Q) == [6t^2] Q characterizes the order-r subgroup of the twist:
+  //  - completeness: on the r-subgroup psi acts as [p], and p = r + 6t^2,
+  //    so psi(Q) = [p mod r] Q = [6t^2] Q;
+  //  - soundness: the twist's cofactor h2 = 2p - r is coprime to r
+  //    (h2 = 12t^2 mod r != 0), so any Q splits as Q_r + Q_c. psi satisfies
+  //    its characteristic polynomial psi^2 - tr*psi + p = 0 (tr = 6t^2 + 1);
+  //    if psi(Q_c) = [6t^2] Q_c then [36t^4 - tr*6t^2 + p] Q_c =
+  //    [p - 6t^2] Q_c = [r] Q_c = 0, and r coprime to the cofactor forces
+  //    Q_c = 0.
+  // 6t^2 is 127 bits, so the ladder runs half the order-r oracle's length.
+  static const ff::U256 six_t_sq = [] {
+    const bigint::u128 v =
+        bigint::u128{6} * ff::kBnParamT * ff::kBnParamT;
+    return ff::U256{static_cast<bigint::u64>(v),
+                    static_cast<bigint::u64>(v >> 64), 0, 0};
+  }();
+  return g2_frobenius(p) == p.mul(six_t_sq);
+}
+
+bool g2_in_subgroup_naive(const G2& p) {
+  if (!p.is_on_curve()) return false;
   return p.mul(Fr::modulus()).is_infinity();
 }
 

@@ -4,6 +4,7 @@
 
 #include "curve/g1.hpp"
 #include "curve/g2.hpp"
+#include "curve/glv.hpp"
 
 namespace dsaudit::curve {
 
@@ -42,6 +43,40 @@ void validate_bn254_parameters() {
     G2 q = G2::generator().mul(ff::Fr::from_u64(12345));
     require(g2_frobenius(q) == q.mul(p_mod_r), "psi(Q) != [p]Q");
     require(g2_frobenius2(q) == q.mul(p_mod_r * p_mod_r), "psi^2(Q) != [p^2]Q");
+
+    // 4. GLV endomorphism parameters, re-derived independently over VarUInt.
+    //    lambda = 36t^3 + 18t^2 + 6t + 1, the cube root of unity mod r that
+    //    phi(x, y) = (beta*x, y) realizes on G1; the lattice basis
+    //    v1 = (a1, b1), v2 = (-b1, b2) spans the kernel of
+    //    (k1, k2) -> k1 + k2*lambda mod r with determinant exactly r.
+    const GlvParams& glv = glv_params();
+    VarUInt lambda = VarUInt{36} * t3 + VarUInt{18} * t2 + VarUInt{6} * t +
+                     VarUInt{1};
+    VarUInt a1 = VarUInt{6} * t2 + VarUInt{4} * t + VarUInt{1};
+    VarUInt b1 = VarUInt{2} * t + VarUInt{1};
+    VarUInt b2 = VarUInt{6} * t2 + VarUInt{2} * t;
+    require(lambda.to_u256() == glv.lambda, "GLV lambda != 36t^3+18t^2+6t+1");
+    require(a1.to_u256() == glv.a1 && b1.to_u256() == glv.b1 &&
+                b2.to_u256() == glv.b2,
+            "GLV lattice basis mismatch");
+    require((a1 * b2 + b1 * b1) == r, "GLV lattice determinant != r");
+    // Exact polynomial identity for the BN family:
+    //   lambda^2 + lambda + 1 = (36t^2 + 3) * r.
+    require(lambda * lambda + lambda + VarUInt{1} ==
+                (VarUInt{36} * t2 + VarUInt{3}) * r,
+            "lambda^2 + lambda + 1 != (36t^2+3) r");
+    // beta is a primitive cube root of unity in Fp, oriented so that the
+    // curve endomorphism matches the eigenvalue lambda on all of G1.
+    require(glv.beta != ff::Fp::one() &&
+                glv.beta * glv.beta * glv.beta == ff::Fp::one(),
+            "GLV beta not a primitive cube root of unity");
+    G1 gpt = G1::generator().mul(ff::Fr::from_u64(987654321));
+    G1 phi = gpt;
+    {
+      auto [x, y] = gpt.to_affine();
+      phi = G1{x * glv.beta, y};
+    }
+    require(phi == gpt.mul_naive(glv.lambda), "phi(P) != [lambda]P");
     return true;
   }();
   (void)once;

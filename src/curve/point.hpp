@@ -25,11 +25,19 @@
 #include <span>
 #include <vector>
 
+#include "curve/glv.hpp"
 #include "field/batch_inverse.hpp"
 #include "field/fp.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace dsaudit::curve {
+
+/// A curve tag opts into GLV endomorphism-split scalar arithmetic by
+/// exposing the endomorphism constant (see G1Tag::endo_beta). Split mode
+/// requires the group to have cofactor 1 (every point has order r), so
+/// scalars may be reduced mod r and phi acts as [lambda] on every input.
+template <typename Tag>
+concept HasEndomorphism = requires { Tag::endo_beta(); };
 
 using ff::Fr;
 using ff::U256;
@@ -192,44 +200,28 @@ class Point {
     return r;
   }
 
-  /// Scalar multiplication by a canonical integer. Width-5 wNAF over a
-  /// batch-normalized table of odd multiples: ~bit_length doublings plus
-  /// one mixed addition every ~6 bits.
+  /// Scalar multiplication by a canonical integer. For endomorphism-capable
+  /// groups (G1) this is the GLV 2-way interleaved signed-wNAF over
+  /// {P, phi(P)} — half the doubling chain; otherwise the width-5 wNAF
+  /// ladder. Both agree bit-for-bit with mul_naive on the group.
   Point mul(const U256& k) const {
+    if constexpr (HasEndomorphism<Tag>) {
+      return mul_glv(k);
+    } else {
+      return mul_wnaf(k);
+    }
+  }
+  Point mul(const Fr& k) const { return mul(k.to_u256()); }
+
+  /// Width-5 wNAF over a batch-normalized table of odd multiples:
+  /// ~bit_length doublings plus one mixed addition every ~6 bits. The
+  /// generic path for groups without an endomorphism tag, retained on G1 as
+  /// the GLV differential/bench reference.
+  Point mul_wnaf(const U256& k) const {
     if (is_infinity() || k.is_zero()) return infinity();
 
     constexpr unsigned w = kWnafWidth;
-    constexpr int full = 1 << w;
-    constexpr u64 half = u64{1} << (w - 1);
-
-    // Signed odd digits: k = sum naf[i] * 2^i, naf[i] in {0, ±1, ±3, ...,
-    // ±(2^{w-1}-1)}, nonzero digits at least w apart. Rounding a digit up
-    // can briefly push the working value past 2^256; `carry` holds that bit.
-    std::vector<std::int8_t> naf;
-    naf.reserve(k.bit_length() + 2);
-    U256 v = k;
-    bool carry = false;
-    while (!v.is_zero() || carry) {
-      std::int8_t d = 0;
-      if (v.is_odd()) {
-        u64 low = v.limb[0] & (full - 1);
-        if (low > half) {
-          d = static_cast<std::int8_t>(static_cast<int>(low) - full);
-          if (bigint::add_with_carry(v, U256{static_cast<u64>(-d)}, v)) {
-            carry = true;
-          }
-        } else {
-          d = static_cast<std::int8_t>(low);
-          bigint::sub_with_borrow(v, U256{low}, v);
-        }
-      }
-      naf.push_back(d);
-      v = bigint::shr1(v);
-      if (carry) {
-        v.limb[3] |= u64{1} << 63;
-        carry = false;
-      }
-    }
+    std::vector<std::int8_t> naf = wnaf_digits(k, w);
 
     // Odd multiples 1P, 3P, ..., (2^{w-1}-1)P, normalized in one inversion.
     constexpr std::size_t table_size = std::size_t{1} << (w - 2);
@@ -251,7 +243,70 @@ class Point {
     }
     return acc;
   }
-  Point mul(const Fr& k) const { return mul(k.to_u256()); }
+
+  /// phi(X, Y, Z) = (beta * X, Y, Z): the GLV endomorphism, acting as
+  /// multiplication by lambda. Only instantiated for endomorphism-tagged
+  /// groups.
+  Point endo() const {
+    Point r = *this;
+    r.x_ = r.x_ * Tag::endo_beta();
+    return r;
+  }
+
+  /// GLV scalar multiplication: k reduced mod r (sound on cofactor-1
+  /// groups, where every point has order r), split into half-scalars
+  /// k = k1 + k2 * lambda, then one interleaved width-4 signed-wNAF pass
+  /// over the joint odd-multiples table of {±P, ±phi(P)} — ~127 doublings
+  /// instead of ~254, one shared normalization inversion.
+  Point mul_glv(const U256& k) const {
+    if (is_infinity() || k.is_zero()) return infinity();
+    U256 v = k;
+    while (!bigint::lt(v, Fr::modulus())) {
+      U256 t;
+      bigint::sub_with_borrow(v, Fr::modulus(), t);
+      v = t;
+    }
+    if (v.is_zero()) return infinity();
+    const GlvDecomposed dec = glv_decompose(v);
+
+    constexpr unsigned w = kGlvWnafWidth;
+    const std::vector<std::int8_t> n1 = wnaf_digits(dec.k1, w);
+    const std::vector<std::int8_t> n2 = wnaf_digits(dec.k2, w);
+
+    // Joint table: odd multiples of base1 = ±P in [0, ts), of base2 =
+    // ±phi(P) in [ts, 2*ts) — the decomposition signs fold into the bases.
+    constexpr std::size_t ts = std::size_t{1} << (w - 2);
+    std::vector<Point> tbl(2 * ts);
+    tbl[0] = dec.neg1 ? -*this : *this;
+    Point twice = tbl[0].dbl();
+    for (std::size_t i = 1; i < ts; ++i) tbl[i] = tbl[i - 1] + twice;
+    tbl[ts] = dec.neg2 ? -endo() : endo();
+    twice = tbl[ts].dbl();
+    for (std::size_t i = 1; i < ts; ++i) tbl[ts + i] = tbl[ts + i - 1] + twice;
+    std::vector<Affine> atbl = batch_to_affine(tbl);
+
+    Point acc = infinity();
+    for (std::size_t i = std::max(n1.size(), n2.size()); i-- > 0;) {
+      acc = acc.dbl();
+      if (i < n1.size()) {
+        int d = n1[i];
+        if (d > 0) {
+          acc = acc.mixed_add(atbl[d >> 1]);
+        } else if (d < 0) {
+          acc = acc.mixed_add(-atbl[(-d) >> 1]);
+        }
+      }
+      if (i < n2.size()) {
+        int d = n2[i];
+        if (d > 0) {
+          acc = acc.mixed_add(atbl[ts + (d >> 1)]);
+        } else if (d < 0) {
+          acc = acc.mixed_add(-atbl[ts + ((-d) >> 1)]);
+        }
+      }
+    }
+    return acc;
+  }
 
   /// Reference double-and-add ladder (MSB-first). Retained as the
   /// differential-test oracle for the wNAF path.
@@ -287,6 +342,43 @@ class Point {
  private:
   using u64 = bigint::u64;
   static constexpr unsigned kWnafWidth = 5;
+  // Narrower window for the GLV halves: two tables share the scan, so the
+  // per-table build cost weighs double while each half only runs ~127 bits.
+  static constexpr unsigned kGlvWnafWidth = 4;
+
+  /// Signed odd digits: k = sum naf[i] * 2^i, naf[i] in {0, ±1, ±3, ...,
+  /// ±(2^{w-1}-1)}, nonzero digits at least w apart. Rounding a digit up
+  /// can briefly push the working value past 2^256; `carry` holds that bit.
+  static std::vector<std::int8_t> wnaf_digits(const U256& k, unsigned w) {
+    const int full = 1 << w;
+    const u64 half = u64{1} << (w - 1);
+    std::vector<std::int8_t> naf;
+    naf.reserve(k.bit_length() + 2);
+    U256 v = k;
+    bool carry = false;
+    while (!v.is_zero() || carry) {
+      std::int8_t d = 0;
+      if (v.is_odd()) {
+        u64 low = v.limb[0] & (full - 1);
+        if (low > half) {
+          d = static_cast<std::int8_t>(static_cast<int>(low) - full);
+          if (bigint::add_with_carry(v, U256{static_cast<u64>(-d)}, v)) {
+            carry = true;
+          }
+        } else {
+          d = static_cast<std::int8_t>(low);
+          bigint::sub_with_borrow(v, U256{low}, v);
+        }
+      }
+      naf.push_back(d);
+      v = bigint::shr1(v);
+      if (carry) {
+        v.limb[3] |= u64{1} << 63;
+        carry = false;
+      }
+    }
+    return naf;
+  }
 
   F x_, y_, z_;
 };
@@ -442,6 +534,51 @@ inline unsigned extract_signed_digits(std::span<const Fr> scalars, unsigned c,
     }
   }
   return used;
+}
+
+/// Endomorphism-split digit extraction: scalar i GLV-decomposes into
+/// k = k1 + k2 * lambda, and the digit matrix covers 2n virtual columns —
+/// column i holds k1's signed digits (sign-folded), column n + i holds k2's.
+/// Since |k1|, |k2| < 2^kGlvHalfBits, only ceil(kGlvHalfBits / c) + 1 window
+/// positions exist: the same digit entries as an unsplit extraction of
+/// full-width scalars, at half the window rows — half the bucket spaces and
+/// half the Horner doublings downstream. Returns used positions, 0 when all
+/// scalars are zero.
+inline unsigned extract_signed_digits_glv(std::span<const Fr> scalars, unsigned c,
+                                          unsigned positions,
+                                          std::vector<std::int32_t>& digits) {
+  const std::size_t n = scalars.size();
+  const bigint::u64 half = bigint::u64{1} << (c - 1);
+  digits.resize(std::size_t{positions} * 2 * n);
+  unsigned used = 0;
+  auto emit = [&](const U256& mag, bool neg, std::size_t col) {
+    bigint::u64 carry = 0;
+    for (unsigned t = 0; t < positions; ++t) {
+      bigint::u64 raw = mag.extract_window(t * c, c) + carry;
+      std::int32_t d;
+      if (raw > half) {
+        d = static_cast<std::int32_t>(raw) - (1 << c);
+        carry = 1;
+      } else {
+        d = static_cast<std::int32_t>(raw);
+        carry = 0;
+      }
+      if (neg) d = -d;
+      digits[std::size_t{t} * 2 * n + col] = d;
+      if (d != 0 && t + 1 > used) used = t + 1;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const GlvDecomposed dec = glv_decompose(scalars[i].to_u256());
+    emit(dec.k1, dec.neg1, i);
+    emit(dec.k2, dec.neg2, n + i);
+  }
+  return used;
+}
+
+/// Window positions needed by an endo-split digit matrix (+1: signed carry).
+inline unsigned glv_digit_positions(unsigned c) {
+  return (kGlvHalfBits + c - 1) / c + 1;
 }
 
 /// The whole bucket pipeline shared by msm and msm_precomputed, from signed
@@ -722,6 +859,35 @@ P msm(std::span<const P> points, std::span<const Fr> scalars) {
   const unsigned lg = std::bit_width(n);
   const unsigned c0 = (lg >> 1) + 4;
   const unsigned c = c0 < 4 ? 4 : (c0 > 16 ? 16 : c0);
+  if constexpr (HasEndomorphism<typename P::TagType>) {
+    // Endomorphism split: same scatter-entry count as the unsplit matrix at
+    // full scalar width, but half the window rows — half the bucket spaces,
+    // half the Horner doublings, and a much smaller per-space reduction
+    // bill. Short scalars (e.g. the 128-bit settlement batch weights) skip
+    // the split: below ~1.5x the half-scalar width the row savings cannot
+    // recoup the doubled entries.
+    unsigned max_bits = 0;
+    for (const Fr& s : scalars) {
+      max_bits = std::max(max_bits, s.to_u256().bit_length());
+    }
+    if (2 * max_bits > 3 * kGlvHalfBits) {
+      std::vector<std::int32_t> digits;
+      const unsigned used = detail::extract_signed_digits_glv(
+          scalars, c, detail::glv_digit_positions(c), digits);
+      if (used == 0) return P::infinity();
+      std::vector<A> base = P::batch_to_affine(points);
+      base.resize(2 * n);
+      const auto& beta = P::TagType::endo_beta();
+      for (std::size_t i = 0; i < n; ++i) {
+        base[n + i] = base[i];
+        base[n + i].x = base[i].x * beta;  // phi: (beta*x, y); infinity copies
+      }
+      return detail::msm_sharded<P>(
+          digits, 2 * n, used, c, /*per_position_buckets=*/true,
+          [&base](unsigned, std::size_t i) -> const A& { return base[i]; });
+    }
+  }
+
   // Scalars are canonical Fr values: bounded by the 254-bit modulus, not 256.
   const unsigned scalar_bits = Fr::modulus().bit_length();
   const unsigned windows = (scalar_bits + c - 1) / c + 1;  // +1: signed carry
@@ -745,8 +911,12 @@ P msm(std::span<const P> points, std::span<const Fr> scalars) {
 template <typename P>
 struct MsmBasesTable {
   unsigned c = 0;          // digit width the table was built for
-  unsigned positions = 0;  // digit positions covered (ceil(254/c) + 1)
+  unsigned positions = 0;  // digit positions covered: ceil(254/c) + 1, or
+                           // ceil(kGlvHalfBits/c) + 1 in glv layout
   std::size_t n = 0;       // number of bases
+  bool glv = false;        // endomorphism-split layout: row t holds
+                           // [n shifted bases | their n phi images], and
+                           // lookups run over 2m virtual half-scalar columns
   std::vector<typename P::Affine> pts;
 };
 
@@ -766,8 +936,17 @@ MsmBasesTable<P> msm_precompute(std::span<const P> points, unsigned c = 0) {
     if (c > 18) c = 18;
   }
   tbl.c = c;
-  const unsigned scalar_bits = Fr::modulus().bit_length();
-  tbl.positions = (scalar_bits + c - 1) / c + 1;  // +1: signed-digit carry
+  if constexpr (HasEndomorphism<typename P::TagType>) {
+    // Endomorphism-split layout: half the shifted rows to build (the
+    // half-scalar digit matrix never reaches higher positions), and the
+    // second half of every row is a phi image — one coordinate multiply per
+    // entry instead of a c-deep doubling chain.
+    tbl.glv = true;
+    tbl.positions = detail::glv_digit_positions(c);
+  } else {
+    const unsigned scalar_bits = Fr::modulus().bit_length();
+    tbl.positions = (scalar_bits + c - 1) / c + 1;  // +1: signed-digit carry
+  }
   std::vector<P> jac(std::size_t{tbl.positions} * tbl.n);
   for (std::size_t i = 0; i < tbl.n; ++i) jac[i] = points[i];
   // Each base's doubling chain is independent, so the build shards by base
@@ -783,7 +962,22 @@ MsmBasesTable<P> msm_precompute(std::span<const P> points, unsigned c = 0) {
       }
     }
   });
-  tbl.pts = P::batch_to_affine(jac);
+  std::vector<typename P::Affine> flat = P::batch_to_affine(jac);
+  if constexpr (HasEndomorphism<typename P::TagType>) {
+    tbl.pts.resize(2 * flat.size());
+    const auto& beta = P::TagType::endo_beta();
+    for (unsigned t = 0; t < positions; ++t) {
+      for (std::size_t i = 0; i < stride; ++i) {
+        const auto& src = flat[std::size_t{t} * stride + i];
+        tbl.pts[std::size_t{t} * 2 * stride + i] = src;
+        auto& phi = tbl.pts[std::size_t{t} * 2 * stride + stride + i];
+        phi = src;
+        phi.x = src.x * beta;  // infinity entries copy through unchanged
+      }
+    }
+  } else {
+    tbl.pts = std::move(flat);
+  }
   return tbl;
 }
 
@@ -798,8 +992,22 @@ P msm_precomputed(const MsmBasesTable<P>& tbl, std::span<const Fr> scalars) {
 
   // One shared bucket space for all positions: digit d at position t maps
   // base tbl.pts[t*n + i] into bucket |d| - 1 — the shifted bases carry the
-  // 2^{ct} weights, so no Horner doublings remain in the combine.
+  // 2^{ct} weights, so no Horner doublings remain in the combine. In glv
+  // layout the scalars split into 2m half-scalar columns over half the rows,
+  // with columns >= m hitting the phi images.
   std::vector<std::int32_t> digits;
+  if (tbl.glv) {
+    const unsigned used =
+        detail::extract_signed_digits_glv(scalars, tbl.c, tbl.positions, digits);
+    if (used == 0) return P::infinity();
+    const A* pts = tbl.pts.data();
+    const std::size_t stride = 2 * tbl.n, n = tbl.n;
+    return detail::msm_sharded<P>(
+        digits, 2 * m, used, tbl.c, /*per_position_buckets=*/false,
+        [pts, stride, n, m](unsigned t, std::size_t i) -> const A& {
+          return pts[std::size_t{t} * stride + (i < m ? i : n + (i - m))];
+        });
+  }
   const unsigned used =
       detail::extract_signed_digits(scalars, tbl.c, tbl.positions, digits);
   if (used == 0) return P::infinity();
@@ -835,6 +1043,20 @@ P msm_precomputed(const MsmBasesTable<P>& tbl,
   }
 
   std::vector<std::int32_t> digits;
+  if (tbl.glv) {
+    const unsigned used =
+        detail::extract_signed_digits_glv(scalars, tbl.c, tbl.positions, digits);
+    if (used == 0) return P::infinity();
+    const A* pts = tbl.pts.data();
+    const std::size_t stride = 2 * tbl.n, n = tbl.n;
+    const std::uint64_t* idx = indices.data();
+    return detail::msm_sharded<P>(
+        digits, 2 * m, used, tbl.c, /*per_position_buckets=*/false,
+        [pts, stride, n, m, idx](unsigned t, std::size_t i) -> const A& {
+          return pts[std::size_t{t} * stride +
+                     (i < m ? idx[i] : n + idx[i - m])];
+        });
+  }
   const unsigned used =
       detail::extract_signed_digits(scalars, tbl.c, tbl.positions, digits);
   if (used == 0) return P::infinity();

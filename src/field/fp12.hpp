@@ -113,21 +113,12 @@ class Fp12 {
                 (t7 + c1.c2).dbl() + t7}};
   }
 
-  /// Square-and-multiply with cyclotomic squarings; only valid on elements
-  /// of the cyclotomic subgroup (every GT element qualifies).
-  Fp12 cyclotomic_pow_u64(u64 e) const {
-    Fp12 result = one();
-    Fp12 base = *this;
-    while (e != 0) {
-      if (e & 1) result *= base;
-      base = base.cyclotomic_square();
-      e >>= 1;
-    }
-    return result;
-  }
-
-  /// GT exponentiation by a canonical Fr scalar (the sigma-protocol's R =
-  /// e(g1, eps)^z); same contract as cyclotomic_pow_u64.
+  /// GT exponentiation by an arbitrary 256-bit integer: LSB-first
+  /// square-and-multiply with cyclotomic squarings. The one shared ladder —
+  /// the u64 overload delegates here — and the differential oracle for
+  /// every fancier GT exponentiation (Karabina chains, multi_pow). Only
+  /// valid on elements of the cyclotomic subgroup (every GT element
+  /// qualifies).
   Fp12 cyclotomic_pow_u256(const U256& e) const {
     Fp12 result = one();
     Fp12 base = *this;
@@ -138,6 +129,9 @@ class Fp12 {
     }
     return result;
   }
+
+  /// Same ladder, u64 exponent (the final-exponentiation t-power chains).
+  Fp12 cyclotomic_pow_u64(u64 e) const { return cyclotomic_pow_u256(U256{e}); }
 
   /// Karabina compressed form of a cyclotomic-subgroup element: in the
   /// Fp2[w]/(w^6 - xi) view of the tower (x = sum h_i w^i with h_i =
@@ -251,7 +245,16 @@ class Fp12 {
   /// subgroup (every GT element qualifies). The per-element
   /// cyclotomic_pow_u256 ladder is retained as the differential oracle.
   /// Throws std::invalid_argument on bases/exps length mismatch.
+  ///
+  /// The tables are signed-digit: window digits run in [-2^{w-1}, 2^{w-1}]
+  /// with a carry, so each base stores only the powers 1..2^{w-1} — half the
+  /// unsigned table and its cache pressure — and negative digits multiply by
+  /// the conjugate, which inverts for free on the unit-norm cyclotomic
+  /// subgroup. multi_pow_unsigned keeps the full-table variant as the
+  /// differential/bench reference.
   static Fp12 multi_pow(std::span<const Fp12> bases, std::span<const U256> exps);
+  static Fp12 multi_pow_unsigned(std::span<const Fp12> bases,
+                                 std::span<const U256> exps);
 
   /// p^6-power Frobenius; for elements of the cyclotomic subgroup (unit
   /// norm) this equals the inverse.

@@ -180,6 +180,78 @@ TEST(U256, BitLength) {
   EXPECT_EQ(p.bit_length(), 254u);
 }
 
+TEST(U256, MulLoMatchesWideLowHalf) {
+  auto rng = SecureRng::deterministic(16);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = random_u256(rng), b = random_u256(rng);
+    U512 wide = mul_wide(a, b);
+    U256 lo = mul_lo(a, b);
+    for (int w = 0; w < 4; ++w) EXPECT_EQ(lo.limb[w], wide.limb[w]);
+  }
+}
+
+TEST(U256, MulHighRoundedMatchesVarUInt) {
+  auto rng = SecureRng::deterministic(17);
+  // floor((a*b + 2^255) / 2^256): the rounded high half used by the GLV
+  // Babai-rounding step.
+  VarUInt half_shift = VarUInt::pow(VarUInt{2}, 255);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = random_u256(rng), b = random_u256(rng);
+    U256 got = mul_high_rounded(a, b);
+    VarUInt expect = (VarUInt{a} * VarUInt{b} + half_shift).shr(256);
+    EXPECT_EQ(VarUInt{got}, expect);
+  }
+}
+
+TEST(U256, MulHighRoundedRoundsHalfUp) {
+  // a * b = 2^255 exactly: the +2^255 bias must carry into the high half.
+  U256 a{0, 0, 0, u64{1} << 63};  // 2^255
+  U256 one{1};
+  EXPECT_EQ(mul_high_rounded(a, one), U256{1});
+  // Just below the rounding threshold: 2^255 - 1 rounds down to 0.
+  U256 b{~0ULL, ~0ULL, ~0ULL, (u64{1} << 63) - 1};
+  EXPECT_EQ(mul_high_rounded(b, one), U256{});
+  // Carry must propagate through saturated high limbs: (2^256 - 1) * (2^256 - 1)
+  // has high half 2^256 - 2 and low half 1; +2^255 does not carry. But
+  // (2^256 - 1) * 2^255... keep it simple: all-ones squared.
+  U256 ones{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  VarUInt expect =
+      (VarUInt{ones} * VarUInt{ones} + VarUInt::pow(VarUInt{2}, 255)).shr(256);
+  EXPECT_EQ(VarUInt{mul_high_rounded(ones, ones)}, expect);
+}
+
+TEST(U256, TwosComplementHelpers) {
+  EXPECT_FALSE(sign_bit(U256{1}));
+  EXPECT_FALSE(sign_bit(U256{}));
+  EXPECT_TRUE(sign_bit(U256{0, 0, 0, u64{1} << 63}));
+
+  // neg2c(x) + x == 0 (mod 2^256).
+  auto rng = SecureRng::deterministic(18);
+  for (int i = 0; i < 50; ++i) {
+    U256 x = random_u256(rng);
+    U256 sum;
+    add_with_carry(x, neg2c(x), sum);
+    EXPECT_TRUE(sum.is_zero());
+  }
+  EXPECT_EQ(neg2c(U256{}), U256{});
+  EXPECT_EQ(neg2c(U256{1}), (U256{~0ULL, ~0ULL, ~0ULL, ~0ULL}));
+
+  // abs2c: identity on non-negative, two's-complement negation otherwise.
+  bool neg = true;
+  EXPECT_EQ(abs2c(U256{42}, neg), U256{42});
+  EXPECT_FALSE(neg);
+  U256 minus_one{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  EXPECT_EQ(abs2c(minus_one, neg), U256{1});
+  EXPECT_TRUE(neg);
+  for (int i = 0; i < 50; ++i) {
+    U256 x = random_u256(rng);
+    bool n = false;
+    U256 mag = abs2c(x, n);
+    EXPECT_EQ(n, sign_bit(x));
+    EXPECT_EQ(n ? neg2c(mag) : mag, x);
+  }
+}
+
 TEST(VarUInt, DecRoundTrip) {
   const char* big =
       "123456789012345678901234567890123456789012345678901234567890123456789012345";

@@ -3,6 +3,7 @@
 
 #include "curve/g1.hpp"
 #include "curve/g2.hpp"
+#include "curve/glv.hpp"
 #include "curve/params_check.hpp"
 #include "field/sqrt.hpp"
 
@@ -410,6 +411,141 @@ TEST(Msm, SubsetEdgeCases) {
   EXPECT_THROW(msm_precomputed(tbl, oor, one_sc), std::invalid_argument);
   std::vector<std::uint64_t> two_idx{1, 2};
   EXPECT_THROW(msm_precomputed(tbl, two_idx, one_sc), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// GLV endomorphism: decomposition invariants and bit-identity of every
+// endo-accelerated route against its retained oracle.
+// ---------------------------------------------------------------------------
+
+/// The adversarial scalar set for GLV: identities, the eigenvalue itself and
+/// its negation (one half collapses to zero), the 2^128 boundary, and the
+/// lattice-basis coordinates (Babai rounding lands exactly on a lattice
+/// vertex).
+std::vector<ff::U256> glv_edge_scalars() {
+  const GlvParams& gp = glv_params();
+  ff::U256 r = Fr::modulus();
+  ff::U256 rm1, r_minus_lambda;
+  bigint::sub_with_borrow(r, ff::U256{1}, rm1);
+  bigint::sub_with_borrow(r, gp.lambda, r_minus_lambda);
+  ff::U256 two128{0, 0, 1, 0};
+  ff::U256 two128m1{~0ULL, ~0ULL, 0, 0}, two128p1{1, 0, 1, 0};
+  std::vector<ff::U256> ks{ff::U256{},  ff::U256{1}, rm1,      gp.lambda,
+                           r_minus_lambda, two128,   two128m1, two128p1,
+                           gp.a1,       gp.b1,       gp.b2};
+  // Lattice-adjacent: a1 +/- 1 and b2 + b1 sit on rounding boundaries.
+  ff::U256 t;
+  bigint::add_with_carry(gp.a1, ff::U256{1}, t);
+  ks.push_back(t);
+  bigint::sub_with_borrow(gp.a1, ff::U256{1}, t);
+  ks.push_back(t);
+  bigint::add_with_carry(gp.b2, gp.b1, t);
+  ks.push_back(t);
+  return ks;
+}
+
+TEST(Glv, DecomposeRoundTripAndBounds) {
+  const GlvParams& gp = glv_params();
+  const ff::U256 r = Fr::modulus();
+  auto check = [&](const ff::U256& k) {
+    GlvDecomposed d = glv_decompose(k);
+    EXPECT_LE(d.k1.bit_length(), kGlvHalfBits) << "k=" << k.to_hex();
+    EXPECT_LE(d.k2.bit_length(), kGlvHalfBits) << "k=" << k.to_hex();
+    // (+/- k1) + (+/- k2) * lambda == k (mod r).
+    ff::U256 s{};
+    s = d.neg1 ? bigint::sub_mod(s, d.k1, r) : bigint::add_mod(s, d.k1, r);
+    ff::U256 t = bigint::mul_mod_slow(d.k2, gp.lambda, r);
+    s = d.neg2 ? bigint::sub_mod(s, t, r) : bigint::add_mod(s, t, r);
+    EXPECT_EQ(s, k) << "k=" << k.to_hex();
+  };
+  for (const auto& k : glv_edge_scalars()) check(k);
+  auto rng = SecureRng::deterministic(63);
+  for (int i = 0; i < 200; ++i) check(Fr::random(rng).to_u256());
+}
+
+TEST(Glv, MulRoutesAgreeOnEdgeScalars) {
+  auto rng = SecureRng::deterministic(64);
+  G1 p = g1_random(rng);
+  for (const auto& k : glv_edge_scalars()) {
+    G1 naive = p.mul_naive(k);
+    EXPECT_EQ(p.mul(k), naive) << "k=" << k.to_hex();          // GLV route
+    EXPECT_EQ(p.mul_wnaf(k), naive) << "k=" << k.to_hex();     // generic wNAF
+  }
+  // Infinity is absorbed by every route.
+  for (const auto& k : glv_edge_scalars()) {
+    EXPECT_TRUE(G1::infinity().mul(k).is_infinity());
+  }
+}
+
+TEST(Glv, MsmEntryPointsAgreeOnEdgeScalars) {
+  // Edge scalars through cold, precomputed, and subset MSM: the endo-split
+  // digit extraction and the phi-image table rows must reproduce the naive
+  // per-point sum exactly.
+  auto rng = SecureRng::deterministic(65);
+  auto edges = glv_edge_scalars();
+  std::vector<G1> pts;
+  std::vector<Fr> sc;
+  G1 expect = G1::infinity();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    pts.push_back(i % 5 == 4 ? G1::infinity() : g1_random(rng));
+    sc.push_back(Fr::from_u256(edges[i]));
+    expect += pts.back().mul_naive(sc.back().to_u256());
+  }
+  EXPECT_EQ(msm<G1>(pts, sc), expect);
+  auto tbl = msm_precompute<G1>(pts);
+  EXPECT_EQ(msm_precomputed(tbl, sc), expect);
+  std::vector<std::uint64_t> idx;
+  for (std::size_t i = 0; i < pts.size(); ++i) idx.push_back(i);
+  EXPECT_EQ(msm_precomputed(tbl, idx, sc), expect);
+}
+
+TEST(Glv, ColdMsmUnsplitRegimeMatchesNaive) {
+  // Scalars at or below 128 bits keep the cold MSM on the unsplit path
+  // (2 * max_bits <= 3 * kGlvHalfBits); it must agree with the naive sum
+  // just like the split path does.
+  auto rng = SecureRng::deterministic(66);
+  std::vector<G1> pts;
+  std::vector<Fr> sc;
+  G1 expect = G1::infinity();
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(g1_random(rng));
+    sc.push_back(Fr::from_u256(ff::U256{rng.next_u64(), rng.next_u64(), 0, 0}));
+    expect += pts.back().mul_naive(sc.back().to_u256());
+  }
+  EXPECT_EQ(msm<G1>(pts, sc), expect);
+}
+
+TEST(G2Subgroup, PsiCheckAgreesWithOrderLadder) {
+  // The psi(Q) == [6t^2] Q fast path and the retained [r] Q == 0 oracle must
+  // agree on every input class: subgroup points, infinity, cofactor points,
+  // and off-curve garbage.
+  auto rng = SecureRng::deterministic(67);
+  EXPECT_TRUE(g2_in_subgroup_naive(G2::generator()));
+  EXPECT_EQ(g2_in_subgroup(G2::infinity()), g2_in_subgroup_naive(G2::infinity()));
+  for (int i = 0; i < 5; ++i) {
+    G2 q = g2_random(rng);
+    EXPECT_TRUE(g2_in_subgroup(q));
+    EXPECT_TRUE(g2_in_subgroup_naive(q));
+  }
+  // Off-curve: an arbitrary (x, y) almost surely misses the twist.
+  G2 bad{ff::Fp2::random(rng), ff::Fp2::random(rng)};
+  if (!bad.is_on_curve()) {
+    EXPECT_FALSE(g2_in_subgroup(bad));
+    EXPECT_FALSE(g2_in_subgroup_naive(bad));
+  }
+  // On the twist but outside the r-subgroup.
+  int found = 0;
+  for (int tries = 0; tries < 100 && found < 3; ++tries) {
+    ff::Fp2 x = ff::Fp2::random(rng);
+    ff::Fp2 rhs = x.square() * x + G2Tag::curve_b();
+    auto y = ff::sqrt(rhs);
+    if (!y) continue;
+    G2 p{x, *y};
+    EXPECT_EQ(g2_in_subgroup(p), g2_in_subgroup_naive(p));
+    EXPECT_FALSE(g2_in_subgroup(p));
+    ++found;
+  }
+  EXPECT_GE(found, 1) << "no twist point found (sqrt broken?)";
 }
 
 TEST(Msm, WorksOnG2) {

@@ -307,6 +307,54 @@ TEST(GtMultiExp, HomogeneousEdgeExponents) {
                std::invalid_argument);
 }
 
+TEST(GtMultiExp, SignedMatchesUnsignedTables) {
+  // The signed-digit Straus engine (half-size tables, conjugate negatives)
+  // must agree with the retained unsigned-window engine on every batch shape
+  // and on carry-adversarial exponents (all-ones windows force the signed
+  // recoder to carry through the entire length).
+  auto rng = SecureRng::deterministic(1103);
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng), curve::g2_random(rng));
+  ff::U256 rm1;
+  bigint::sub_with_borrow(ff::Fr::modulus(), ff::U256{1}, rm1);
+  for (std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{16},
+                        std::size_t{64}, std::size_t{129}}) {
+    auto bases = random_gt_elements(n, g, rng);
+    std::vector<ff::U256> exps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (i % 6) {
+        case 0: exps[i] = rm1; break;
+        case 1: exps[i] = ff::U256{}; break;
+        case 2:
+          // All-ones to the 253-bit line: worst-case carry chain.
+          exps[i] = ff::U256{~0ULL, ~0ULL, ~0ULL, 0x1fffffffffffffffULL};
+          break;
+        case 3: exps[i] = ff::U256{1, 0, 0, 0x2000000000000000ULL}; break;
+        default: exps[i] = ff::Fr::random(rng).to_u256(); break;
+      }
+    }
+    ff::Fp12 s = ff::Fp12::multi_pow(bases, exps);
+    ff::Fp12 u = ff::Fp12::multi_pow_unsigned(bases, exps);
+    EXPECT_TRUE(s == u) << "n=" << n;
+    // And both match the per-element ladder product.
+    ff::Fp12 expect = ff::Fp12::one();
+    for (std::size_t i = 0; i < n; ++i) {
+      expect *= bases[i].cyclotomic_pow_u256(exps[i]);
+    }
+    EXPECT_TRUE(s == expect) << "n=" << n;
+  }
+}
+
+TEST(GtMultiExp, PowU64DelegatesToU256) {
+  // Satellite check for the folded ladders: the u64 entry point is the u256
+  // ladder on a one-limb exponent, bit for bit.
+  auto rng = SecureRng::deterministic(1104);
+  ff::Fp12 g = pairing::pairing(curve::g1_random(rng), curve::g2_random(rng));
+  for (std::uint64_t e : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+                          ~std::uint64_t{0}, rng.next_u64()}) {
+    EXPECT_TRUE(g.cyclotomic_pow_u64(e) == g.cyclotomic_pow_u256(ff::U256{e}));
+  }
+}
+
 TEST(GtMultiExp, SubgroupClosure) {
   // multi_pow over GT inputs stays in GT: the order-r subgroup membership
   // test (cyclotomic identity + order check) accepts every output.

@@ -1,0 +1,153 @@
+// bench_gate: CI regression gate over BENCH_settlement.json.
+//
+// Compares every "ms_per_round" series in a freshly generated settlement
+// benchmark against the committed baseline, in document order, and fails
+// (exit 1) if any row regresses by more than the allowed fraction:
+//
+//   bench_gate [--max-regression 0.25] <baseline.json> <fresh.json>
+//
+// The parser is deliberately a scanner, not a JSON library: the bench writer
+// (bench_settlement.cpp) emits a fixed shape, and the gate only cares about
+// the ordered (label, ms_per_round) rows — batch sizes for the two proof
+// shapes followed by the window sweep. Faster rows never fail; CI runners
+// are noisy, so the default headroom is 25%.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string label;   // e.g. "basic batch_size=64" or "window=16"
+  double ms_per_round; // the gated metric
+};
+
+/// Extracts the numeric value following `"key":` starting at `from`;
+/// returns the position after the number, or std::string::npos.
+std::size_t scan_number(const std::string& text, const std::string& key,
+                        std::size_t from, double& out) {
+  std::string needle = "\"" + key + "\"";
+  std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return std::string::npos;
+  at = text.find(':', at + needle.size());
+  if (at == std::string::npos) return std::string::npos;
+  ++at;
+  while (at < text.size() && std::isspace(static_cast<unsigned char>(text[at]))) ++at;
+  char* end = nullptr;
+  out = std::strtod(text.c_str() + at, &end);
+  if (end == text.c_str() + at) return std::string::npos;
+  return static_cast<std::size_t>(end - text.c_str());
+}
+
+/// Walks the document once, labelling each ms_per_round row by the section
+/// ("basic"/"private"/"window_sweep") and the nearest preceding batch_size
+/// or window key.
+std::vector<Row> parse_rows(const std::string& text) {
+  std::vector<Row> rows;
+  std::size_t pos = 0;
+  while (true) {
+    double ms = 0;
+    std::size_t next = scan_number(text, "ms_per_round", pos, ms);
+    if (next == std::string::npos) break;
+
+    // Label: last section name and last batch_size/window before this row.
+    std::string section = "?";
+    for (const char* s : {"\"basic\"", "\"private\"", "\"window_sweep\""}) {
+      std::size_t at = text.rfind(s, next);
+      if (at != std::string::npos &&
+          (section == "?" || at > text.rfind("\"" + section + "\"", next))) {
+        section = std::string(s + 1, std::strlen(s) - 2);
+      }
+    }
+    std::string qual;
+    std::size_t bs_at = text.rfind("\"batch_size\"", next);
+    std::size_t w_at = text.rfind("\"window\"", next);
+    double v = 0;
+    if (bs_at != std::string::npos && (w_at == std::string::npos || bs_at > w_at)) {
+      scan_number(text, "batch_size", bs_at, v);
+      qual = " batch_size=" + std::to_string(static_cast<long>(v));
+    } else if (w_at != std::string::npos) {
+      scan_number(text, "window", w_at, v);
+      qual = " window=" + std::to_string(static_cast<long>(v));
+    } else {
+      qual = " unbatched";
+    }
+    rows.push_back({section + qual, ms});
+    pos = next;
+  }
+  return rows;
+}
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_gate: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_regression = 0.25;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
+      max_regression = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "bench_gate: unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_gate [--max-regression FRAC] baseline.json fresh.json\n");
+    return 2;
+  }
+
+  auto base = parse_rows(slurp(files[0]));
+  auto fresh = parse_rows(slurp(files[1]));
+  if (base.empty() || fresh.empty()) {
+    std::fprintf(stderr, "bench_gate: no ms_per_round rows found\n");
+    return 2;
+  }
+  if (base.size() != fresh.size()) {
+    std::fprintf(stderr,
+                 "bench_gate: row count mismatch (baseline %zu vs fresh %zu) — "
+                 "regenerate the committed baseline\n",
+                 base.size(), fresh.size());
+    return 1;
+  }
+
+  int failures = 0;
+  std::printf("%-32s %12s %12s %9s\n", "row", "baseline ms", "fresh ms", "delta");
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    double delta = base[i].ms_per_round > 0
+                       ? fresh[i].ms_per_round / base[i].ms_per_round - 1.0
+                       : 0.0;
+    bool bad = delta > max_regression;
+    std::printf("%-32s %12.3f %12.3f %+8.1f%%%s\n", base[i].label.c_str(),
+                base[i].ms_per_round, fresh[i].ms_per_round, delta * 100,
+                bad ? "  << REGRESSION" : "");
+    if (bad) ++failures;
+  }
+  if (failures) {
+    std::fprintf(stderr,
+                 "bench_gate: %d row(s) regressed more than %.0f%% vs %s\n",
+                 failures, max_regression * 100, files[0]);
+    return 1;
+  }
+  std::printf("bench_gate: OK (max allowed regression %.0f%%)\n",
+              max_regression * 100);
+  return 0;
+}
