@@ -1,8 +1,10 @@
 #include "chain/blockchain.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "parallel/thread_pool.hpp"
+#include "primitives/keccak256.hpp"
 
 namespace dsaudit::chain {
 
@@ -12,6 +14,7 @@ Blockchain::Blockchain(ChainConfig config) : config_(config) {
 
 void Blockchain::mint(const Address& who, std::uint64_t amount) {
   balances_[who] += amount;
+  total_supply_ += amount;
 }
 
 std::uint64_t Blockchain::balance(const Address& who) const {
@@ -27,22 +30,35 @@ void Blockchain::transfer(const Address& from, const Address& to,
   }
   it->second -= amount;
   balances_[to] += amount;
+  // Drop zeroed entries so the ledger map tracks live accounts, not every
+  // address ever seen — closed contract escrows dominate at population
+  // scale. balance() reports missing entries as 0, so this is unobservable.
+  it = balances_.find(from);
+  if (it != balances_.end() && it->second == 0) balances_.erase(it);
 }
 
 std::size_t Blockchain::submit(Transaction tx) {
   tx.submitted_at = now_;
-  txs_.push_back(std::move(tx));
-  pending_.push_back(txs_.size() - 1);
-  return txs_.size() - 1;
+  std::size_t index = submitted_count_++;
+  if (config_.retention == Retention::Full) {
+    txs_.push_back(std::move(tx));
+    pending_.push_back(txs_.size() - 1);
+  } else {
+    pending_stream_.push_back(std::move(tx));
+  }
+  return index;
 }
 
 void Blockchain::schedule(Timestamp when, std::function<void(Timestamp)> action) {
-  tasks_.emplace(when, ScheduledTask{when, std::move(action), nullptr});
+  tasks_.push_back({when, task_seq_++, {when, std::move(action), nullptr}});
+  std::push_heap(tasks_.begin(), tasks_.end(), TaskAfter{});
 }
 
 void Blockchain::schedule(Timestamp when, std::function<void(Timestamp)> prepare,
                           std::function<void(Timestamp)> action) {
-  tasks_.emplace(when, ScheduledTask{when, std::move(action), std::move(prepare)});
+  tasks_.push_back(
+      {when, task_seq_++, {when, std::move(action), std::move(prepare)}});
+  std::push_heap(tasks_.begin(), tasks_.end(), TaskAfter{});
 }
 
 void Blockchain::defer_until_actions(std::function<void(Timestamp)> fn) {
@@ -50,40 +66,102 @@ void Blockchain::defer_until_actions(std::function<void(Timestamp)> fn) {
   deferred_.push_back(std::move(fn));
 }
 
+void Blockchain::fold_mined(const Transaction& tx) {
+  ++tx_count_;
+  total_payload_bytes_ += tx.payload_bytes;
+  // Digest = keccak(prev || intern(from) || desc || fixed-width fields),
+  // folded in mined order. Interning `from` by first appearance makes the
+  // digest a function of behavior, not of the process-global contract
+  // counter, so it compares across runs and retention modes.
+  auto [it, fresh] = addr_intern_.emplace(tx.from, addr_intern_.size());
+  (void)fresh;
+  std::vector<std::uint8_t> buf;
+  buf.reserve(32 + 8 + 2 + tx.description.size() + 8 * 5);
+  buf.insert(buf.end(), tx_digest_.begin(), tx_digest_.end());
+  auto put64 = [&buf](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) buf.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  };
+  put64(it->second);
+  buf.push_back(static_cast<std::uint8_t>(tx.description.size() & 0xff));
+  buf.push_back(static_cast<std::uint8_t>(tx.description.size() >> 8));
+  buf.insert(buf.end(), tx.description.begin(), tx.description.end());
+  put64(tx.payload_bytes);
+  put64(tx.gas_used);
+  put64(tx.submitted_at);
+  put64(tx.mined_at);
+  put64(tx.block_number);
+  tx_digest_ = primitives::Keccak256::hash(
+      std::span<const std::uint8_t>(buf.data(), buf.size()));
+}
+
 void Blockchain::mine_one_block() {
   Block b;
-  b.number = blocks_.size() + 1;
+  b.number = block_count_ + 1;
   b.timestamp = now_;
   b.size_bytes = config_.block_overhead_bytes;
   // Greedy inclusion under the block's size and gas budgets (FIFO order —
   // our simulation has no fee market).
-  std::vector<std::size_t> still_pending;
-  for (std::size_t idx : pending_) {
-    Transaction& tx = txs_[idx];
-    std::size_t tx_bytes = tx.payload_bytes + config_.tx_overhead_bytes;
-    if (b.size_bytes + tx_bytes > config_.max_block_bytes ||
-        b.gas_used + tx.gas_used > config_.max_block_gas) {
-      still_pending.push_back(idx);
-      continue;
+  if (config_.retention == Retention::Full) {
+    std::vector<std::size_t> still_pending;
+    for (std::size_t idx : pending_) {
+      Transaction& tx = txs_[idx];
+      std::size_t tx_bytes = tx.payload_bytes + config_.tx_overhead_bytes;
+      if (b.size_bytes + tx_bytes > config_.max_block_bytes ||
+          b.gas_used + tx.gas_used > config_.max_block_gas) {
+        still_pending.push_back(idx);
+        continue;
+      }
+      tx.mined_at = now_;
+      tx.block_number = b.number;
+      b.size_bytes += tx_bytes;
+      b.gas_used += tx.gas_used;
+      b.tx_indices.push_back(idx);
+      fold_mined(tx);
     }
-    tx.mined_at = now_;
-    tx.block_number = b.number;
-    b.size_bytes += tx_bytes;
-    b.gas_used += tx.gas_used;
-    b.tx_indices.push_back(idx);
+    pending_ = std::move(still_pending);
+  } else {
+    std::vector<Transaction> still_pending;
+    for (Transaction& tx : pending_stream_) {
+      std::size_t tx_bytes = tx.payload_bytes + config_.tx_overhead_bytes;
+      if (b.size_bytes + tx_bytes > config_.max_block_bytes ||
+          b.gas_used + tx.gas_used > config_.max_block_gas) {
+        still_pending.push_back(std::move(tx));
+        continue;
+      }
+      tx.mined_at = now_;
+      tx.block_number = b.number;
+      b.size_bytes += tx_bytes;
+      b.gas_used += tx.gas_used;
+      fold_mined(tx);
+    }
+    pending_stream_ = std::move(still_pending);
   }
-  pending_ = std::move(still_pending);
   total_bytes_ += b.size_bytes;
   total_gas_ += b.gas_used;
-  blocks_.push_back(std::move(b));
+  ++block_count_;
+  if (config_.retention == Retention::Full) blocks_.push_back(std::move(b));
 }
 
 void Blockchain::advance(Timestamp seconds) {
   Timestamp target = now_ + seconds;
   for (;;) {
     // Next event: a scheduled task or a block boundary, whichever first.
-    Timestamp next_task =
-        tasks_.empty() ? target + 1 : tasks_.begin()->first;
+    Timestamp next_task = tasks_.empty() ? target + 1 : tasks_.front().when;
+    // Streaming fast path: a maximal run of empty blocks strictly before the
+    // next task is pure arithmetic — k blocks, k * overhead bytes, no gas.
+    // (Full retention materializes each Block, so it walks them one by one.)
+    if (config_.retention == Retention::Streaming && pending_stream_.empty() &&
+        next_block_at_ < next_task) {
+      Timestamp hi = std::min(target, next_task - 1);
+      if (next_block_at_ <= hi) {
+        std::uint64_t k = (hi - next_block_at_) / config_.block_interval_s + 1;
+        block_count_ += k;
+        total_bytes_ += k * config_.block_overhead_bytes;
+        now_ = next_block_at_ + (k - 1) * config_.block_interval_s;
+        next_block_at_ += k * config_.block_interval_s;
+        continue;
+      }
+    }
     Timestamp next_event = std::min(next_block_at_, next_task);
     if (next_event > target) break;
     now_ = next_event;
@@ -93,11 +171,12 @@ void Blockchain::advance(Timestamp seconds) {
     // contract — then actions run sequentially in schedule order, so ledger
     // and transaction ordering are identical at every thread count. Actions
     // may schedule new tasks at <= now_; the outer loop batches those too.
-    while (!tasks_.empty() && tasks_.begin()->first <= now_) {
+    while (!tasks_.empty() && tasks_.front().when <= now_) {
       std::vector<ScheduledTask> batch;
-      while (!tasks_.empty() && tasks_.begin()->first <= now_) {
-        batch.push_back(std::move(tasks_.begin()->second));
-        tasks_.erase(tasks_.begin());
+      while (!tasks_.empty() && tasks_.front().when <= now_) {
+        std::pop_heap(tasks_.begin(), tasks_.end(), TaskAfter{});
+        batch.push_back(std::move(tasks_.back().task));
+        tasks_.pop_back();
       }
       std::vector<std::size_t> prepares;
       for (std::size_t i = 0; i < batch.size(); ++i) {

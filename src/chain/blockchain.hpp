@@ -6,8 +6,26 @@
 // (§VII-D assumes ~18 KB average blocks => ~2 tx/s for 288-byte audit txs
 // plus overhead), cumulative chain growth (Fig. 10 left) and a native-token
 // ledger for the deposit/micro-payment flows of Fig. 2.
+//
+// Time is event-driven: advance() skips from due instant to due instant over
+// a binary min-heap of scheduled tasks plus the block-boundary cadence — no
+// per-second walking. History is governed by ChainConfig::retention:
+//
+//   Retention::Full       (default) materializes every Transaction and Block,
+//                         exactly as the original simulator did — the oracle
+//                         mode every exact-constant test pins against.
+//   Retention::Streaming  folds mined txs and blocks into rolling aggregates
+//                         (counts, bytes, gas, a running keccak digest of the
+//                         mined tx stream) the moment they are mined, and
+//                         accounts runs of empty blocks arithmetically. O(1)
+//                         memory per tx/block; blocks()/transactions() stay
+//                         empty. Every aggregate is maintained identically in
+//                         both modes, so a streaming run must match its
+//                         full-retention twin bit-for-bit on
+//                         block_count/tx_count/bytes/gas/digest.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -21,6 +39,9 @@ namespace dsaudit::chain {
 
 using Address = std::string;
 using Timestamp = std::uint64_t;  // seconds since simulation start
+
+/// History retention policy (see the header comment).
+enum class Retention : std::uint8_t { Full, Streaming };
 
 struct Transaction {
   Address from;
@@ -54,6 +75,9 @@ struct ChainConfig {
   /// per-instant settlement: every boundary coincides with the due instant,
   /// byte-identical to the pre-window behavior.
   Timestamp settlement_window_s = 0;
+  /// History retention (Full = materialized vectors, the historical
+  /// behavior; Streaming = rolling aggregates, O(1) memory per tx/block).
+  Retention retention = Retention::Full;
 };
 
 /// Scheduled callback ("Ethereum Alarm Clock" in Fig. 2): fires the first
@@ -74,6 +98,7 @@ class Blockchain {
   explicit Blockchain(ChainConfig config = {});
 
   Timestamp now() const { return now_; }
+  Retention retention() const { return config_.retention; }
 
   /// Configured deferred-settlement window (see ChainConfig).
   Timestamp settlement_window() const { return config_.settlement_window_s; }
@@ -91,10 +116,14 @@ class Blockchain {
   std::uint64_t balance(const Address& who) const;
   /// Throws std::runtime_error on insufficient funds.
   void transfer(const Address& from, const Address& to, std::uint64_t amount);
+  /// Sum of every balance (mint-only monotone; transfers conserve it).
+  /// Maintained incrementally — O(1), valid in both retention modes.
+  std::uint64_t total_supply() const { return total_supply_; }
 
   // --- transactions -------------------------------------------------------
   /// Queue a transaction; it is mined by the next advance() with capacity.
-  /// Returns the tx index.
+  /// Returns the tx index (the running submission count under streaming
+  /// retention, where transactions() stays empty).
   std::size_t submit(Transaction tx);
 
   /// Schedule a callback at a future timestamp.
@@ -114,34 +143,90 @@ class Blockchain {
   /// the driving thread, so they may use the parallel pool.
   void defer_until_actions(std::function<void(Timestamp)> fn);
 
-  /// Advance simulated time, mining blocks every block_interval_s and firing
-  /// due scheduled tasks (which may themselves submit transactions).
+  /// Advance simulated time, skipping straight to the next due instant
+  /// (scheduled task or block boundary) and firing everything due there.
+  /// Under streaming retention, maximal runs of empty blocks between events
+  /// are accounted arithmetically in one step.
   void advance(Timestamp seconds);
 
   // --- introspection ------------------------------------------------------
+  /// Materialized history; empty under Retention::Streaming.
   const std::vector<Block>& blocks() const { return blocks_; }
   const std::vector<Transaction>& transactions() const { return txs_; }
-  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t pending_count() const {
+    return config_.retention == Retention::Full ? pending_.size()
+                                                : pending_stream_.size();
+  }
   /// Total bytes appended to the chain so far (Fig. 10 left measures the
   /// annual rate of this).
   std::size_t total_chain_bytes() const { return total_bytes_; }
   std::uint64_t total_gas_used() const { return total_gas_; }
 
+  // Rolling aggregates, maintained identically in both retention modes.
+  /// Blocks mined so far (== blocks().size() under full retention).
+  std::uint64_t block_count() const { return block_count_; }
+  /// Transactions MINED so far (excludes still-pending submissions; under
+  /// full retention transactions() additionally shows the pending tail).
+  std::uint64_t tx_count() const { return tx_count_; }
+  /// Sum of payload_bytes over every mined tx.
+  std::uint64_t total_payload_bytes() const { return total_payload_bytes_; }
+  /// Running keccak-256 over the mined transaction stream, folded in mined
+  /// order. `from` addresses enter as first-appearance intern ids, so two
+  /// runs whose contracts carry different process-global counter suffixes
+  /// but behave identically produce the same digest — the cross-run,
+  /// cross-retention-mode comparison handle.
+  const std::array<std::uint8_t, 32>& tx_stream_digest() const {
+    return tx_digest_;
+  }
+
  private:
   void mine_one_block();
+  /// Fold one freshly mined tx into the rolling aggregates (count, payload
+  /// bytes, stream digest). Called in mined order in both retention modes.
+  void fold_mined(const Transaction& tx);
 
   ChainConfig config_;
   Timestamp now_ = 0;
   Timestamp next_block_at_;
+
+  // Full-retention history (empty under streaming).
   std::vector<Transaction> txs_;
-  std::vector<std::size_t> pending_;
+  std::vector<std::size_t> pending_;  // indices into txs_
   std::vector<Block> blocks_;
-  std::multimap<Timestamp, ScheduledTask> tasks_;
+  // Streaming-retention pending queue: owns the not-yet-mined txs, FIFO with
+  // greedy skip (same inclusion rule as full retention).
+  std::vector<Transaction> pending_stream_;
+
+  // Scheduler: binary min-heap ordered by (when, seq). seq is the insertion
+  // number, so the pop order is exactly the old multimap's (time, insertion)
+  // order — the firing sequence every determinism test pins.
+  struct PendingTask {
+    Timestamp when = 0;
+    std::uint64_t seq = 0;
+    ScheduledTask task;
+  };
+  struct TaskAfter {
+    bool operator()(const PendingTask& a, const PendingTask& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+  std::vector<PendingTask> tasks_;  // heap under TaskAfter
+  std::uint64_t task_seq_ = 0;
+
   std::vector<std::function<void(Timestamp)>> deferred_;
   std::mutex deferred_mutex_;
   std::map<Address, std::uint64_t> balances_;
   std::size_t total_bytes_ = 0;
   std::uint64_t total_gas_ = 0;
+
+  // Rolling aggregates (both modes).
+  std::uint64_t block_count_ = 0;
+  std::uint64_t tx_count_ = 0;
+  std::uint64_t submitted_count_ = 0;
+  std::uint64_t total_payload_bytes_ = 0;
+  std::uint64_t total_supply_ = 0;
+  std::array<std::uint8_t, 32> tx_digest_{};
+  std::map<Address, std::uint64_t> addr_intern_;
 };
 
 }  // namespace dsaudit::chain

@@ -49,8 +49,9 @@ AuditContract::AuditContract(chain::Blockchain& chain,
     : chain_(chain),
       beacon_(beacon),
       terms_(std::move(terms)),
-      pk_(std::move(pk)),
-      verifier_(pk_),
+      pk_owned_(std::make_unique<PublicKey>(std::move(pk))),
+      verifier_owned_(std::make_unique<audit::Verifier>(*pk_owned_)),
+      verifier_(verifier_owned_.get()),
       file_name_(file_name),
       num_chunks_(num_chunks),
       address_("contract-" + std::to_string(++contract_counter)) {
@@ -60,21 +61,67 @@ AuditContract::AuditContract(chain::Blockchain& chain,
           "response window must fit inside the audit period");
   if (prepared && prepared->num_chunks == num_chunks_ &&
       prepared->name == file_name_) {
-    file_ctx_ = std::move(*prepared);
+    ctx_owned_ = std::make_unique<audit::PreparedFile>(std::move(*prepared));
   } else {
-    file_ctx_ = audit::prepare_file(file_name_, num_chunks_);
+    ctx_owned_ = std::make_unique<audit::PreparedFile>(
+        audit::prepare_file(file_name_, num_chunks_));
   }
+  file_ctx_ = ctx_owned_.get();
+}
+
+AuditContract::AuditContract(chain::Blockchain& chain,
+                             chain::RandomnessBeacon& beacon, ContractTerms terms,
+                             const audit::Verifier& verifier,
+                             audit::Fr file_name, std::size_t num_chunks,
+                             const audit::PreparedFile* file_ctx)
+    : chain_(chain),
+      beacon_(beacon),
+      terms_(std::move(terms)),
+      verifier_(&verifier),
+      file_ctx_(file_ctx),
+      file_name_(file_name),
+      num_chunks_(num_chunks),
+      address_("contract-" + std::to_string(++contract_counter)) {
+  require(terms_.num_audits > 0, "num_audits must be positive");
+  require(num_chunks_ > 0, "empty file");
+  require(terms_.response_window_s < terms_.audit_period_s,
+          "response window must fit inside the audit period");
+  require(!file_ctx_ || (file_ctx_->num_chunks == num_chunks_ &&
+                         file_ctx_->name == file_name_),
+          "shared file context does not match (name, num_chunks)");
 }
 
 void AuditContract::emit(const std::string& what) {
   events_.push_back({chain_.now(), what});
+  if (terms_.retained_events > 0 && events_.size() > terms_.retained_events) {
+    events_.erase(events_.begin(),
+                  events_.end() - static_cast<std::ptrdiff_t>(terms_.retained_events));
+  }
+}
+
+void AuditContract::trim_history() {
+  if (terms_.retained_rounds > 0 && rounds_.size() > terms_.retained_rounds) {
+    rounds_.erase(rounds_.begin(),
+                  rounds_.end() - static_cast<std::ptrdiff_t>(terms_.retained_rounds));
+  }
+}
+
+void AuditContract::settle_record(const RoundRecord& rec) {
+  switch (rec.outcome) {
+    case RoundOutcome::Pass: ++passes_; break;
+    case RoundOutcome::Fail: ++fails_; break;
+    case RoundOutcome::Timeout: ++timeouts_; break;
+    case RoundOutcome::Aborted: ++aborted_; break;
+  }
+  round_gas_ += rec.gas_used;
+  if (on_round_) on_round_(rec);
 }
 
 void AuditContract::negotiated() {
   require(state_ == State::Uninitialized, "negotiated: state != ⊥");
   // D pays the one-time on-chain storage of agrmts + params + metadata
   // (Fig. 4's public-key bytes plus name/d).
-  auto pk_bytes = audit::serialize(pk_, terms_.private_proofs);
+  auto pk_bytes = audit::serialize(verifier_->pk(), terms_.private_proofs);
   chain::Transaction tx;
   tx.from = terms_.owner;
   tx.description = "negotiated";
@@ -211,6 +258,7 @@ void AuditContract::on_challenge_due(Timestamp /*now*/) {
     emit("proofposted");
   }
   rounds_.push_back(std::move(rec));
+  ++records_created_;
   chain_.schedule(chain_.now() + terms_.response_window_s,
                   [this](Timestamp now) { prepare_verify(now); },
                   [this](Timestamp now) { on_verify_due(now); });
@@ -226,8 +274,10 @@ void AuditContract::prepare_verify(Timestamp /*now*/) {
     // once per instant, for every due round together. A malformed proof
     // never reaches the batch — it fails this round immediately.
     audit::SettlementInstance inst;
-    inst.verifier = &verifier_;
-    inst.file = &file_ctx_;
+    inst.verifier = verifier_;
+    inst.file = file_ctx_;  // null => the engine recomputes chunk hashes
+    inst.name = file_name_;
+    inst.num_chunks = num_chunks_;
     inst.challenge = rounds_.back().challenge;
     if (terms_.private_proofs) {
       inst.priv = audit::deserialize_private(*pending_proof_);
@@ -240,13 +290,21 @@ void AuditContract::prepare_verify(Timestamp /*now*/) {
     }
   } else if (terms_.private_proofs) {
     auto proof = audit::deserialize_private(*pending_proof_);
-    staged.ok =
-        proof && verifier_.verify_private(file_ctx_, rounds_.back().challenge,
-                                          *proof);
+    staged.ok = proof &&
+                (file_ctx_
+                     ? verifier_->verify_private(*file_ctx_,
+                                                 rounds_.back().challenge, *proof)
+                     : verifier_->verify_private(file_name_, num_chunks_,
+                                                 rounds_.back().challenge,
+                                                 *proof));
   } else {
     auto proof = audit::deserialize_basic(*pending_proof_);
     staged.ok =
-        proof && verifier_.verify(file_ctx_, rounds_.back().challenge, *proof);
+        proof &&
+        (file_ctx_
+             ? verifier_->verify(*file_ctx_, rounds_.back().challenge, *proof)
+             : verifier_->verify(file_name_, num_chunks_,
+                                 rounds_.back().challenge, *proof));
   }
   staged.verify_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
@@ -285,6 +343,7 @@ void AuditContract::on_verify_due(Timestamp now) {
       // window is re-attempted at the next boundary (one response window
       // later when windows are off) instead of being slashed immediately.
       ++rec.retries;
+      ++retries_;
       emit("timeout-retry");
       Timestamp retry_at = chain_.settlement_window() > 1
                                ? chain_.settlement_boundary(now + 1)
@@ -295,6 +354,7 @@ void AuditContract::on_verify_due(Timestamp now) {
     }
     rec.outcome = RoundOutcome::Timeout;
     emit("fail");
+    settle_record(rec);
     if (terms_.penalty_per_fail > 0) {
       chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
     }
@@ -397,6 +457,7 @@ void AuditContract::finalize_proved(const BatchSettlement::Outcome& outcome) {
   if (outcome.ok) {
     rec.outcome = RoundOutcome::Pass;
     emit("pass");
+    settle_record(rec);
     if (terms_.reward_per_audit > 0) {
       chain_.transfer(address_, terms_.provider, terms_.reward_per_audit);
     }
@@ -404,6 +465,7 @@ void AuditContract::finalize_proved(const BatchSettlement::Outcome& outcome) {
   } else {
     rec.outcome = RoundOutcome::Fail;
     emit("fail");
+    settle_record(rec);
     if (terms_.penalty_per_fail > 0) {
       chain_.transfer(address_, terms_.owner, terms_.penalty_per_fail);
     }
@@ -418,14 +480,17 @@ void AuditContract::advance_round() {
   if (terms_.slash_after_consecutive > 0 &&
       consecutive_misses_ >= terms_.slash_after_consecutive) {
     slash_and_close();
+    trim_history();
     return;
   }
   if (cnt_ >= terms_.num_audits) {
     settle_and_close();
+    trim_history();
     return;
   }
   state_ = State::Audit;
   schedule_challenge(rounds_.back().challenged_at + terms_.audit_period_s);
+  trim_history();
 }
 
 void AuditContract::settle_and_close() {
@@ -460,9 +525,10 @@ void AuditContract::slash_and_close() {
 void AuditContract::provider_exit() {
   require(state_ == State::Audit || state_ == State::Prove,
           "provider_exit: contract not live");
-  if (state_ == State::Prove && rounds_.size() > cnt_) {
+  if (state_ == State::Prove && records_created_ > cnt_) {
     // The in-flight round never settles; it moves no money either way.
     rounds_.back().outcome = RoundOutcome::Aborted;
+    settle_record(rounds_.back());
   }
   // Escrow release: the owner recovers every undelivered reward plus an
   // exit fee of one penalty_per_fail carved from the provider's remaining
@@ -487,6 +553,7 @@ void AuditContract::provider_exit() {
   tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{8});
   chain_.submit(tx);
   close(CloseReason::ProviderExit, "provider-exit");
+  trim_history();
 }
 
 void AuditContract::close(CloseReason reason, const std::string& event) {
@@ -494,27 +561,6 @@ void AuditContract::close(CloseReason reason, const std::string& event) {
   close_reason_ = reason;
   emit(event);
   if (on_closed_) on_closed_(reason);
-}
-
-std::uint64_t AuditContract::passes() const {
-  std::uint64_t n = 0;
-  for (const auto& r : rounds_) n += r.outcome == RoundOutcome::Pass;
-  return n;
-}
-std::uint64_t AuditContract::fails() const {
-  std::uint64_t n = 0;
-  for (const auto& r : rounds_) n += r.outcome == RoundOutcome::Fail;
-  return n;
-}
-std::uint64_t AuditContract::timeouts() const {
-  std::uint64_t n = 0;
-  for (const auto& r : rounds_) n += r.outcome == RoundOutcome::Timeout;
-  return n;
-}
-std::uint64_t AuditContract::timeout_retries() const {
-  std::uint64_t n = 0;
-  for (const auto& r : rounds_) n += r.retries;
-  return n;
 }
 
 }  // namespace dsaudit::contract

@@ -11,8 +11,16 @@
 // response window with timeout (a silent provider must lose the round), an
 // explicit rejection path at ACK (§VI-A's denial-of-service discussion), and
 // final settlement of the remaining escrow at expiry.
+//
+// Memory model: round outcomes are always folded into O(1) aggregate
+// counters (passes/fails/timeouts/aborts/retries/gas) the moment they
+// settle. The RoundRecord vector is a retention choice on top of that —
+// unbounded by default (terms.retained_rounds == 0, the historical behavior
+// every test pins), or a bounded ring of the most recent records for
+// population-scale runs where a million contracts must stay O(1) each.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -86,6 +94,13 @@ struct ContractTerms {
   /// escrow — undelivered rewards and collateral — to the owner.
   /// 0 (default) disables slashing, preserving the original lifecycle.
   std::uint32_t slash_after_consecutive = 0;
+  /// Round-record retention: 0 (default) keeps every RoundRecord — the
+  /// historical behavior rounds() consumers rely on. N >= 1 keeps only the
+  /// N most recent records (the in-flight round always survives), bounding
+  /// per-contract memory; the aggregate counters stay exact either way.
+  std::size_t retained_rounds = 0;
+  /// Same policy for the event log (0 = keep everything).
+  std::size_t retained_events = 0;
 };
 
 struct RoundRecord {
@@ -118,7 +133,9 @@ class AuditContract {
   using Responder =
       std::function<std::optional<std::vector<std::uint8_t>>(const Challenge&)>;
 
-  /// `prepared` optionally injects the per-file verification context (chunk
+  /// Owning constructor (the historical shape): the contract copies the
+  /// public key, builds its own prepared Verifier from it, and owns its
+  /// per-file context. `prepared` optionally injects that context (chunk
   /// hash points + shifted-base table) built elsewhere — NetworkSim builds
   /// them for whole deployments in parallel before the sequential contract
   /// phase. It must match (file_name, num_chunks); mismatches (or nullopt)
@@ -128,8 +145,21 @@ class AuditContract {
                 std::size_t num_chunks,
                 std::optional<audit::PreparedFile> prepared = std::nullopt);
 
-  // Self-referential (verifier_ borrows pk_) and scheduled callbacks capture
-  // `this`: copying or moving would leave either pointing into the source.
+  /// Shared-context constructor for population-scale simulations: borrows a
+  /// caller-owned prepared Verifier (its G2 line tables dominate the
+  /// per-contract footprint when every contract carries its own), and
+  /// optionally a caller-owned PreparedFile. Both must outlive the contract.
+  /// A null `file_ctx` selects the verifier's cold path (chunk hashes
+  /// recomputed per round from name/num_chunks) — slower per verification,
+  /// zero per-file retained state; outcomes and gas are identical.
+  AuditContract(chain::Blockchain& chain, chain::RandomnessBeacon& beacon,
+                ContractTerms terms, const audit::Verifier& verifier,
+                audit::Fr file_name, std::size_t num_chunks,
+                const audit::PreparedFile* file_ctx = nullptr);
+
+  // Scheduled callbacks capture `this`, and the owning constructor's
+  // verifier borrows the owned pk: copying or moving would leave either
+  // pointing into the source.
   AuditContract(const AuditContract&) = delete;
   AuditContract& operator=(const AuditContract&) = delete;
 
@@ -161,6 +191,14 @@ class AuditContract {
   using ClosedCallback = std::function<void(CloseReason)>;
   void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
 
+  /// Invoked from the sequential action phase each time a round reaches its
+  /// terminal outcome (Pass/Fail/Timeout settle, or Aborted by a provider
+  /// exit), with the finished record. NetworkSim maintains its incremental
+  /// population aggregates off this — the streaming replacement for walking
+  /// rounds() after the fact.
+  using RoundCallback = std::function<void(const RoundRecord&)>;
+  void set_on_round(RoundCallback cb) { on_round_ = std::move(cb); }
+
   /// Deferred-settlement mode: this contract's due rounds queue into `batch`
   /// (shared across contracts) and settle together with every round due at
   /// the same chain instant — 3 pairings per block per distinct key instead
@@ -173,16 +211,25 @@ class AuditContract {
   State state() const { return state_; }
   CloseReason close_reason() const { return close_reason_; }
   std::uint64_t rounds_completed() const { return cnt_; }
+  /// Retained round records: everything ever challenged under full
+  /// retention (terms.retained_rounds == 0), the most recent ring otherwise.
   const std::vector<RoundRecord>& rounds() const { return rounds_; }
   const std::vector<ContractEvent>& events() const { return events_; }
   std::uint64_t escrow_balance() const;
   const ContractTerms& terms() const { return terms_; }
   Address address() const { return address_; }
 
-  std::uint64_t passes() const;
-  std::uint64_t fails() const;     // verification failures
-  std::uint64_t timeouts() const;  // missing proofs (retries exhausted)
-  std::uint64_t timeout_retries() const;  // re-attempts across all rounds
+  // O(1) aggregate counters, exact in every retention mode.
+  std::uint64_t passes() const { return passes_; }
+  std::uint64_t fails() const { return fails_; }        // verification failures
+  std::uint64_t timeouts() const { return timeouts_; }  // proofs never arrived
+  std::uint64_t aborted_rounds() const { return aborted_; }
+  std::uint64_t timeout_retries() const { return retries_; }
+  /// Sum of gas_used over settled rounds (the prove-tx gas; aborted and
+  /// timed-out rounds carry none).
+  std::uint64_t total_round_gas() const { return round_gas_; }
+  /// Rounds ever challenged (== rounds().size() under full retention).
+  std::uint64_t rounds_challenged() const { return records_created_; }
 
  private:
   void emit(const std::string& what);
@@ -216,22 +263,31 @@ class AuditContract {
   void slash_and_close();
   /// Shared closure tail: set state/reason, emit, fire on_closed_ once.
   void close(CloseReason reason, const std::string& event);
+  /// Fold a terminal outcome into the aggregate counters and notify
+  /// on_round_. Called exactly once per settled/aborted record.
+  void settle_record(const RoundRecord& rec);
+  /// Enforce terms.retained_rounds/retained_events. Only called at points
+  /// where no in-flight round references rounds_.back() across the trim.
+  void trim_history();
   Challenge challenge_from_beacon(std::uint64_t round) const;
   std::array<std::uint8_t, 32> round_transcript() const;
 
   chain::Blockchain& chain_;
   chain::RandomnessBeacon& beacon_;
   ContractTerms terms_;
-  PublicKey pk_;
-  // One prepared verifier serving every audit round of this contract: the
-  // G2 line tables for pk_ are cached once at deployment. Declared after
-  // pk_ (it borrows it) and initialized from it in the constructor.
-  audit::Verifier verifier_;
+  // Owning mode: pk_owned_ holds the copied key, verifier_owned_ the
+  // prepared verifier built from it (heap-allocated so the borrow survives
+  // any move of the containing pointers), ctx_owned_ the per-file context.
+  // Shared mode: all three stay null and the raw pointers borrow
+  // caller-owned state. verifier_ is never null; file_ctx_ may be (cold
+  // verification path).
+  std::unique_ptr<PublicKey> pk_owned_;
+  std::unique_ptr<audit::Verifier> verifier_owned_;
+  std::unique_ptr<audit::PreparedFile> ctx_owned_;
+  const audit::Verifier* verifier_ = nullptr;
+  const audit::PreparedFile* file_ctx_ = nullptr;
   audit::Fr file_name_;
   std::size_t num_chunks_;
-  // Per-file context (chunk hash points + shifted-base table), also built
-  // once at deployment and reused by every round's chi aggregation.
-  audit::PreparedFile file_ctx_;
   Address address_;
 
   State state_ = State::Uninitialized;
@@ -242,10 +298,19 @@ class AuditContract {
   std::uint32_t consecutive_misses_ = 0;
   Responder responder_;
   ClosedCallback on_closed_;
+  RoundCallback on_round_;
   BatchSettlement* batch_ = nullptr;  // non-owning; set by enable_deferred_...
   std::optional<std::vector<std::uint8_t>> pending_proof_;
   std::vector<RoundRecord> rounds_;
   std::vector<ContractEvent> events_;
+  // Aggregate counters (see the accessors).
+  std::uint64_t passes_ = 0;
+  std::uint64_t fails_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t round_gas_ = 0;
+  std::uint64_t records_created_ = 0;
   chain::GasSchedule gas_ = chain::GasSchedule::calibrated();
   // §VII-B calibrated per-audit cost model: the source of the deterministic
   // verification-gas figure (the measured wall-clock stays telemetry).

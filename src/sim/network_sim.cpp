@@ -14,8 +14,13 @@ namespace {
 chain::ChainConfig chain_config_for(const NetworkConfig& config) {
   chain::ChainConfig cc;
   cc.settlement_window_s = config.settlement_window_s;
+  cc.retention = config.retention;
   return cc;
 }
+
+/// Per-owner data seed: streaming mode regenerates owner bytes on demand
+/// from this stream instead of materializing them at deploy.
+constexpr std::uint64_t kOwnerDataSeed = 0x94D049BB133111EBULL;
 
 }  // namespace
 
@@ -65,37 +70,82 @@ ProviderBehavior NetworkSim::behavior_of(const std::string& provider) const {
   return ProviderBehavior::Honest;
 }
 
+const audit::Verifier* NetworkSim::shared_verifier_for(std::size_t owner) const {
+  if (config_.key_pool) return pool_verifiers_[owner % config_.key_pool].get();
+  if (config_.retention == chain::Retention::Streaming) {
+    return owner_verifiers_[owner].get();
+  }
+  return nullptr;  // legacy layout: every contract owns a prepared verifier
+}
+
+std::vector<std::uint8_t> NetworkSim::owner_data_of(std::size_t owner) const {
+  if (config_.retention == chain::Retention::Full) return owner_data_[owner];
+  std::vector<std::uint8_t> data(config_.file_bytes);
+  auto drng = primitives::SecureRng::deterministic(
+      config_.rng_seed ^ (kOwnerDataSeed * (owner + 1)));
+  drng.fill(data);
+  return data;
+}
+
+std::vector<std::vector<std::uint8_t>> NetworkSim::owner_shards_of(
+    std::size_t owner) const {
+  if (config_.retention == chain::Retention::Full) return owner_shards_[owner];
+  storage::ReedSolomon rs(config_.erasure_data, config_.erasure_parity);
+  return rs.encode(owner_data_of(owner));
+}
+
+void NetworkSim::push_hot(std::uint32_t provider_index) {
+  hot_provider_.push_back(provider_index);
+  hot_flags_.push_back(kShardOk);
+  hot_corruption_.push_back(static_cast<std::uint8_t>(Corruption::None));
+  hot_next_due_.push_back(0);
+  hot_rounds_done_.push_back(0);
+}
+
 void NetworkSim::deploy() {
   if (deployed_) throw std::logic_error("NetworkSim: already deployed");
   deployed_ = true;
+  const bool streaming = config_.retention == chain::Retention::Streaming;
 
   std::size_t shards_per_owner = config_.erasure_data + config_.erasure_parity;
   storage::ReedSolomon rs(config_.erasure_data, config_.erasure_parity);
 
-  // Provers and contracts borrow owner_keys_[o].pk for their whole lifetime;
-  // size up front so nothing reallocates under those references.
-  owner_keys_.resize(config_.num_owners);
-  owner_data_.reserve(config_.num_owners);
-  owner_shards_.reserve(config_.num_owners);
+  if (!streaming) {
+    owner_data_.reserve(config_.num_owners);
+    owner_shards_.reserve(config_.num_owners);
+  }
   current_dep_.assign(config_.num_owners,
                       std::vector<std::size_t>(shards_per_owner, 0));
   data_lost_.assign(config_.num_owners, false);
 
   // Phase 1 (sequential): everything drawn from the shared network RNG —
-  // owner data, file names — plus ring placement and ledger mints, in a
-  // fixed order that no pool width can disturb. Every provider is funded,
-  // placed or not: a repair may open a contract with any of them.
+  // owner data (full retention; streaming derives it per owner on demand),
+  // file names — plus ring placement and ledger mints, in a fixed order that
+  // no pool width can disturb. Every provider is funded, placed or not: a
+  // repair may open a contract with any of them.
   for (std::size_t p = 0; p < config_.num_providers; ++p) {
     chain_.mint("provider-" + std::to_string(p), 1'000'000);
   }
+  // Contract freeze locks reward_per_audit * num_audits from the owner and
+  // penalty_per_fail * num_audits from the provider, for every deployment,
+  // all up front. The flat 1'000'000 covers that at test populations but
+  // not at 10^5-10^6 owners, where Chord arc skew can put tens of
+  // thousands of contracts on one provider. Owners' demand is known now;
+  // providers are topped up after placement below. Both top-ups are zero
+  // whenever the flat mint suffices, keeping every pinned ledger constant.
+  const std::uint64_t owner_need =
+      static_cast<std::uint64_t>(shards_per_owner) * config_.reward_per_audit *
+      config_.num_audits;
   std::vector<ProviderBehavior> behaviors;
   for (std::size_t o = 0; o < config_.num_owners; ++o) {
     std::string owner = "owner-" + std::to_string(o);
-    chain_.mint(owner, 1'000'000);
-    std::vector<std::uint8_t> data(config_.file_bytes);
-    rng_.fill(data);
-    owner_data_.push_back(data);
-    owner_shards_.push_back(rs.encode(data));
+    chain_.mint(owner, std::max<std::uint64_t>(1'000'000, owner_need));
+    if (!streaming) {
+      std::vector<std::uint8_t> data(config_.file_bytes);
+      rng_.fill(data);
+      owner_shards_.push_back(rs.encode(data));
+      owner_data_.push_back(std::move(data));
+    }
 
     // Place shards on the DHT ring successors of the file key.
     auto holders =
@@ -106,48 +156,111 @@ void NetworkSim::deploy() {
 
       auto dep = std::make_unique<Deployment>();
       dep->placement = {o, sh, provider};
-      dep->provider_index = provider_index_.at(provider);
       dep->name = audit::Fr::random(rng_);
       behaviors.push_back(behavior_of(provider));
       current_dep_[o][sh] = deployments_.size();
+      push_hot(static_cast<std::uint32_t>(provider_index_.at(provider)));
       deployments_.push_back(std::move(dep));
     }
   }
 
-  // Phase 2 (parallel): per-owner key generation. Each owner's keys come
-  // from an RNG derived from the network seed and the owner index (the same
-  // scheme as the per-deployment prover RNGs), so concurrently generated
-  // keys never share an RNG stream and the output is byte-identical at
-  // every DSAUDIT_THREADS setting.
-  parallel::parallel_for(config_.num_owners, [&](std::size_t o) {
-    auto key_rng = primitives::SecureRng::deterministic(
-        config_.rng_seed ^ (0xC2B2AE3D27D4EB4FULL * (o + 1)));
-    owner_keys_[o] = audit::keygen(config_.s, key_rng);
-  });
+  // Provider-side funding top-up: now that placement is fixed, mint each
+  // provider up to its actual deploy-time collateral demand. Sequential and
+  // placement-derived, so it is identical across retention modes and
+  // thread counts.
+  {
+    std::vector<std::uint64_t> contracts_on(config_.num_providers, 0);
+    for (std::uint32_t p : hot_provider_) ++contracts_on[p];
+    const std::uint64_t lock_each =
+        config_.penalty_per_fail * config_.num_audits;
+    for (std::size_t p = 0; p < config_.num_providers; ++p) {
+      const std::uint64_t need = contracts_on[p] * lock_each;
+      if (need > 1'000'000) {
+        chain_.mint("provider-" + std::to_string(p), need - 1'000'000);
+      }
+    }
+  }
 
-  // Phase 3 (parallel): the heavy per-deployment crypto — file encoding,
-  // failure injection, tag generation, the prover's prepared MSM tables and
-  // the verifier-side per-file context. Whole deployments shard across the
-  // pool; the primitives' own inner sharding collapses inline on workers.
-  std::vector<audit::PreparedFile> file_ctxs(deployments_.size());
+  // Phase 2 (parallel): key generation. Each keypair comes from an RNG
+  // derived from the network seed and its slot index (the same scheme as the
+  // per-deployment prover RNGs), so concurrently generated keys never share
+  // an RNG stream and the output is byte-identical at every DSAUDIT_THREADS
+  // setting. With a key pool, owners share config_.key_pool keypairs and
+  // every contract borrows one of as many shared prepared Verifiers — the
+  // per-contract verifier tables are what dominate memory at 10^5+ owners.
+  // Keys are sized up front: provers, verifiers and contracts borrow them
+  // for their whole lifetime, so nothing may reallocate underneath.
+  if (config_.key_pool > 0) {
+    pool_keys_.resize(config_.key_pool);
+    parallel::parallel_for(config_.key_pool, [&](std::size_t k) {
+      auto key_rng = primitives::SecureRng::deterministic(
+          config_.rng_seed ^ (0xC2B2AE3D27D4EB4FULL * (k + 1)));
+      pool_keys_[k] = audit::keygen(config_.s, key_rng);
+    });
+    pool_verifiers_.resize(config_.key_pool);
+    parallel::parallel_for(config_.key_pool, [&](std::size_t k) {
+      pool_verifiers_[k] = std::make_unique<audit::Verifier>(pool_keys_[k].pk);
+    });
+  } else {
+    owner_keys_.resize(config_.num_owners);
+    parallel::parallel_for(config_.num_owners, [&](std::size_t o) {
+      auto key_rng = primitives::SecureRng::deterministic(
+          config_.rng_seed ^ (0xC2B2AE3D27D4EB4FULL * (o + 1)));
+      owner_keys_[o] = audit::keygen(config_.s, key_rng);
+    });
+    if (streaming) {
+      // No pool, but contracts still must not each own a verifier: share one
+      // prepared verifier per owner across its shard contracts.
+      owner_verifiers_.resize(config_.num_owners);
+      parallel::parallel_for(config_.num_owners, [&](std::size_t o) {
+        owner_verifiers_[o] =
+            std::make_unique<audit::Verifier>(owner_keys_[o].pk);
+      });
+    }
+  }
+
+  // Phase 3 (parallel): the heavy per-deployment crypto. Full retention
+  // materializes everything — file encoding, failure injection on the held
+  // copy, tag generation, the prover's prepared MSM tables and the
+  // verifier-side per-file context — exactly as the original simulator did.
+  // Streaming computes the same tags over the same Fr values but keeps only
+  // the tag and the chunk count: data is regenerated and a transient prover
+  // built per challenge (streaming_prove), and contracts verify through the
+  // cold per-round path. Whole deployments shard across the pool; the
+  // primitives' own inner sharding collapses inline on workers.
+  std::vector<audit::PreparedFile> file_ctxs;
+  if (!streaming) file_ctxs.resize(deployments_.size());
   parallel::parallel_for(deployments_.size(), [&](std::size_t i) {
     Deployment& dep = *deployments_[i];
     const std::size_t o = dep.placement.owner;
-    dep.file = storage::encode_file(owner_shards_[o][dep.placement.shard],
-                                    config_.s);
-    dep.held = dep.file;
-    dep.tag = audit::generate_tags(owner_keys_[o].sk, owner_keys_[o].pk,
-                                   dep.file, dep.name,
-                                   parallel::thread_count());
-    if (behaviors[i] == ProviderBehavior::DropsData) {
-      for (auto& b : dep.held.chunks[0]) b = audit::Fr::zero();
+    const audit::KeyPair& kp = key_of(o);
+    if (streaming) {
+      auto shards = owner_shards_of(o);
+      auto file = storage::encode_file(shards[dep.placement.shard], config_.s);
+      dep.num_chunks = file.num_chunks();
+      dep.tag = audit::generate_tags(kp.sk, kp.pk, file, dep.name,
+                                     parallel::thread_count());
+      if (behaviors[i] == ProviderBehavior::DropsData) {
+        hot_corruption_[i] = static_cast<std::uint8_t>(Corruption::DropChunk);
+      }
+    } else {
+      dep.file = storage::encode_file(owner_shards_[o][dep.placement.shard],
+                                      config_.s);
+      dep.held = dep.file;
+      dep.num_chunks = dep.file.num_chunks();
+      dep.tag = audit::generate_tags(kp.sk, kp.pk, dep.file, dep.name,
+                                     parallel::thread_count());
+      if (behaviors[i] == ProviderBehavior::DropsData) {
+        for (auto& b : dep.held.chunks[0]) b = audit::Fr::zero();
+        hot_corruption_[i] = static_cast<std::uint8_t>(Corruption::DropChunk);
+      }
+      // Contract-serving provers answer num_audits rounds: build both
+      // prepared MSM tables (psi over the SRS powers, sigma over the tags).
+      dep.prover = std::make_unique<audit::Prover>(
+          kp.pk, dep.held, dep.tag, /*prepare_psi=*/true,
+          /*prepare_sigma=*/true);
+      file_ctxs[i] = audit::prepare_file(dep.name, dep.num_chunks);
     }
-    // Contract-serving provers answer num_audits rounds: build both
-    // prepared MSM tables (psi over the SRS powers, sigma over the tags).
-    dep.prover = std::make_unique<audit::Prover>(
-        owner_keys_[o].pk, dep.held, dep.tag, /*prepare_psi=*/true,
-        /*prepare_sigma=*/true);
-    file_ctxs[i] = audit::prepare_file(dep.name, dep.file.num_chunks());
   });
 
   // Phase 4 (sequential): contracts and their chain transactions, in
@@ -160,7 +273,10 @@ void NetworkSim::deploy() {
           primitives::SecureRng::deterministic(
               config_.rng_seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
     }
-    install_contract(dep, i, config_.num_audits, std::move(file_ctxs[i]));
+    install_contract(dep, i, config_.num_audits,
+                     streaming ? std::optional<audit::PreparedFile>{}
+                               : std::optional<audit::PreparedFile>(
+                                     std::move(file_ctxs[i])));
     placements_.push_back(dep.placement);
   }
 
@@ -176,10 +292,44 @@ void NetworkSim::deploy() {
   initial_money_ = total_money();
 }
 
+std::optional<std::vector<std::uint8_t>> NetworkSim::streaming_prove(
+    std::size_t dep_index, const audit::Challenge& chal,
+    primitives::SecureRng& rng) const {
+  const Deployment& dep = *deployments_[dep_index];
+  const std::size_t o = dep.placement.owner;
+  // Regenerate this deployment's chunks from the owner seed (repaired shards
+  // carry byte-identical content to the originals — reconstruction equality
+  // is checked before any repair proceeds), apply the provider's corruption
+  // state, and prove through a transient table-less prover. Same Fr values
+  // as the materialized path; nothing retained afterwards.
+  auto shards = owner_shards_of(o);
+  storage::EncodedFile held =
+      storage::encode_file(shards[dep.placement.shard], config_.s);
+  switch (static_cast<Corruption>(hot_corruption_[dep_index])) {
+    case Corruption::DropChunk:
+      for (auto& b : held.chunks[0]) b = audit::Fr::zero();
+      break;
+    case Corruption::AllZero:
+      for (auto& chunk : held.chunks) {
+        for (auto& b : chunk) b = audit::Fr::zero();
+      }
+      break;
+    case Corruption::None:
+      break;
+  }
+  audit::Prover prover(key_of(o).pk, held, dep.tag, /*prepare_psi=*/false,
+                       /*prepare_sigma=*/false);
+  if (config_.private_proofs) {
+    return audit::serialize(prover.prove_private(chal, rng));
+  }
+  return audit::serialize(prover.prove(chal));
+}
+
 void NetworkSim::install_contract(Deployment& dep, std::size_t dep_index,
                                   std::uint64_t num_audits,
                                   std::optional<audit::PreparedFile> prepared) {
   const std::size_t o = dep.placement.owner;
+  const bool streaming = config_.retention == chain::Retention::Streaming;
   contract::ContractTerms terms;
   terms.owner = "owner-" + std::to_string(o);
   terms.provider = dep.placement.provider;
@@ -193,47 +343,101 @@ void NetworkSim::install_contract(Deployment& dep, std::size_t dep_index,
   terms.batch_gas_discount = config_.batch_gas_discount;
   terms.timeout_retry_limit = config_.timeout_retry_limit;
   terms.slash_after_consecutive = config_.slash_after_consecutive;
+  if (streaming) {
+    // Bounded history: the in-flight record plus its predecessor (the round
+    // scheduler reads the previous challenge instant), and a short event
+    // tail. Aggregate counters stay exact regardless.
+    terms.retained_rounds = 2;
+    terms.retained_events = 4;
+  }
 
-  dep.contract = std::make_unique<contract::AuditContract>(
-      chain_, *beacon_, terms, owner_keys_[o].pk, dep.name,
-      dep.file.num_chunks(), std::move(prepared));
+  const audit::Verifier* shared = shared_verifier_for(o);
+  if (shared) {
+    if (prepared) {
+      dep.file_ctx =
+          std::make_unique<audit::PreparedFile>(std::move(*prepared));
+    }
+    dep.contract = std::make_unique<contract::AuditContract>(
+        chain_, *beacon_, terms, *shared, dep.name, dep.num_chunks,
+        dep.file_ctx.get());
+  } else {
+    dep.contract = std::make_unique<contract::AuditContract>(
+        chain_, *beacon_, terms, key_of(o).pk, dep.name, dep.num_chunks,
+        std::move(prepared));
+  }
   if (batch_) dep.contract->enable_deferred_settlement(*batch_);
   if (behavior_of(dep.placement.provider) != ProviderBehavior::Unresponsive) {
-    audit::Prover* prover = dep.prover.get();
-    bool priv = config_.private_proofs;
-    primitives::SecureRng* rng = dep.prover_rng.get();
     const FaultView* faults = have_faults_ ? &fault_view_ : nullptr;
-    const std::size_t pidx = dep.provider_index;
-    const chain::Blockchain* chain = &chain_;
-    dep.contract->set_responder(
-        [prover, priv, rng, faults, pidx, chain](const audit::Challenge& chal)
-            -> std::optional<std::vector<std::uint8_t>> {
-          // A challenge issued while the provider is crashed, exited or
-          // inside an offline/proof-fault gap goes unanswered; the round
-          // times out (and retries, if the terms allow).
-          if (faults && !faults->available(pidx, chain->now())) {
-            return std::nullopt;
-          }
-          if (priv) return audit::serialize(prover->prove_private(chal, *rng));
-          return audit::serialize(prover->prove(chal));
-        });
+    if (streaming) {
+      primitives::SecureRng* rng = dep.prover_rng.get();
+      const std::size_t pidx = hot_provider_[dep_index];
+      dep.contract->set_responder(
+          [this, dep_index, rng, faults, pidx](const audit::Challenge& chal)
+              -> std::optional<std::vector<std::uint8_t>> {
+            if (faults && !faults->available(pidx, chain_.now())) {
+              return std::nullopt;
+            }
+            return streaming_prove(dep_index, chal, *rng);
+          });
+    } else {
+      audit::Prover* prover = dep.prover.get();
+      bool priv = config_.private_proofs;
+      primitives::SecureRng* rng = dep.prover_rng.get();
+      const std::size_t pidx = hot_provider_[dep_index];
+      const chain::Blockchain* chain = &chain_;
+      dep.contract->set_responder(
+          [prover, priv, rng, faults, pidx, chain](const audit::Challenge& chal)
+              -> std::optional<std::vector<std::uint8_t>> {
+            // A challenge issued while the provider is crashed, exited or
+            // inside an offline/proof-fault gap goes unanswered; the round
+            // times out (and retries, if the terms allow).
+            if (faults && !faults->available(pidx, chain->now())) {
+              return std::nullopt;
+            }
+            if (priv) return audit::serialize(prover->prove_private(chal, *rng));
+            return audit::serialize(prover->prove(chal));
+          });
+    }
   }
+  // Incremental population aggregates: every terminal round folds in here,
+  // so stats() never walks history (which streaming mode trims anyway).
+  dep.contract->set_on_round(
+      [this, dep_index](const contract::RoundRecord& r) {
+        if (r.outcome != contract::RoundOutcome::Aborted) {
+          ++agg_.total_rounds;
+          switch (r.outcome) {
+            case contract::RoundOutcome::Pass: ++agg_.passes; break;
+            case contract::RoundOutcome::Fail: ++agg_.fails; break;
+            default: ++agg_.timeouts; break;
+          }
+        }
+        agg_.total_gas += r.gas_used;
+        agg_.timeout_retries += r.retries;
+        ++hot_rounds_done_[dep_index];
+        hot_next_due_[dep_index] = r.challenged_at + config_.audit_period_s;
+      });
   dep.contract->set_on_closed([this, dep_index](contract::CloseReason reason) {
     if (reason == contract::CloseReason::Slashed) ++churn_.slashes;
     if (reason == contract::CloseReason::ProviderExit) ++churn_.provider_exits;
-    Deployment& d = *deployments_[dep_index];
-    if (d.needs_repair && !d.repair_done) schedule_repair(dep_index);
+    --open_contracts_;
+    hot_next_due_[dep_index] = 0;
+    if (flag(dep_index, kNeedsRepair) && !flag(dep_index, kRepairDone)) {
+      schedule_repair(dep_index);
+    }
   });
+  ++open_contracts_;
   dep.contract->negotiated();
   dep.contract->acked(true);
   dep.contract->freeze();
 }
 
 void NetworkSim::apply_fault(const FaultEvent& ev, chain::Timestamp now) {
+  // One cache-linear scan over the hot arrays; the cold Deployment is only
+  // dereferenced for the handful of matches.
   auto each_live_dep = [&](auto&& fn) {
     for (std::size_t i = 0; i < deployments_.size(); ++i) {
-      Deployment& d = *deployments_[i];
-      if (!d.retired && d.provider_index == ev.provider) fn(i, d);
+      if (flag(i, kRetired) || hot_provider_[i] != ev.provider) continue;
+      fn(i, *deployments_[i]);
     }
   };
   // A fault against a contract that already closed (or a repair deployment
@@ -252,8 +456,8 @@ void NetworkSim::apply_fault(const FaultEvent& ev, chain::Timestamp now) {
         ring_.leave(provider_ids_[ev.provider]);
       }
       each_live_dep([&](std::size_t i, Deployment& d) {
-        d.shard_ok = false;
-        d.needs_repair = true;
+        clear_flag(i, kShardOk);
+        set_flag(i, kNeedsRepair);
         repair_now_if_unhooked(i, d);
       });
       break;
@@ -269,12 +473,17 @@ void NetworkSim::apply_fault(const FaultEvent& ev, chain::Timestamp now) {
     case FaultKind::ShardLoss: {
       ++churn_.shard_losses;
       each_live_dep([&](std::size_t i, Deployment& d) {
-        d.shard_ok = false;
-        d.needs_repair = true;
-        // The provider keeps answering — over garbage: zero what it holds
-        // so every subsequent proof fails verification.
-        for (auto& chunk : d.held.chunks) {
-          for (auto& b : chunk) b = audit::Fr::zero();
+        clear_flag(i, kShardOk);
+        set_flag(i, kNeedsRepair);
+        // The provider keeps answering — over garbage: every subsequent
+        // proof must fail verification. Full retention zeroes the
+        // materialized held copy (the prepared prover references it);
+        // streaming records the corruption and applies it at regeneration.
+        hot_corruption_[i] = static_cast<std::uint8_t>(Corruption::AllZero);
+        if (config_.retention == chain::Retention::Full) {
+          for (auto& chunk : d.held.chunks) {
+            for (auto& b : chunk) b = audit::Fr::zero();
+          }
         }
         repair_now_if_unhooked(i, d);
       });
@@ -288,8 +497,8 @@ void NetworkSim::apply_fault(const FaultEvent& ev, chain::Timestamp now) {
         ring_.leave(provider_ids_[ev.provider]);
       }
       each_live_dep([&](std::size_t i, Deployment& d) {
-        d.shard_ok = false;
-        d.needs_repair = true;
+        clear_flag(i, kShardOk);
+        set_flag(i, kNeedsRepair);
         if (d.contract && (d.contract->state() == contract::State::Audit ||
                            d.contract->state() == contract::State::Prove)) {
           d.contract->provider_exit();  // close fires on_closed -> repair
@@ -318,30 +527,40 @@ void NetworkSim::declare_data_loss(std::size_t owner) {
 
 void NetworkSim::run_repair(std::size_t dep_index, chain::Timestamp now) {
   Deployment& old = *deployments_[dep_index];
-  if (old.repair_done) return;  // both close- and fault-paths may schedule
-  old.repair_done = true;
-  old.retired = true;
+  if (flag(dep_index, kRepairDone)) return;  // both close- and fault-paths
+                                             // may schedule
+  set_flag(dep_index, kRepairDone);
+  set_flag(dep_index, kRetired);
   const std::size_t o = old.placement.owner;
   const std::size_t sh = old.placement.shard;
   const std::size_t shards_per_owner =
       config_.erasure_data + config_.erasure_parity;
   if (data_lost_[o]) return;  // shards only die; a declared loss is final
 
+  // Owner bytes/shards: stored under full retention, regenerated from the
+  // owner seed under streaming (repairs are rare — the regeneration cost is
+  // one erasure encode, not a per-round cost).
+  const auto odata = owner_data_of(o);
+  const auto oshards = owner_shards_of(o);
+
   // Gather the surviving shards of this owner — sparse and indexed, through
   // the duplicate/range-checked reconstruct overload the repair path owns.
   std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> survivors;
   for (std::size_t j = 0; j < shards_per_owner; ++j) {
-    const Deployment& d = *deployments_[current_dep_[o][j]];
-    if (d.retired || !d.shard_ok) continue;
-    if (behavior_of(d.placement.provider) != ProviderBehavior::Honest) continue;
-    survivors.emplace_back(j, owner_shards_[o][j]);
+    const std::size_t di = current_dep_[o][j];
+    if (flag(di, kRetired) || !flag(di, kShardOk)) continue;
+    if (behavior_of(deployments_[di]->placement.provider) !=
+        ProviderBehavior::Honest) {
+      continue;
+    }
+    survivors.emplace_back(j, oshards[j]);
   }
   storage::ReedSolomon rs(config_.erasure_data, config_.erasure_parity);
   std::optional<std::vector<std::uint8_t>> rec;
   if (survivors.size() >= config_.erasure_data) {
-    rec = rs.reconstruct(survivors, owner_data_[o].size());
+    rec = rs.reconstruct(survivors, odata.size());
   }
-  if (!rec || *rec != owner_data_[o] || churn_.repairs >= config_.max_repairs) {
+  if (!rec || *rec != odata || churn_.repairs >= config_.max_repairs) {
     declare_data_loss(o);
     return;
   }
@@ -362,8 +581,9 @@ void NetworkSim::run_repair(std::size_t dep_index, chain::Timestamp now) {
         break;
       }
     }
-    if (!target && ring_.contains(provider_ids_[old.provider_index])) {
-      target = old.provider_index;
+    if (!target &&
+        ring_.contains(provider_ids_[hot_provider_[dep_index]])) {
+      target = hot_provider_[dep_index];
     }
   }
   if (!target) {
@@ -372,9 +592,9 @@ void NetworkSim::run_repair(std::size_t dep_index, chain::Timestamp now) {
   }
 
   ++churn_.repairs;
+  const bool streaming = config_.retention == chain::Retention::Streaming;
   auto nd = std::make_unique<Deployment>();
   nd->placement = {o, sh, "provider-" + std::to_string(*target)};
-  nd->provider_index = *target;
   // One fresh RNG per repair, derived from the network seed and the repair
   // sequence number: the replacement file name and this prover's masking
   // randomness come from a stream no other task shares, and repairs run
@@ -386,15 +606,23 @@ void NetworkSim::run_repair(std::size_t dep_index, chain::Timestamp now) {
   nd->name = audit::Fr::random(*nd->prover_rng);
   auto shards = rs.encode(*rec);
   churn_.bytes_repaired += shards[sh].size();
-  nd->file = storage::encode_file(shards[sh], config_.s);
-  nd->held = nd->file;
-  // Re-tag only the replacement shard, under its fresh name.
-  nd->tag = audit::generate_tags(owner_keys_[o].sk, owner_keys_[o].pk, nd->file,
-                                 nd->name, parallel::thread_count());
-  nd->prover = std::make_unique<audit::Prover>(owner_keys_[o].pk, nd->held,
-                                               nd->tag, /*prepare_psi=*/true,
-                                               /*prepare_sigma=*/true);
-  auto file_ctx = audit::prepare_file(nd->name, nd->file.num_chunks());
+  // Re-tag only the replacement shard, under its fresh name. Streaming keeps
+  // the tag and chunk count; the shard bytes themselves are reproducible
+  // from the owner seed (reconstruction equality was just checked), so
+  // streaming_prove serves repair deployments through the same regeneration.
+  auto nd_file = storage::encode_file(shards[sh], config_.s);
+  nd->num_chunks = nd_file.num_chunks();
+  nd->tag = audit::generate_tags(key_of(o).sk, key_of(o).pk, nd_file, nd->name,
+                                 parallel::thread_count());
+  std::optional<audit::PreparedFile> file_ctx;
+  if (!streaming) {
+    nd->file = std::move(nd_file);
+    nd->held = nd->file;
+    nd->prover = std::make_unique<audit::Prover>(key_of(o).pk, nd->held,
+                                                 nd->tag, /*prepare_psi=*/true,
+                                                 /*prepare_sigma=*/true);
+    file_ctx = audit::prepare_file(nd->name, nd->num_chunks);
+  }
 
   // The repair tx: the replacement shard's tag set plus the placement record
   // go on chain, priced by the econ repair row (kept out of the round-based
@@ -419,21 +647,13 @@ void NetworkSim::run_repair(std::size_t dep_index, chain::Timestamp now) {
   const std::size_t new_index = deployments_.size();
   placements_.push_back(nd->placement);
   current_dep_[o][sh] = new_index;
+  push_hot(static_cast<std::uint32_t>(*target));
   deployments_.push_back(std::move(nd));
   if (remaining > 0) {
     install_contract(*deployments_[new_index], new_index, remaining,
                      std::move(file_ctx));
   }
   (void)now;
-}
-
-bool NetworkSim::all_contracts_closed() const {
-  for (const auto& dep : deployments_) {
-    if (dep->contract && dep->contract->state() != contract::State::Closed) {
-      return false;
-    }
-  }
-  return true;
 }
 
 void NetworkSim::run_to_completion() {
@@ -455,11 +675,59 @@ void NetworkSim::run_to_completion() {
   std::size_t guard = config_.max_repairs + 2;
   while (!all_contracts_closed() && guard-- > 0) chain_.advance(epoch);
   if (!all_contracts_closed()) {
-    throw std::logic_error("NetworkSim: a contract failed to complete");
+    // Name the stuck contracts — a truncated roster beats a blind failure
+    // when 10^5 contracts ran and three wedged.
+    std::size_t open = 0;
+    std::string stuck;
+    for (std::size_t i = 0; i < deployments_.size(); ++i) {
+      const auto& c = deployments_[i]->contract;
+      if (!c || c->state() == contract::State::Closed) continue;
+      ++open;
+      if (open <= 8) {
+        stuck += " " + c->address() + " (rounds " +
+                 std::to_string(c->rounds_completed()) + "/" +
+                 std::to_string(c->terms().num_audits) + ", next due " +
+                 std::to_string(hot_next_due_[i]) + ")";
+      }
+    }
+    throw std::logic_error(
+        "NetworkSim: " + std::to_string(open) +
+        " contract(s) failed to complete within " +
+        std::to_string(config_.max_repairs + 3) + " extension epochs; stuck:" +
+        stuck + (open > 8 ? " ..." : ""));
   }
 }
 
 NetworkStats NetworkSim::stats() const {
+  NetworkStats st;
+  chain::PriceModel price;
+  st.total_rounds = agg_.total_rounds;
+  st.passes = agg_.passes;
+  st.fails = agg_.fails;
+  st.timeouts = agg_.timeouts;
+  st.total_gas = agg_.total_gas;
+  st.timeout_retries = agg_.timeout_retries;
+  st.chain_bytes = chain_.total_chain_bytes();
+  st.total_usd = price.usd(st.total_gas);
+  st.crashes = churn_.crashes;
+  st.offline_events = churn_.offline_events;
+  st.rejoins = churn_.rejoins;
+  st.shard_losses = churn_.shard_losses;
+  st.slashes = churn_.slashes;
+  st.provider_exits = churn_.provider_exits;
+  st.repairs = churn_.repairs;
+  st.bytes_repaired = churn_.bytes_repaired;
+  st.data_loss_events = churn_.data_loss_events;
+  st.repair_gas = churn_.repair_gas;
+  return st;
+}
+
+NetworkStats NetworkSim::stats_by_walk() const {
+  if (config_.retention == chain::Retention::Streaming) {
+    throw std::logic_error(
+        "NetworkSim::stats_by_walk requires full retention (streaming trims "
+        "the round records it would walk)");
+  }
   NetworkStats st;
   chain::PriceModel price;
   for (const auto& dep : deployments_) {
@@ -487,17 +755,9 @@ NetworkStats NetworkSim::stats() const {
 }
 
 std::uint64_t NetworkSim::total_money() const {
-  std::uint64_t total = 0;
-  for (std::size_t o = 0; o < config_.num_owners; ++o) {
-    total += chain_.balance("owner-" + std::to_string(o));
-  }
-  for (std::size_t p = 0; p < config_.num_providers; ++p) {
-    total += chain_.balance("provider-" + std::to_string(p));
-  }
-  for (const auto& dep : deployments_) {
-    if (dep->contract) total += chain_.balance(dep->contract->address());
-  }
-  return total;
+  // Mint-only supply, maintained by the ledger — O(1) at any population.
+  // check_invariants() cross-checks it against the explicit account walk.
+  return chain_.total_supply();
 }
 
 std::vector<const contract::AuditContract*> NetworkSim::contracts_of(
@@ -517,15 +777,20 @@ bool NetworkSim::owner_can_recover(std::size_t owner) const {
   }
   storage::ReedSolomon rs(config_.erasure_data, config_.erasure_parity);
   std::size_t shards_per_owner = config_.erasure_data + config_.erasure_parity;
+  const auto odata = owner_data_of(owner);
+  const auto oshards = owner_shards_of(owner);
   std::vector<std::optional<std::vector<std::uint8_t>>> available(shards_per_owner);
   for (std::size_t j = 0; j < shards_per_owner; ++j) {
-    const Deployment& dep = *deployments_[current_dep_[owner][j]];
-    if (dep.retired || !dep.shard_ok) continue;
-    if (behavior_of(dep.placement.provider) != ProviderBehavior::Honest) continue;
-    available[j] = owner_shards_[owner][j];
+    const std::size_t di = current_dep_[owner][j];
+    if (flag(di, kRetired) || !flag(di, kShardOk)) continue;
+    if (behavior_of(deployments_[di]->placement.provider) !=
+        ProviderBehavior::Honest) {
+      continue;
+    }
+    available[j] = oshards[j];
   }
-  auto rec = rs.reconstruct(available, owner_data_[owner].size());
-  return rec && *rec == owner_data_[owner];
+  auto rec = rs.reconstruct(available, odata.size());
+  return rec && *rec == odata;
 }
 
 bool NetworkSim::data_lost(std::size_t owner) const {
@@ -540,10 +805,25 @@ void NetworkSim::check_invariants() const {
     throw std::logic_error("NetworkSim invariant violated: " + what);
   };
   if (!deployed_) fail("not deployed");
+  const bool full = config_.retention == chain::Retention::Full;
   // Money conservation: rewards, penalties, slashes, exit fees and repair
   // escrows only ever move value between owners, providers and contract
-  // escrow — the network total is fixed at deploy time.
-  if (total_money() != initial_money_) fail("money not conserved");
+  // escrow — the network total is fixed at deploy time. The walk is the
+  // oracle; the ledger's O(1) supply must agree with it.
+  std::uint64_t walk = 0;
+  for (std::size_t o = 0; o < config_.num_owners; ++o) {
+    walk += chain_.balance("owner-" + std::to_string(o));
+  }
+  for (std::size_t p = 0; p < config_.num_providers; ++p) {
+    walk += chain_.balance("provider-" + std::to_string(p));
+  }
+  for (const auto& dep : deployments_) {
+    if (dep->contract) walk += chain_.balance(dep->contract->address());
+  }
+  if (walk != initial_money_) fail("money not conserved");
+  if (chain_.total_supply() != walk) {
+    fail("ledger total_supply drifted from the account walk");
+  }
   for (const auto& dep : deployments_) {
     if (!dep->contract) continue;
     const auto& c = *dep->contract;
@@ -557,21 +837,50 @@ void NetworkSim::check_invariants() const {
     }
     // Every challenged round settled (Pass/Fail/Timeout) or was explicitly
     // aborted by a provider exit; settled count matches the round counter.
-    std::uint64_t settled = 0, aborted = 0;
-    for (const auto& r : c.rounds()) {
-      if (r.outcome == contract::RoundOutcome::Aborted) {
-        ++aborted;
-      } else {
-        ++settled;
-      }
-    }
+    // Served from the O(1) aggregate counters in every retention mode.
+    const std::uint64_t settled = c.passes() + c.fails() + c.timeouts();
     if (settled != c.rounds_completed()) {
       fail("settled rounds != rounds_completed: " + c.address());
     }
-    if (aborted > 1) fail("more than one aborted round: " + c.address());
-    if (aborted > 0 &&
+    if (c.aborted_rounds() > 1) {
+      fail("more than one aborted round: " + c.address());
+    }
+    if (c.aborted_rounds() > 0 &&
         c.close_reason() != contract::CloseReason::ProviderExit) {
       fail("aborted round without a provider exit: " + c.address());
+    }
+    if (full) {
+      // Full retention keeps every record: re-derive each counter from the
+      // retained history so the incremental aggregates keep their post-hoc
+      // oracle.
+      std::uint64_t pw = 0, fw = 0, tw = 0, aw = 0, gw = 0, rw = 0;
+      for (const auto& r : c.rounds()) {
+        switch (r.outcome) {
+          case contract::RoundOutcome::Pass: ++pw; break;
+          case contract::RoundOutcome::Fail: ++fw; break;
+          case contract::RoundOutcome::Timeout: ++tw; break;
+          case contract::RoundOutcome::Aborted: ++aw; break;
+        }
+        gw += r.gas_used;
+        rw += r.retries;
+      }
+      if (pw != c.passes() || fw != c.fails() || tw != c.timeouts() ||
+          aw != c.aborted_rounds() || gw != c.total_round_gas() ||
+          rw != c.timeout_retries() ||
+          c.rounds().size() != c.rounds_challenged()) {
+        fail("aggregate counters diverge from round records: " + c.address());
+      }
+    }
+  }
+  if (full) {
+    // Pin the incremental stats() against the original history walk.
+    const NetworkStats a = stats();
+    const NetworkStats w = stats_by_walk();
+    if (a.total_rounds != w.total_rounds || a.passes != w.passes ||
+        a.fails != w.fails || a.timeouts != w.timeouts ||
+        a.total_gas != w.total_gas ||
+        a.timeout_retries != w.timeout_retries) {
+      fail("incremental stats diverge from stats_by_walk");
     }
   }
   // Recoverability or declared loss, per owner. Legacy behavior injection
@@ -590,11 +899,11 @@ void NetworkSim::check_invariants() const {
   }
   // Terminal disposition: every fault-invalidated shard was either repaired
   // or folded into a declared data loss.
-  for (const auto& dep : deployments_) {
-    if (dep->needs_repair && !dep->repair_done) {
+  for (std::size_t i = 0; i < deployments_.size(); ++i) {
+    if (flag(i, kNeedsRepair) && !flag(i, kRepairDone)) {
       fail("faulted shard never repaired or declared lost (owner " +
-           std::to_string(dep->placement.owner) + ", shard " +
-           std::to_string(dep->placement.shard) + ")");
+           std::to_string(deployments_[i]->placement.owner) + ", shard " +
+           std::to_string(deployments_[i]->placement.shard) + ")");
     }
   }
 }

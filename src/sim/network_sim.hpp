@@ -10,6 +10,30 @@
 // timed crash / offline / shard-loss / proof-fault / early-exit events whose
 // consequences flow through slashing, timeout retries and Reed–Solomon
 // repair onto Chord successors.
+//
+// Memory model (NetworkConfig::retention):
+//
+//   chain::Retention::Full      (default) — every byte materialized: owner
+//     data and shards, per-deployment EncodedFiles (intended + actually-held
+//     copies), prepared Provers, per-contract round history, the full tx /
+//     block vectors. Bit-identical to the historical simulator; the oracle
+//     mode for every exact-constant test.
+//
+//   chain::Retention::Streaming — O(1) memory per user/round. Owner data and
+//     shard chunks are regenerated on demand from per-owner deterministic
+//     seeds (the same Fr values flow through tagging and proving; the bytes
+//     are never stored), provers are built transiently per challenge behind
+//     the same responder interface, contracts keep bounded round rings, the
+//     chain folds history into rolling aggregates, and stats()/
+//     check_invariants() serve from incrementally maintained counters.
+//     Everything observable that both modes define — NetworkStats, ledger
+//     balances, chain bytes/gas/digest, fault counters — is identical
+//     between the two, because every byte/gas figure derives from sizes and
+//     every outcome from behavior, never from the (different) data bytes.
+//
+// Hot per-deployment lifecycle state (provider index, shard/corruption
+// flags, next-due instant, settled-round count) lives in struct-of-arrays
+// vectors iterated cache-linearly by the fault and repair scans.
 #pragma once
 
 #include <map>
@@ -58,6 +82,18 @@ struct NetworkConfig {
   /// a further irrecoverable shard is declared lost instead of repaired.
   std::size_t max_repairs = 16;
   std::uint64_t rng_seed = 1;
+  /// History/memory mode — see the header comment. Streaming bounds memory
+  /// for 10^5–10^6-owner runs; Full (default) keeps the historical,
+  /// fully-materialized behavior.
+  chain::Retention retention = chain::Retention::Full;
+  /// 0 (default): one keypair per owner, and — under full retention — one
+  /// prepared Verifier inside every contract, exactly as before. N >= 1:
+  /// owners share a pool of N keypairs (owner o uses key o % N) and every
+  /// contract borrows one of N shared prepared Verifiers. The per-contract
+  /// verifier tables are what dominate memory at 10^5+ owners; a pool makes
+  /// that cost O(N) instead of O(owners) while keeping per-owner RNG
+  /// streams and all observable statistics unchanged.
+  std::size_t key_pool = 0;
 };
 
 /// Provider misbehaviour knobs for failure injection.
@@ -114,15 +150,24 @@ class NetworkSim {
 
   /// Run the full contract horizon on the simulated chain. Fault runs open
   /// repair contracts mid-flight; the horizon extends (in bounded epochs)
-  /// until every contract — original and repair — reaches Closed.
+  /// until every contract — original and repair — reaches Closed. Throws
+  /// std::logic_error naming the stuck contracts if the extension budget
+  /// runs out with contracts still open.
   void run_to_completion();
 
   // --- results --------------------------------------------------------------
+  /// O(1): served from aggregates maintained as each round settles (and the
+  /// chain/churn counters) — no history walk at any population.
   NetworkStats stats() const;
+  /// The original post-hoc implementation — walks every contract's retained
+  /// round records. Kept as the differential oracle for stats(); requires
+  /// full retention (throws under streaming, where history is trimmed).
+  NetworkStats stats_by_walk() const;
   const std::vector<Placement>& placements() const { return placements_; }
   const chain::Blockchain& chain() const { return chain_; }
   std::uint64_t balance(const std::string& who) const { return chain_.balance(who); }
   /// Sum of all balances + escrow — must be invariant (conservation check).
+  /// O(1): the ledger's mint-only total supply.
   std::uint64_t total_money() const;
   /// Every contract involving this provider.
   std::vector<const contract::AuditContract*> contracts_of(
@@ -136,6 +181,7 @@ class NetworkSim {
   // Deployment introspection for the cross-thread-count differential tests
   // (deploy() shards whole deployments over the pool; keys, tags and the
   // ledger must come out byte-identical at every width).
+  /// Per-owner keypairs; empty when key_pool > 0 (owners share pool keys).
   const std::vector<audit::KeyPair>& owner_keys() const { return owner_keys_; }
   std::size_t num_deployments() const { return deployments_.size(); }
   const audit::FileTag& deployment_tag(std::size_t i) const {
@@ -153,44 +199,79 @@ class NetworkSim {
 
   /// Post-run checker; throws std::logic_error naming the violated
   /// invariant:
-  ///   - money conservation (total_money unchanged since deploy),
+  ///   - money conservation (total_money unchanged since deploy), with the
+  ///     O(1) ledger supply cross-checked against the account-walk sum,
   ///   - exact escrow accounting (every closed contract holds zero),
-  ///   - liveness (every contract Closed; every challenged round settled
-  ///     Pass/Fail/Timeout or explicitly Aborted by a provider exit, with
-  ///     the settled count matching rounds_completed exactly),
+  ///   - liveness (every contract Closed; settled counter == rounds
+  ///     completed; at most one Aborted round, only via provider exit),
+  ///   - under full retention: every aggregate counter re-derived from the
+  ///     retained round records and stats() pinned equal to stats_by_walk()
+  ///     — the incremental aggregates keep their post-hoc oracle,
   ///   - recoverability-or-declared-loss for every owner,
   ///   - a terminal disposition (repair or declared loss) for every
   ///     fault-invalidated shard.
   void check_invariants() const;
 
  private:
+  /// Cold per-deployment state: identity, crypto artifacts and the contract.
+  /// Hot lifecycle state lives in the struct-of-arrays vectors below.
   struct Deployment {
     Placement placement;
-    std::size_t provider_index = 0;  // into the provider-N namespace
-    storage::EncodedFile file;   // what the provider *should* hold
-    storage::EncodedFile held;   // what it actually holds (failure injection)
+    storage::EncodedFile file;   // full retention: what S *should* hold
+    storage::EncodedFile held;   // full retention: what it actually holds
     audit::FileTag tag;
     audit::Fr name;
-    std::unique_ptr<audit::Prover> prover;
+    std::size_t num_chunks = 0;  // chunks in this shard's encoded file
+    std::unique_ptr<audit::Prover> prover;  // full retention: prepared tables
     // Private-proof masking randomness. Per-deployment (seeded from the
     // network seed + deployment index) so concurrently-prepared audit rounds
     // never share an RNG stream: results stay deterministic at every
     // DSAUDIT_THREADS setting.
     std::unique_ptr<primitives::SecureRng> prover_rng;
+    // Shared-verifier mode: the per-file context the contract borrows (null
+    // under streaming — contracts use the cold verification path).
+    std::unique_ptr<audit::PreparedFile> file_ctx;
     std::unique_ptr<contract::AuditContract> contract;  // null iff a repair
                                                         // had no rounds left
-    // Fault-engine lifecycle.
-    bool shard_ok = true;       // provider still holds intact shard data
-    bool needs_repair = false;  // a fault invalidated this deployment
-    bool repair_done = false;   // terminal disposition reached (repair/loss)
-    bool retired = false;       // superseded by a repair deployment
   };
 
+  /// What the provider actually serves for this deployment, relative to the
+  /// intended shard. Full retention applies these to the materialized
+  /// `held` copy at injection time; streaming applies them to the
+  /// regenerated chunks at prove time. Same Fr values either way.
+  enum class Corruption : std::uint8_t { None = 0, DropChunk, AllZero };
+
+  // hot_flags_ bits.
+  static constexpr std::uint8_t kShardOk = 1;      // shard data still intact
+  static constexpr std::uint8_t kNeedsRepair = 2;  // a fault invalidated it
+  static constexpr std::uint8_t kRepairDone = 4;   // terminal disposition
+  static constexpr std::uint8_t kRetired = 8;      // superseded by a repair
+
   ProviderBehavior behavior_of(const std::string& provider) const;
+  /// Key serving this owner: its own keypair, or its pool slot.
+  const audit::KeyPair& key_of(std::size_t owner) const {
+    return config_.key_pool ? pool_keys_[owner % config_.key_pool]
+                            : owner_keys_[owner];
+  }
+  /// Shared prepared verifier for this owner's contracts, or null when each
+  /// contract owns its verifier (full retention without a key pool — the
+  /// historical layout).
+  const audit::Verifier* shared_verifier_for(std::size_t owner) const;
+  /// Owner file bytes: the stored copy under full retention, regenerated
+  /// from the owner's deterministic seed under streaming.
+  std::vector<std::uint8_t> owner_data_of(std::size_t owner) const;
+  /// The owner's erasure-coded shards (same sourcing rule).
+  std::vector<std::vector<std::uint8_t>> owner_shards_of(std::size_t owner) const;
+  /// Streaming responder backend: regenerate this deployment's encoded
+  /// chunks (applying its corruption state), build a transient table-less
+  /// prover, and serialize the proof.
+  std::optional<std::vector<std::uint8_t>> streaming_prove(
+      std::size_t dep_index, const audit::Challenge& chal,
+      primitives::SecureRng& rng) const;
   /// Shared by deploy() and the repair path: terms from config (with
   /// `num_audits` rounds), deferred settlement, the fault-aware responder,
-  /// the on-closed hook, then negotiated/acked/freeze. dep.prover_rng must
-  /// be set first for any provider that answers challenges.
+  /// the on-closed/on-round hooks, then negotiated/acked/freeze.
+  /// dep.prover_rng must be set first for any provider that answers.
   void install_contract(Deployment& dep, std::size_t dep_index,
                         std::uint64_t num_audits,
                         std::optional<audit::PreparedFile> prepared);
@@ -198,7 +279,16 @@ class NetworkSim {
   void schedule_repair(std::size_t dep_index);
   void run_repair(std::size_t dep_index, chain::Timestamp now);
   void declare_data_loss(std::size_t owner);
-  bool all_contracts_closed() const;
+  bool all_contracts_closed() const { return open_contracts_ == 0; }
+  /// Append one entry to every hot struct-of-arrays vector.
+  void push_hot(std::uint32_t provider_index);
+  bool flag(std::size_t i, std::uint8_t bit) const {
+    return (hot_flags_[i] & bit) != 0;
+  }
+  void set_flag(std::size_t i, std::uint8_t bit) { hot_flags_[i] |= bit; }
+  void clear_flag(std::size_t i, std::uint8_t bit) {
+    hot_flags_[i] &= static_cast<std::uint8_t>(~bit);
+  }
 
   NetworkConfig config_;
   primitives::SecureRng rng_;
@@ -208,10 +298,31 @@ class NetworkSim {
   storage::ChordRing ring_;
   std::map<std::string, ProviderBehavior> behavior_;
   std::vector<audit::KeyPair> owner_keys_;
+  // Key-pool / shared-verifier state (see NetworkConfig::key_pool).
+  std::vector<audit::KeyPair> pool_keys_;
+  std::vector<std::unique_ptr<audit::Verifier>> pool_verifiers_;
+  std::vector<std::unique_ptr<audit::Verifier>> owner_verifiers_;  // streaming
+  // Full retention only; streaming regenerates via owner_data_of/_shards_of.
   std::vector<std::vector<std::uint8_t>> owner_data_;
   std::vector<std::vector<std::vector<std::uint8_t>>> owner_shards_;
   std::vector<Placement> placements_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
+
+  // Hot per-deployment state, struct-of-arrays (indexed like deployments_).
+  std::vector<std::uint32_t> hot_provider_;      // provider-N namespace index
+  std::vector<std::uint8_t> hot_flags_;          // kShardOk | kNeedsRepair...
+  std::vector<std::uint8_t> hot_corruption_;     // Corruption
+  std::vector<chain::Timestamp> hot_next_due_;   // next challenge instant
+  std::vector<std::uint32_t> hot_rounds_done_;   // settled/aborted rounds
+
+  // Incrementally maintained aggregates (fed by the contracts' on_round /
+  // on_closed callbacks; the streaming replacement for history walks).
+  struct RoundAgg {
+    std::uint64_t total_rounds = 0, passes = 0, fails = 0, timeouts = 0,
+                  total_gas = 0, timeout_retries = 0;
+  } agg_;
+  std::size_t open_contracts_ = 0;
+
   std::uint64_t initial_money_ = 0;
   bool deployed_ = false;
 

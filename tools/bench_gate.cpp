@@ -1,16 +1,27 @@
-// bench_gate: CI regression gate over BENCH_settlement.json.
+// bench_gate: CI regression gate over the committed BENCH_*.json baselines.
 //
-// Compares every "ms_per_round" series in a freshly generated settlement
-// benchmark against the committed baseline, in document order, and fails
-// (exit 1) if any row regresses by more than the allowed fraction:
+// Compares every gated metric series in a freshly generated benchmark
+// against the committed baseline and fails (exit 1) if any row regresses by
+// more than the allowed fraction:
 //
-//   bench_gate [--max-regression 0.25] <baseline.json> <fresh.json>
+//   bench_gate [--max-regression 0.25] [--allow-missing] \
+//              <baseline.json> <fresh.json>
 //
-// The parser is deliberately a scanner, not a JSON library: the bench writer
-// (bench_settlement.cpp) emits a fixed shape, and the gate only cares about
-// the ordered (label, ms_per_round) rows — batch sizes for the two proof
-// shapes followed by the window sweep. Faster rows never fail; CI runners
-// are noisy, so the default headroom is 25%.
+// Gated metrics and their regression direction:
+//   ms_per_round    — higher is worse (BENCH_settlement.json)
+//   rounds_per_sec  — lower is worse  (BENCH_settlement / BENCH_scale)
+//   bytes_per_user  — higher is worse (BENCH_scale.json memory rows)
+//
+// Rows are matched in document order by default (a count mismatch means the
+// committed baseline must be regenerated). --allow-missing switches to a
+// label join: rows present in only one file are reported and skipped — the
+// mode the scale-smoke CI step uses, where a quick subset run is gated
+// against the committed full sweep.
+//
+// The parser is deliberately a scanner, not a JSON library: the bench
+// writers emit a fixed shape, and the gate only cares about the ordered
+// (label, metric, value) rows. Faster rows never fail; CI runners are noisy,
+// so the default headroom is 25%.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -22,9 +33,21 @@
 
 namespace {
 
+struct Metric {
+  const char* key;
+  bool lower_is_bad;  // regression direction
+};
+
+constexpr Metric kMetrics[] = {
+    {"ms_per_round", false},
+    {"rounds_per_sec", true},
+    {"bytes_per_user", false},
+};
+
 struct Row {
-  std::string label;   // e.g. "basic batch_size=64" or "window=16"
-  double ms_per_round; // the gated metric
+  std::string label;  // e.g. "basic batch_size=64 ms_per_round"
+  double value;
+  bool lower_is_bad;
 };
 
 /// Extracts the numeric value following `"key":` starting at `from`;
@@ -44,40 +67,71 @@ std::size_t scan_number(const std::string& text, const std::string& key,
   return static_cast<std::size_t>(end - text.c_str());
 }
 
-/// Walks the document once, labelling each ms_per_round row by the section
-/// ("basic"/"private"/"window_sweep") and the nearest preceding batch_size
-/// or window key.
+/// Context label for a metric found at `at`: the nearest preceding
+/// population/threads pair (BENCH_scale rows) if one is closer than any
+/// settlement section, else the section ("basic"/"private"/"window_sweep")
+/// plus the nearest batch_size/window qualifier (BENCH_settlement rows).
+std::string context_label(const std::string& text, std::size_t at) {
+  std::size_t pop_at = text.rfind("\"population\"", at);
+  std::string section = "?";
+  std::size_t section_at = std::string::npos;
+  for (const char* s : {"\"basic\"", "\"private\"", "\"window_sweep\""}) {
+    std::size_t f = text.rfind(s, at);
+    if (f != std::string::npos &&
+        (section_at == std::string::npos || f > section_at)) {
+      section_at = f;
+      section = std::string(s + 1, std::strlen(s) - 2);
+    }
+  }
+  if (pop_at != std::string::npos &&
+      (section_at == std::string::npos || pop_at > section_at)) {
+    double pop = 0, threads = 0;
+    scan_number(text, "population", pop_at, pop);
+    std::size_t t_at = text.rfind("\"threads\"", at);
+    std::string label = "population=" + std::to_string(static_cast<long>(pop));
+    if (t_at != std::string::npos && t_at > pop_at &&
+        scan_number(text, "threads", t_at, threads) != std::string::npos) {
+      label += " threads=" + std::to_string(static_cast<long>(threads));
+    }
+    return label;
+  }
+  std::string qual;
+  std::size_t bs_at = text.rfind("\"batch_size\"", at);
+  std::size_t w_at = text.rfind("\"window\"", at);
+  double v = 0;
+  if (bs_at != std::string::npos && (w_at == std::string::npos || bs_at > w_at)) {
+    scan_number(text, "batch_size", bs_at, v);
+    qual = " batch_size=" + std::to_string(static_cast<long>(v));
+  } else if (w_at != std::string::npos) {
+    scan_number(text, "window", w_at, v);
+    qual = " window=" + std::to_string(static_cast<long>(v));
+  } else {
+    qual = " unbatched";
+  }
+  return section + qual;
+}
+
+/// Walks the document once, collecting every gated metric in order.
 std::vector<Row> parse_rows(const std::string& text) {
   std::vector<Row> rows;
   std::size_t pos = 0;
   while (true) {
-    double ms = 0;
-    std::size_t next = scan_number(text, "ms_per_round", pos, ms);
-    if (next == std::string::npos) break;
-
-    // Label: last section name and last batch_size/window before this row.
-    std::string section = "?";
-    for (const char* s : {"\"basic\"", "\"private\"", "\"window_sweep\""}) {
-      std::size_t at = text.rfind(s, next);
-      if (at != std::string::npos &&
-          (section == "?" || at > text.rfind("\"" + section + "\"", next))) {
-        section = std::string(s + 1, std::strlen(s) - 2);
+    // Next occurrence of any gated metric after pos.
+    const Metric* best = nullptr;
+    std::size_t best_at = std::string::npos;
+    for (const Metric& m : kMetrics) {
+      std::size_t at = text.find("\"" + std::string(m.key) + "\"", pos);
+      if (at != std::string::npos && (best == nullptr || at < best_at)) {
+        best = &m;
+        best_at = at;
       }
     }
-    std::string qual;
-    std::size_t bs_at = text.rfind("\"batch_size\"", next);
-    std::size_t w_at = text.rfind("\"window\"", next);
-    double v = 0;
-    if (bs_at != std::string::npos && (w_at == std::string::npos || bs_at > w_at)) {
-      scan_number(text, "batch_size", bs_at, v);
-      qual = " batch_size=" + std::to_string(static_cast<long>(v));
-    } else if (w_at != std::string::npos) {
-      scan_number(text, "window", w_at, v);
-      qual = " window=" + std::to_string(static_cast<long>(v));
-    } else {
-      qual = " unbatched";
-    }
-    rows.push_back({section + qual, ms});
+    if (best == nullptr) break;
+    double value = 0;
+    std::size_t next = scan_number(text, best->key, best_at, value);
+    if (next == std::string::npos) break;
+    rows.push_back({context_label(text, best_at) + " " + best->key, value,
+                    best->lower_is_bad});
     pos = next;
   }
   return rows;
@@ -94,14 +148,24 @@ std::string slurp(const char* path) {
   return ss.str();
 }
 
+/// Regression fraction, oriented so positive always means "worse".
+double regression(const Row& base, const Row& fresh) {
+  if (base.value <= 0 || fresh.value <= 0) return 0.0;
+  return base.lower_is_bad ? base.value / fresh.value - 1.0
+                           : fresh.value / base.value - 1.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double max_regression = 0.25;
+  bool allow_missing = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
       max_regression = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--allow-missing") == 0) {
+      allow_missing = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "bench_gate: unknown flag %s\n", argv[i]);
       return 2;
@@ -111,17 +175,18 @@ int main(int argc, char** argv) {
   }
   if (files.size() != 2) {
     std::fprintf(stderr,
-                 "usage: bench_gate [--max-regression FRAC] baseline.json fresh.json\n");
+                 "usage: bench_gate [--max-regression FRAC] [--allow-missing] "
+                 "baseline.json fresh.json\n");
     return 2;
   }
 
   auto base = parse_rows(slurp(files[0]));
   auto fresh = parse_rows(slurp(files[1]));
   if (base.empty() || fresh.empty()) {
-    std::fprintf(stderr, "bench_gate: no ms_per_round rows found\n");
+    std::fprintf(stderr, "bench_gate: no gated metric rows found\n");
     return 2;
   }
-  if (base.size() != fresh.size()) {
+  if (!allow_missing && base.size() != fresh.size()) {
     std::fprintf(stderr,
                  "bench_gate: row count mismatch (baseline %zu vs fresh %zu) — "
                  "regenerate the committed baseline\n",
@@ -129,16 +194,56 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Pair rows: by position in strict mode, by label join with --allow-missing.
+  std::vector<std::pair<const Row*, const Row*>> pairs;
+  if (allow_missing) {
+    std::size_t unmatched_fresh = 0;
+    for (const Row& f : fresh) {
+      const Row* b = nullptr;
+      for (const Row& cand : base) {
+        if (cand.label == f.label) {
+          b = &cand;
+          break;
+        }
+      }
+      if (b) {
+        pairs.emplace_back(b, &f);
+      } else {
+        ++unmatched_fresh;
+      }
+    }
+    if (unmatched_fresh) {
+      std::printf("bench_gate: %zu fresh row(s) have no baseline (skipped)\n",
+                  unmatched_fresh);
+    }
+    if (pairs.size() < base.size()) {
+      std::printf("bench_gate: %zu baseline row(s) not re-measured (skipped)\n",
+                  base.size() - pairs.size());
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr, "bench_gate: no rows matched by label\n");
+      return 2;
+    }
+  } else {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (base[i].label != fresh[i].label) {
+        std::fprintf(stderr,
+                     "bench_gate: row %zu label mismatch (\"%s\" vs \"%s\") — "
+                     "regenerate the committed baseline\n",
+                     i, base[i].label.c_str(), fresh[i].label.c_str());
+        return 1;
+      }
+      pairs.emplace_back(&base[i], &fresh[i]);
+    }
+  }
+
   int failures = 0;
-  std::printf("%-32s %12s %12s %9s\n", "row", "baseline ms", "fresh ms", "delta");
-  for (std::size_t i = 0; i < base.size(); ++i) {
-    double delta = base[i].ms_per_round > 0
-                       ? fresh[i].ms_per_round / base[i].ms_per_round - 1.0
-                       : 0.0;
-    bool bad = delta > max_regression;
-    std::printf("%-32s %12.3f %12.3f %+8.1f%%%s\n", base[i].label.c_str(),
-                base[i].ms_per_round, fresh[i].ms_per_round, delta * 100,
-                bad ? "  << REGRESSION" : "");
+  std::printf("%-48s %14s %14s %9s\n", "row", "baseline", "fresh", "delta");
+  for (const auto& [b, f] : pairs) {
+    const double delta = regression(*b, *f);
+    const bool bad = delta > max_regression;
+    std::printf("%-48s %14.3f %14.3f %+8.1f%%%s\n", b->label.c_str(), b->value,
+                f->value, delta * 100, bad ? "  << REGRESSION" : "");
     if (bad) ++failures;
   }
   if (failures) {
