@@ -49,7 +49,7 @@ const Fp6& v_element() {
 
 Fr read_fr(const std::uint8_t* in) {
   // Scalars are transmitted canonically; out-of-range values are rejected by
-  // the caller via the nullopt path before this is reached.
+  // the caller via the NonCanonicalScalar path before this is reached.
   return Fr::from_u256(
       ff::U256::from_be_bytes(std::span<const std::uint8_t, 32>(in, 32)));
 }
@@ -60,6 +60,19 @@ bool fr_canonical(const std::uint8_t* in) {
 }
 
 }  // namespace
+
+const char* to_string(DecodeError error) {
+  switch (error) {
+    case DecodeError::None: return "none";
+    case DecodeError::BadLength: return "bad-length";
+    case DecodeError::BadStructure: return "bad-structure";
+    case DecodeError::NonCanonicalScalar: return "non-canonical-scalar";
+    case DecodeError::BadPoint: return "bad-point";
+    case DecodeError::BadGtElement: return "bad-gt-element";
+    case DecodeError::ZeroForbidden: return "zero-forbidden";
+  }
+  return "?";
+}
 
 std::array<std::uint8_t, 192> gt_compress(const Fp12& g) {
   // Unit-norm check: a^2 - v b^2 == 1.
@@ -78,32 +91,37 @@ std::array<std::uint8_t, 192> gt_compress(const Fp12& g) {
   return out;
 }
 
-std::optional<Fp12> gt_decompress(std::span<const std::uint8_t, 192> bytes) {
+DecodeResult<Fp12> gt_decode(std::span<const std::uint8_t, 192> bytes) {
+  using R = DecodeResult<Fp12>;
   std::array<std::uint8_t, 192> buf;
   std::copy(bytes.begin(), bytes.end(), buf.begin());
   bool b_zero = (buf[0] & 0x80) != 0;
   bool b_greater = (buf[0] & 0x40) != 0;
   buf[0] &= 0x3f;
   auto a = read_fp6(buf.data());
-  if (!a) return std::nullopt;
+  if (!a) return R::failure(DecodeError::BadGtElement);
   Fp12 g;
   if (b_zero) {
-    if (b_greater) return std::nullopt;
-    if (!a->square().is_one()) return std::nullopt;
+    if (b_greater) return R::failure(DecodeError::BadGtElement);
+    if (!a->square().is_one()) return R::failure(DecodeError::BadGtElement);
     g = Fp12{*a, Fp6::zero()};
   } else {
     // b^2 = (a^2 - 1) / v
     Fp6 b2 = (a->square() - Fp6::one()) * v_element().inverse();
     auto b = ff::sqrt(b2);
-    if (!b || b->is_zero()) return std::nullopt;
+    if (!b || b->is_zero()) return R::failure(DecodeError::BadGtElement);
     Fp6 chosen = (fp6_lex_greater(*b, -*b) == b_greater) ? *b : -*b;
     g = Fp12{*a, chosen};
   }
   // Unit norm (established above) is necessary but not sufficient: it admits
   // the whole order-(p^6+1) subgroup. Only genuine pairing outputs — the
   // order-r subgroup — deserialize.
-  if (!pairing::gt_in_subgroup(g)) return std::nullopt;
-  return g;
+  if (!pairing::gt_in_subgroup(g)) return R::failure(DecodeError::BadGtElement);
+  return R::success(g);
+}
+
+std::optional<Fp12> gt_decompress(std::span<const std::uint8_t, 192> bytes) {
+  return gt_decode(bytes).value;
 }
 
 std::vector<std::uint8_t> serialize(const ProofBasic& proof) {
@@ -116,16 +134,25 @@ std::vector<std::uint8_t> serialize(const ProofBasic& proof) {
   return out;
 }
 
-std::optional<ProofBasic> deserialize_basic(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() != ProofBasic::kWireSize) return std::nullopt;
+DecodeResult<ProofBasic> decode_basic(std::span<const std::uint8_t> bytes) {
+  using R = DecodeResult<ProofBasic>;
+  if (bytes.size() != ProofBasic::kWireSize) {
+    return R::failure(DecodeError::BadLength);
+  }
   auto sigma = curve::g1_decompress(
       std::span<const std::uint8_t, 32>(bytes.data(), 32));
-  if (!sigma) return std::nullopt;
-  if (!fr_canonical(bytes.data() + 32)) return std::nullopt;
+  if (!sigma) return R::failure(DecodeError::BadPoint);
+  if (!fr_canonical(bytes.data() + 32)) {
+    return R::failure(DecodeError::NonCanonicalScalar);
+  }
   auto psi = curve::g1_decompress(
       std::span<const std::uint8_t, 32>(bytes.data() + 64, 32));
-  if (!psi) return std::nullopt;
-  return ProofBasic{*sigma, read_fr(bytes.data() + 32), *psi};
+  if (!psi) return R::failure(DecodeError::BadPoint);
+  return R::success(ProofBasic{*sigma, read_fr(bytes.data() + 32), *psi});
+}
+
+std::optional<ProofBasic> deserialize_basic(std::span<const std::uint8_t> bytes) {
+  return decode_basic(bytes).value;
 }
 
 std::vector<std::uint8_t> serialize(const ProofPrivate& proof) {
@@ -140,19 +167,29 @@ std::vector<std::uint8_t> serialize(const ProofPrivate& proof) {
   return out;
 }
 
-std::optional<ProofPrivate> deserialize_private(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() != ProofPrivate::kWireSize) return std::nullopt;
+DecodeResult<ProofPrivate> decode_private(std::span<const std::uint8_t> bytes) {
+  using R = DecodeResult<ProofPrivate>;
+  if (bytes.size() != ProofPrivate::kWireSize) {
+    return R::failure(DecodeError::BadLength);
+  }
   auto sigma = curve::g1_decompress(
       std::span<const std::uint8_t, 32>(bytes.data(), 32));
-  if (!sigma) return std::nullopt;
-  if (!fr_canonical(bytes.data() + 32)) return std::nullopt;
+  if (!sigma) return R::failure(DecodeError::BadPoint);
+  if (!fr_canonical(bytes.data() + 32)) {
+    return R::failure(DecodeError::NonCanonicalScalar);
+  }
   auto psi = curve::g1_decompress(
       std::span<const std::uint8_t, 32>(bytes.data() + 64, 32));
-  if (!psi) return std::nullopt;
-  auto big_r = gt_decompress(
+  if (!psi) return R::failure(DecodeError::BadPoint);
+  auto big_r = gt_decode(
       std::span<const std::uint8_t, 192>(bytes.data() + 96, 192));
-  if (!big_r) return std::nullopt;
-  return ProofPrivate{*sigma, read_fr(bytes.data() + 32), *psi, *big_r};
+  if (!big_r) return R::failure(big_r.error);
+  return R::success(
+      ProofPrivate{*sigma, read_fr(bytes.data() + 32), *psi, *big_r});
+}
+
+std::optional<ProofPrivate> deserialize_private(std::span<const std::uint8_t> bytes) {
+  return decode_private(bytes).value;
 }
 
 std::vector<std::uint8_t> serialize(const PublicKey& pk, bool with_privacy) {
@@ -177,13 +214,22 @@ std::vector<std::uint8_t> serialize(const PublicKey& pk, bool with_privacy) {
   return out;
 }
 
-std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 8 + 64 + 64 + 32) return std::nullopt;
+DecodeResult<PublicKey> decode_public_key(std::span<const std::uint8_t> bytes) {
+  using R = DecodeResult<PublicKey>;
+  // Smallest well-formed key: s (8) + two G2 points (128) + one G1 power (32).
+  if (bytes.size() < 8 + 64 + 64 + 32) return R::failure(DecodeError::BadLength);
   PublicKey pk;
   pk.s = 0;
   for (int i = 0; i < 8; ++i) pk.s = (pk.s << 8) | bytes[i];
-  if (pk.s == 0) return std::nullopt;  // keygen requires s >= 1
+  if (pk.s == 0) return R::failure(DecodeError::ZeroForbidden);  // keygen: s >= 1
   std::size_t power_count = pk.s >= 2 ? pk.s - 1 : 1;
+  // The wire's s field is 64 bits of attacker-controlled input: prove the
+  // claimed power count fits the buffer BEFORE it sizes any arithmetic —
+  // 32 * power_count must not be allowed to overflow into a small "base"
+  // that happens to match bytes.size().
+  if (power_count > (bytes.size() - 136) / 32) {
+    return R::failure(DecodeError::BadStructure);
+  }
   std::size_t base = 8 + 64 + 64 + 32 * power_count;
   bool with_privacy;
   if (bytes.size() == base) {
@@ -191,35 +237,42 @@ std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> by
   } else if (bytes.size() == base + 192) {
     with_privacy = true;
   } else {
-    return std::nullopt;
+    return R::failure(DecodeError::BadStructure);
   }
   auto eps = curve::g2_decompress(
       std::span<const std::uint8_t, 64>(bytes.data() + 8, 64));
   auto del = curve::g2_decompress(
       std::span<const std::uint8_t, 64>(bytes.data() + 72, 64));
-  if (!eps || !del) return std::nullopt;
+  if (!eps || !del) return R::failure(DecodeError::BadPoint);
   // epsilon = g2^x, delta = g2^{alpha x} with x, alpha nonzero: the identity
   // is never a legitimate key component, and accepting it would neuter every
   // pairing check against this key.
-  if (eps->is_infinity() || del->is_infinity()) return std::nullopt;
+  if (eps->is_infinity() || del->is_infinity()) {
+    return R::failure(DecodeError::ZeroForbidden);
+  }
   pk.epsilon = *eps;
   pk.delta = *del;
+  pk.g1_alpha_powers.reserve(power_count);
   for (std::size_t j = 0; j < power_count; ++j) {
     auto p = curve::g1_decompress(std::span<const std::uint8_t, 32>(
         bytes.data() + 136 + 32 * j, 32));
-    if (!p) return std::nullopt;
+    if (!p) return R::failure(DecodeError::BadPoint);
     pk.g1_alpha_powers.push_back(*p);
   }
   if (with_privacy) {
-    auto r = gt_decompress(
+    auto r = gt_decode(
         std::span<const std::uint8_t, 192>(bytes.data() + base, 192));
-    if (!r) return std::nullopt;
+    if (!r) return R::failure(r.error);
     pk.e_g1_epsilon = *r;
   } else {
     // Recomputable from epsilon; one pairing.
     pk.e_g1_epsilon = Fp12::zero();  // sentinel: filled by caller if needed
   }
-  return pk;
+  return R::success(std::move(pk));
+}
+
+std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> bytes) {
+  return decode_public_key(bytes).value;
 }
 
 namespace {
@@ -249,16 +302,23 @@ std::vector<std::uint8_t> serialize(const SecretKey& sk) {
   return out;
 }
 
-std::optional<SecretKey> deserialize_secret_key(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() != 64) return std::nullopt;
+DecodeResult<SecretKey> decode_secret_key(std::span<const std::uint8_t> bytes) {
+  using R = DecodeResult<SecretKey>;
+  if (bytes.size() != 64) return R::failure(DecodeError::BadLength);
   if (!fr_canonical(bytes.data()) || !fr_canonical(bytes.data() + 32)) {
-    return std::nullopt;
+    return R::failure(DecodeError::NonCanonicalScalar);
   }
   SecretKey sk;
   sk.x = read_fr(bytes.data());
   sk.alpha = read_fr(bytes.data() + 32);
-  if (sk.x.is_zero() || sk.alpha.is_zero()) return std::nullopt;
-  return sk;
+  if (sk.x.is_zero() || sk.alpha.is_zero()) {
+    return R::failure(DecodeError::ZeroForbidden);
+  }
+  return R::success(sk);
+}
+
+std::optional<SecretKey> deserialize_secret_key(std::span<const std::uint8_t> bytes) {
+  return decode_secret_key(bytes).value;
 }
 
 std::vector<std::uint8_t> serialize(const FileTag& tag) {
@@ -274,22 +334,37 @@ std::vector<std::uint8_t> serialize(const FileTag& tag) {
   return out;
 }
 
-std::optional<FileTag> deserialize_file_tag(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 48) return std::nullopt;
-  if (!fr_canonical(bytes.data())) return std::nullopt;
+DecodeResult<FileTag> decode_file_tag(std::span<const std::uint8_t> bytes) {
+  using R = DecodeResult<FileTag>;
+  if (bytes.size() < 48) return R::failure(DecodeError::BadLength);
+  if (!fr_canonical(bytes.data())) {
+    return R::failure(DecodeError::NonCanonicalScalar);
+  }
   FileTag tag;
   tag.name = read_fr(bytes.data());
   tag.s = read_u64(bytes.data() + 32);
   tag.num_chunks = read_u64(bytes.data() + 40);
-  if (bytes.size() != 48 + 32 * tag.num_chunks) return std::nullopt;
+  // num_chunks is 64 bits off the wire: bound it by what the buffer can
+  // actually hold before it sizes anything (32 * num_chunks must not wrap
+  // around into a length that matches a short buffer).
+  if (tag.num_chunks > (bytes.size() - 48) / 32) {
+    return R::failure(DecodeError::BadStructure);
+  }
+  if (bytes.size() != 48 + 32 * tag.num_chunks) {
+    return R::failure(DecodeError::BadStructure);
+  }
   tag.sigmas.reserve(tag.num_chunks);
   for (std::size_t i = 0; i < tag.num_chunks; ++i) {
     auto p = curve::g1_decompress(
         std::span<const std::uint8_t, 32>(bytes.data() + 48 + 32 * i, 32));
-    if (!p) return std::nullopt;
+    if (!p) return R::failure(DecodeError::BadPoint);
     tag.sigmas.push_back(*p);
   }
-  return tag;
+  return R::success(std::move(tag));
+}
+
+std::optional<FileTag> deserialize_file_tag(std::span<const std::uint8_t> bytes) {
+  return decode_file_tag(bytes).value;
 }
 
 std::vector<std::uint8_t> serialize(const Challenge& chal) {
@@ -302,16 +377,23 @@ std::vector<std::uint8_t> serialize(const Challenge& chal) {
   return out;
 }
 
-std::optional<Challenge> deserialize_challenge(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() != 104) return std::nullopt;
-  if (!fr_canonical(bytes.data() + 64)) return std::nullopt;
+DecodeResult<Challenge> decode_challenge(std::span<const std::uint8_t> bytes) {
+  using R = DecodeResult<Challenge>;
+  if (bytes.size() != 104) return R::failure(DecodeError::BadLength);
+  if (!fr_canonical(bytes.data() + 64)) {
+    return R::failure(DecodeError::NonCanonicalScalar);
+  }
   Challenge chal;
   std::copy(bytes.begin(), bytes.begin() + 32, chal.c1.begin());
   std::copy(bytes.begin() + 32, bytes.begin() + 64, chal.c2.begin());
   chal.r = read_fr(bytes.data() + 64);
   chal.k = read_u64(bytes.data() + 96);
-  if (chal.k == 0) return std::nullopt;
-  return chal;
+  if (chal.k == 0) return R::failure(DecodeError::ZeroForbidden);
+  return R::success(chal);
+}
+
+std::optional<Challenge> deserialize_challenge(std::span<const std::uint8_t> bytes) {
+  return decode_challenge(bytes).value;
 }
 
 }  // namespace dsaudit::audit

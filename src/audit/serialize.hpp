@@ -7,6 +7,16 @@
 // (a, b in Fp6) satisfies g * conj(g) = 1, i.e. a^2 - v b^2 = 1. We ship
 // only a (6 Fp = 192 bytes = the paper's "|GT| = 1536 bits") plus a sign bit
 // for b, recovered on decode by b = sqrt((a^2 - 1)/v) in Fp6.
+//
+// Untrusted-bytes boundary: every decode_* function treats its input as
+// adversary-controlled. Buffers are bounds-checked BEFORE any length field is
+// trusted (a wire length field never sizes a read or an allocation until it
+// has been proven consistent with the buffer it arrived in), every field
+// element must be canonical, every point on-curve, every GT element in the
+// order-r subgroup — and the reason for a rejection comes back as a typed
+// DecodeError instead of a bare nullopt, so callers (and the fuzz corpus)
+// can assert WHY bytes were refused. The legacy deserialize_* wrappers keep
+// their std::optional shape and delegate.
 #pragma once
 
 #include <optional>
@@ -16,34 +26,85 @@
 
 namespace dsaudit::audit {
 
+/// Why a decode refused its input. One enumerator per distinct boundary
+/// check, so tests can pin the exact rejection path.
+enum class DecodeError {
+  None = 0,
+  /// Buffer length matches no valid encoding (truncated or oversized).
+  BadLength,
+  /// An internal count/length field is inconsistent with the buffer that
+  /// carried it (e.g. a FileTag whose num_chunks claims more sigmas than
+  /// the buffer could possibly hold).
+  BadStructure,
+  /// A scalar field is >= the group order r (non-canonical encoding).
+  NonCanonicalScalar,
+  /// A curve point failed to decode: non-canonical x coordinate, x not on
+  /// the curve, or malformed infinity/sign flag bits.
+  BadPoint,
+  /// A compressed GT element failed to decode: non-canonical Fp6
+  /// coordinates, (a^2-1)/v not a square, inconsistent flag bits, or the
+  /// recovered element outside the order-r pairing subgroup.
+  BadGtElement,
+  /// A field that the protocol requires to be nonzero (s, k, secret-key
+  /// components, the key's G2 points) decoded to zero/identity.
+  ZeroForbidden,
+};
+
+const char* to_string(DecodeError error);
+
+/// Decoded value or the first boundary check that refused the bytes.
+/// Exactly one of (value, error != None) is set.
+template <typename T>
+struct DecodeResult {
+  std::optional<T> value;
+  DecodeError error = DecodeError::None;
+
+  bool ok() const { return value.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const T& operator*() const { return *value; }
+  const T* operator->() const { return &*value; }
+
+  static DecodeResult success(T v) { return {std::move(v), DecodeError::None}; }
+  static DecodeResult failure(DecodeError e) { return {std::nullopt, e}; }
+};
+
 /// 192-byte encoding of a unit-norm (cyclotomic-subgroup) GT element.
 /// Throws std::invalid_argument if the element is not unit-norm.
 std::array<std::uint8_t, 192> gt_compress(const Fp12& g);
-/// nullopt on malformed input (non-canonical coordinates, (a^2-1)/v not a
-/// square, bad flag bits).
+/// Typed decode; BadGtElement on any malformed input (non-canonical
+/// coordinates, (a^2-1)/v not a square, bad flag bits, outside the order-r
+/// subgroup).
+DecodeResult<Fp12> gt_decode(std::span<const std::uint8_t, 192> bytes);
+/// nullopt-shaped wrapper over gt_decode.
 std::optional<Fp12> gt_decompress(std::span<const std::uint8_t, 192> bytes);
 
 std::vector<std::uint8_t> serialize(const ProofBasic& proof);
+DecodeResult<ProofBasic> decode_basic(std::span<const std::uint8_t> bytes);
 std::optional<ProofBasic> deserialize_basic(std::span<const std::uint8_t> bytes);
 
 std::vector<std::uint8_t> serialize(const ProofPrivate& proof);
+DecodeResult<ProofPrivate> decode_private(std::span<const std::uint8_t> bytes);
 std::optional<ProofPrivate> deserialize_private(std::span<const std::uint8_t> bytes);
 
 /// Public key serialization (the Initialize-phase on-chain record, Fig. 4).
 std::vector<std::uint8_t> serialize(const PublicKey& pk, bool with_privacy);
+DecodeResult<PublicKey> decode_public_key(std::span<const std::uint8_t> bytes);
 std::optional<PublicKey> deserialize_public_key(std::span<const std::uint8_t> bytes);
 
 /// Secret key (64 bytes: x || alpha) — off-chain, for the owner's keystore.
 std::vector<std::uint8_t> serialize(const SecretKey& sk);
+DecodeResult<SecretKey> decode_secret_key(std::span<const std::uint8_t> bytes);
 std::optional<SecretKey> deserialize_secret_key(std::span<const std::uint8_t> bytes);
 
 /// File tag: name (32) || s (8) || num_chunks (8) || compressed sigmas.
 std::vector<std::uint8_t> serialize(const FileTag& tag);
+DecodeResult<FileTag> decode_file_tag(std::span<const std::uint8_t> bytes);
 std::optional<FileTag> deserialize_file_tag(std::span<const std::uint8_t> bytes);
 
 /// Challenge: c1 (32) || c2 (32) || r (32) || k (8) — what the contract posts
 /// plus the agreed k.
 std::vector<std::uint8_t> serialize(const Challenge& chal);
+DecodeResult<Challenge> decode_challenge(std::span<const std::uint8_t> bytes);
 std::optional<Challenge> deserialize_challenge(std::span<const std::uint8_t> bytes);
 
 }  // namespace dsaudit::audit

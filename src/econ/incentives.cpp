@@ -1,0 +1,133 @@
+#include "econ/incentives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsaudit::econ {
+
+namespace {
+
+struct Value {
+  double profit = 0;
+  double pslash = 0;
+  double misses = 0;
+};
+
+}  // namespace
+
+IncentiveOutcome evaluate(const IncentiveParams& params) {
+  const std::uint64_t n = params.num_audits;
+  const std::uint64_t slash_after = params.slash_after;
+  // c (consecutive misses) lives in [0, slash_after): reaching slash_after
+  // terminates the contract inside the transition. With slashing disabled
+  // the dimension collapses to a single state.
+  const std::size_t cdim = slash_after > 0 ? slash_after : 1;
+  const std::size_t mdim = n + 1;
+  const double q = std::clamp(params.cheat_prob, 0.0, 1.0);
+  const double d = std::clamp(params.detection_prob, 0.0, 1.0);
+  // A cheating round pays (cost - saving) whatever the outcome; an honest
+  // round pays the full cost and always passes.
+  const double cheat_base = -(params.cost_per_round - params.saving_per_cheat);
+  const double honest_round = params.reward_per_audit - params.cost_per_round;
+
+  // V[c][m] for a fixed number of rounds remaining; rolled over t.
+  std::vector<Value> prev(cdim * mdim);  // t - 1 rounds remaining
+  std::vector<Value> cur(cdim * mdim);
+  auto at = [&](std::vector<Value>& v, std::size_t c,
+                std::size_t m) -> Value& { return v[c * mdim + m]; };
+
+  for (std::uint64_t t = 1; t <= n; ++t) {
+    // After n - t rounds elapsed, at most n - t misses have accumulated.
+    const std::size_t mmax = static_cast<std::size_t>(n - t);
+    for (std::size_t c = 0; c < cdim; ++c) {
+      for (std::size_t m = 0; m <= mmax; ++m) {
+        const Value& pass_next = at(prev, 0, m);
+        Value v;
+        // Honest branch: guaranteed pass, consecutive counter resets.
+        v.profit += (1 - q) * (honest_round + pass_next.profit);
+        v.pslash += (1 - q) * pass_next.pslash;
+        v.misses += (1 - q) * pass_next.misses;
+        // Cheat + undetected: pass on corrupted service.
+        v.profit += q * (1 - d) *
+                    (params.reward_per_audit + cheat_base + pass_next.profit);
+        v.pslash += q * (1 - d) * pass_next.pslash;
+        v.misses += q * (1 - d) * pass_next.misses;
+        // Cheat + detected: -penalty, consecutive counter advances.
+        const double fail_now = cheat_base - params.penalty_per_fail;
+        if (slash_after > 0 && c + 1 >= slash_after) {
+          // Slash: forfeit the remaining collateral, contract terminates.
+          const double forfeited =
+              params.penalty_per_fail * static_cast<double>(n - (m + 1));
+          v.profit += q * d * (fail_now - forfeited);
+          v.pslash += q * d;
+          v.misses += q * d;
+        } else {
+          const std::size_t cnext = slash_after > 0 ? c + 1 : 0;
+          const Value& fail_next = at(prev, cnext, m + 1);
+          v.profit += q * d * (fail_now + fail_next.profit);
+          v.pslash += q * d * fail_next.pslash;
+          v.misses += q * d * (1 + fail_next.misses);
+        }
+        at(cur, c, m) = v;
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  const Value root = n > 0 ? at(prev, 0, 0) : Value{};
+  IncentiveOutcome out;
+  out.honest_profit = static_cast<double>(n) * honest_round;
+  out.adversary_profit = root.profit;
+  out.advantage = out.adversary_profit - out.honest_profit;
+  out.slash_probability = root.pslash;
+  out.expected_misses = root.misses;
+  out.deterred = out.advantage <= 0;
+  return out;
+}
+
+std::vector<SweepRow> sweep(const IncentiveParams& base,
+                            std::span<const double> detection_grid,
+                            std::span<const double> penalty_grid) {
+  std::vector<SweepRow> rows;
+  rows.reserve(detection_grid.size() * penalty_grid.size());
+  for (double d : detection_grid) {
+    for (double p : penalty_grid) {
+      IncentiveParams params = base;
+      params.detection_prob = d;
+      params.penalty_per_fail = p;
+      rows.push_back(SweepRow{d, p, evaluate(params)});
+    }
+  }
+  return rows;
+}
+
+double break_even_penalty(const IncentiveParams& base,
+                          std::span<const double> penalty_grid) {
+  for (double p : penalty_grid) {
+    IncentiveParams params = base;
+    params.penalty_per_fail = p;
+    if (evaluate(params).deterred) return p;
+  }
+  return -1;
+}
+
+double partial_storage_detection(double stored_fraction, std::uint64_t k,
+                                 std::uint64_t num_chunks) {
+  const double f = std::clamp(stored_fraction, 0.0, 1.0);
+  if (k == 0) return 0;
+  if (num_chunks == 0) return 1 - std::pow(f, static_cast<double>(k));
+  const std::uint64_t held = static_cast<std::uint64_t>(
+      std::llround(f * static_cast<double>(num_chunks)));
+  const std::uint64_t draws = std::min(k, num_chunks);
+  if (draws > held) return 1;  // cannot cover the challenge
+  // Exact hypergeometric survival: every challenged chunk lands on a held
+  // one when drawing `draws` distinct chunks out of num_chunks.
+  double survive = 1;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    survive *= static_cast<double>(held - i) /
+               static_cast<double>(num_chunks - i);
+  }
+  return 1 - survive;
+}
+
+}  // namespace dsaudit::econ

@@ -1,0 +1,89 @@
+// Rational-adversary incentive model: is cheating ever profitable under the
+// contract's reward / penalty / slash schedule?
+//
+// The contract charges -penalty per failed or timed-out round and slashes the
+// remaining collateral (penalty * (num_audits - misses)) once
+// `slash_after_consecutive` misses land in a row — exactly the accounting
+// audit_contract.cpp implements and NetworkSim's attacker_profit counter
+// measures. This model closes the loop: a finite-horizon dynamic program over
+// (rounds remaining, consecutive misses, total misses) computes the exact
+// expected profit of a randomized cheating strategy, so every strategy in the
+// attack zoo gets a verdict (deterred or profitable) instead of a vibe.
+//
+// Strategy mapping (see bench/bench_attack.cpp for the sweep):
+//   partial-storage  cheat_prob = 1, detection = 1 - f^k (f = stored
+//                    fraction, k = challenged chunks), saving = (1-f) * cost
+//   colluding        cheat_prob = strike rate, detection = 1 (a corrupted
+//                    proof never verifies), saving = cost of serving
+//   selective        same as colluding but only on sub-threshold contracts
+//   seed-grinding    cheat_prob = 0 under the replay registry (every reused
+//                    weight seed is refused, so grinding degenerates to
+//                    honest proving) — profitable iff honest is
+//   malformed-bytes  cheat_prob = rate, detection = 1 (typed decode
+//                    rejection -> no ticket -> round fails)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsaudit::econ {
+
+struct IncentiveParams {
+  std::uint64_t num_audits = 32;
+  /// Misses in a row that trigger the slash (contract
+  /// slash_after_consecutive). 0 disables slashing in the model.
+  std::uint64_t slash_after = 3;
+  double reward_per_audit = 10;
+  double penalty_per_fail = 20;
+  /// Per-round probability the adversary chooses to cheat (strategy strike
+  /// rate). 1 = cheats every round, 0 = honest.
+  double cheat_prob = 1.0;
+  /// P(round fails | adversary cheated it): the audit's per-round detection
+  /// power. For proof-corrupting strategies this is 1; for partial storage
+  /// it is P(challenge touches an unheld chunk).
+  double detection_prob = 1.0;
+  /// Operating cost of serving one round honestly (storage + proving),
+  /// and the fraction of it a cheating round avoids.
+  double cost_per_round = 2.0;
+  double saving_per_cheat = 2.0;
+};
+
+struct IncentiveOutcome {
+  double honest_profit = 0;     ///< num_audits * (reward - cost)
+  double adversary_profit = 0;  ///< expected, from the DP
+  double advantage = 0;         ///< adversary_profit - honest_profit
+  double slash_probability = 0; ///< P(contract ends slashed)
+  double expected_misses = 0;
+  bool deterred = false;        ///< advantage <= 0: honesty dominates
+};
+
+/// Exact finite-horizon DP over (rounds left, consecutive misses, total
+/// misses); O(num_audits^2 * slash_after) time.
+IncentiveOutcome evaluate(const IncentiveParams& params);
+
+/// One row of the detection x penalty sweep grid.
+struct SweepRow {
+  double detection_prob = 0;
+  double penalty_per_fail = 0;
+  IncentiveOutcome outcome;
+};
+
+/// Evaluate `base` at every (detection, penalty) grid point.
+std::vector<SweepRow> sweep(const IncentiveParams& base,
+                            std::span<const double> detection_grid,
+                            std::span<const double> penalty_grid);
+
+/// Smallest penalty (scanning `penalty_grid` in order) that deters the
+/// adversary, or a negative value if none on the grid does.
+double break_even_penalty(const IncentiveParams& base,
+                          std::span<const double> penalty_grid);
+
+/// Detection probability that a partial-storage prover with `stored_fraction`
+/// of the chunks survives: 1 - C(held, k)/C(n, k), the exact hypergeometric
+/// miss probability for k challenged chunks out of n (falls back to the
+/// 1 - f^k sampling-with-replacement form when k > held).
+double partial_storage_detection(double stored_fraction, std::uint64_t k,
+                                 std::uint64_t num_chunks);
+
+}  // namespace dsaudit::econ

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "attack/corpus.hpp"
 #include "audit/serialize.hpp"
 #include "econ/cost_model.hpp"
 #include "parallel/thread_pool.hpp"
@@ -44,6 +45,7 @@ NetworkSim::NetworkSim(NetworkConfig config)
     provider_ids_.push_back(ring_.join(name));
     provider_index_[name] = p;
   }
+  adversary_.assign(config_.num_providers, nullptr);
 }
 
 void NetworkSim::set_behavior(const std::string& provider, ProviderBehavior b) {
@@ -61,6 +63,24 @@ void NetworkSim::set_fault_schedule(FaultSchedule schedule) {
   // responders only ever read this immutable view.
   fault_view_ = FaultView(fault_schedule_, config_.num_providers,
                           config_.response_window_s);
+}
+
+void NetworkSim::set_adversary(
+    std::size_t provider,
+    std::shared_ptr<const attack::AdversaryStrategy> strategy) {
+  if (deployed_) throw std::logic_error("NetworkSim: set_adversary before deploy");
+  if (provider >= config_.num_providers) {
+    throw std::out_of_range("NetworkSim::set_adversary: provider index");
+  }
+  adversary_[provider] = std::move(strategy);
+  have_adversaries_ = true;
+}
+
+void NetworkSim::set_adversaries(const attack::AdversaryRoster& roster) {
+  for (std::size_t p = 0;
+       p < roster.by_provider.size() && p < config_.num_providers; ++p) {
+    if (roster.by_provider[p]) set_adversary(p, roster.by_provider[p]);
+  }
 }
 
 ProviderBehavior NetworkSim::behavior_of(const std::string& provider) const {
@@ -133,12 +153,13 @@ void NetworkSim::deploy() {
   // thousands of contracts on one provider. Owners' demand is known now;
   // providers are topped up after placement below. Both top-ups are zero
   // whenever the flat mint suffices, keeping every pinned ledger constant.
-  const std::uint64_t owner_need =
-      static_cast<std::uint64_t>(shards_per_owner) * config_.reward_per_audit *
-      config_.num_audits;
   std::vector<ProviderBehavior> behaviors;
   for (std::size_t o = 0; o < config_.num_owners; ++o) {
     std::string owner = "owner-" + std::to_string(o);
+    // Premium-tier owners (premium_owner_stride) lock twice the rewards.
+    const std::uint64_t owner_need = static_cast<std::uint64_t>(
+        shards_per_owner * config_.reward_per_audit * config_.num_audits *
+        tier_multiplier(o));
     chain_.mint(owner, std::max<std::uint64_t>(1'000'000, owner_need));
     if (!streaming) {
       std::vector<std::uint8_t> data(config_.file_bytes);
@@ -169,14 +190,16 @@ void NetworkSim::deploy() {
   // placement-derived, so it is identical across retention modes and
   // thread counts.
   {
-    std::vector<std::uint64_t> contracts_on(config_.num_providers, 0);
-    for (std::uint32_t p : hot_provider_) ++contracts_on[p];
-    const std::uint64_t lock_each =
-        config_.penalty_per_fail * config_.num_audits;
+    std::vector<std::uint64_t> lock_on(config_.num_providers, 0);
+    for (std::size_t i = 0; i < deployments_.size(); ++i) {
+      // Per-deployment collateral, scaled by the owner's contract tier.
+      lock_on[hot_provider_[i]] +=
+          config_.penalty_per_fail * config_.num_audits *
+          tier_multiplier(deployments_[i]->placement.owner);
+    }
     for (std::size_t p = 0; p < config_.num_providers; ++p) {
-      const std::uint64_t need = contracts_on[p] * lock_each;
-      if (need > 1'000'000) {
-        chain_.mint("provider-" + std::to_string(p), need - 1'000'000);
+      if (lock_on[p] > 1'000'000) {
+        chain_.mint("provider-" + std::to_string(p), lock_on[p] - 1'000'000);
       }
     }
   }
@@ -268,7 +291,8 @@ void NetworkSim::deploy() {
   // state and stay single-threaded.
   for (std::size_t i = 0; i < deployments_.size(); ++i) {
     Deployment& dep = *deployments_[i];
-    if (behaviors[i] != ProviderBehavior::Unresponsive) {
+    if (behaviors[i] != ProviderBehavior::Unresponsive ||
+        adversary_of(i) != nullptr) {
       dep.prover_rng = std::make_unique<primitives::SecureRng>(
           primitives::SecureRng::deterministic(
               config_.rng_seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
@@ -325,6 +349,86 @@ std::optional<std::vector<std::uint8_t>> NetworkSim::streaming_prove(
   return audit::serialize(prover.prove(chal));
 }
 
+attack::AdversaryContext NetworkSim::adversary_context(
+    std::size_t dep_index) const {
+  const Deployment& dep = *deployments_[dep_index];
+  attack::AdversaryContext ctx;
+  ctx.deployment = dep_index;
+  ctx.provider = hot_provider_[dep_index];
+  ctx.owner = dep.placement.owner;
+  ctx.num_chunks = dep.num_chunks;
+  const std::uint64_t mult = tier_multiplier(dep.placement.owner);
+  ctx.reward_per_audit = config_.reward_per_audit * mult;
+  ctx.penalty_per_fail = config_.penalty_per_fail * mult;
+  ctx.num_audits = dep.contract ? dep.contract->terms().num_audits
+                                : config_.num_audits;
+  return ctx;
+}
+
+std::optional<std::vector<std::uint8_t>> NetworkSim::adversarial_prove(
+    std::size_t dep_index, const attack::AdversaryContext& ctx,
+    const attack::AdversaryStrategy& adv, const audit::Challenge& chal,
+    primitives::SecureRng& rng) const {
+  const auto action = adv.decide(ctx, chal);
+  if (action == attack::AdversaryAction::NoAnswer) return std::nullopt;
+
+  // Regenerate the held chunks exactly as streaming_prove does (identical Fr
+  // values in both retention modes), apply any fault corruption, then — for
+  // a cheating answer — zero every chunk the strategy does not actually
+  // hold: the proof fails exactly when the challenge touches one.
+  const Deployment& dep = *deployments_[dep_index];
+  const std::size_t o = dep.placement.owner;
+  auto shards = owner_shards_of(o);
+  storage::EncodedFile held =
+      storage::encode_file(shards[dep.placement.shard], config_.s);
+  switch (static_cast<Corruption>(hot_corruption_[dep_index])) {
+    case Corruption::DropChunk:
+      for (auto& b : held.chunks[0]) b = audit::Fr::zero();
+      break;
+    case Corruption::AllZero:
+      for (auto& chunk : held.chunks) {
+        for (auto& b : chunk) b = audit::Fr::zero();
+      }
+      break;
+    case Corruption::None:
+      break;
+  }
+  if (action == attack::AdversaryAction::CorruptProof) {
+    for (std::size_t i = 0; i < held.chunks.size(); ++i) {
+      if (!adv.holds_chunk(ctx, i)) {
+        for (auto& b : held.chunks[i]) b = audit::Fr::zero();
+      }
+    }
+  }
+  audit::Prover prover(key_of(o).pk, held, dep.tag, /*prepare_psi=*/false,
+                       /*prepare_sigma=*/false);
+  std::vector<std::uint8_t> bytes;
+  if (config_.private_proofs) {
+    if (action == attack::AdversaryAction::GrindProof) {
+      // Grind the masking randomness: several VALID proofs, submit the
+      // lexicographically smallest serialization (a bid to bias the batch
+      // transcript and, through it, the Fiat–Shamir weight seed). The
+      // grinder pays candidates-1 extra provings for it.
+      const std::size_t g = std::max<std::size_t>(1, adv.grind_candidates());
+      for (std::size_t c = 0; c < g; ++c) {
+        auto candidate = audit::serialize(prover.prove_private(chal, rng));
+        if (bytes.empty() || candidate < bytes) bytes = std::move(candidate);
+      }
+    } else {
+      bytes = audit::serialize(prover.prove_private(chal, rng));
+    }
+  } else {
+    // Basic proofs are deterministic — nothing to grind; the strategy
+    // degenerates to an honest (valid) answer.
+    bytes = audit::serialize(prover.prove(chal));
+  }
+  if (action == attack::AdversaryAction::MalformedProof) {
+    bytes = attack::corpus::corrupt_proof(
+        bytes, attack::detail::fold(chal.c1) ^ dep_index);
+  }
+  return bytes;
+}
+
 void NetworkSim::install_contract(Deployment& dep, std::size_t dep_index,
                                   std::uint64_t num_audits,
                                   std::optional<audit::PreparedFile> prepared) {
@@ -336,8 +440,9 @@ void NetworkSim::install_contract(Deployment& dep, std::size_t dep_index,
   terms.num_audits = num_audits;
   terms.audit_period_s = config_.audit_period_s;
   terms.response_window_s = config_.response_window_s;
-  terms.reward_per_audit = config_.reward_per_audit;
-  terms.penalty_per_fail = config_.penalty_per_fail;
+  const std::uint64_t tier = tier_multiplier(o);
+  terms.reward_per_audit = config_.reward_per_audit * tier;
+  terms.penalty_per_fail = config_.penalty_per_fail * tier;
   terms.challenged_chunks = config_.challenged_chunks;
   terms.private_proofs = config_.private_proofs;
   terms.batch_gas_discount = config_.batch_gas_discount;
@@ -366,7 +471,27 @@ void NetworkSim::install_contract(Deployment& dep, std::size_t dep_index,
         std::move(prepared));
   }
   if (batch_) dep.contract->enable_deferred_settlement(*batch_);
-  if (behavior_of(dep.placement.provider) != ProviderBehavior::Unresponsive) {
+  const attack::AdversaryStrategy* adv = adversary_of(dep_index);
+  if (adv != nullptr) {
+    // Byzantine responder: the strategy decides, the sim executes. Decisions
+    // are pure functions of (ctx, challenge), so the concurrent prepare
+    // stages here, the sequential classification in on_round below and the
+    // stats_by_walk() oracle always agree on what this round was.
+    const FaultView* faults = have_faults_ ? &fault_view_ : nullptr;
+    primitives::SecureRng* rng = dep.prover_rng.get();
+    const std::size_t pidx = hot_provider_[dep_index];
+    const attack::AdversaryContext ctx = adversary_context(dep_index);
+    dep.contract->set_responder(
+        [this, dep_index, ctx, adv, rng, faults, pidx](
+            const audit::Challenge& chal)
+            -> std::optional<std::vector<std::uint8_t>> {
+          if (faults && !faults->available(pidx, chain_.now())) {
+            return std::nullopt;  // even adversaries sit out fault gaps
+          }
+          return adversarial_prove(dep_index, ctx, *adv, chal, *rng);
+        });
+  } else if (behavior_of(dep.placement.provider) !=
+             ProviderBehavior::Unresponsive) {
     const FaultView* faults = have_faults_ ? &fault_view_ : nullptr;
     if (streaming) {
       primitives::SecureRng* rng = dep.prover_rng.get();
@@ -402,7 +527,7 @@ void NetworkSim::install_contract(Deployment& dep, std::size_t dep_index,
   // Incremental population aggregates: every terminal round folds in here,
   // so stats() never walks history (which streaming mode trims anyway).
   dep.contract->set_on_round(
-      [this, dep_index](const contract::RoundRecord& r) {
+      [this, dep_index, adv](const contract::RoundRecord& r) {
         if (r.outcome != contract::RoundOutcome::Aborted) {
           ++agg_.total_rounds;
           switch (r.outcome) {
@@ -410,21 +535,80 @@ void NetworkSim::install_contract(Deployment& dep, std::size_t dep_index,
             case contract::RoundOutcome::Fail: ++agg_.fails; break;
             default: ++agg_.timeouts; break;
           }
+          // Adversary bookkeeping, in the sequential action phase. The
+          // strategy's decision is re-derived from the settled challenge —
+          // pure, so it matches what the responder actually did.
+          const bool corrupted =
+              hot_corruption_[dep_index] !=
+                  static_cast<std::uint8_t>(Corruption::None) ||
+              behavior_of(deployments_[dep_index]->placement.provider) !=
+                  ProviderBehavior::Honest;
+          const attack::AdversaryAction action =
+              adv ? adv->decide(adversary_context(dep_index), r.challenge)
+                  : attack::AdversaryAction::Honest;
+          if (adv && action != attack::AdversaryAction::Honest) {
+            ++advc_.attempted;
+            if (r.outcome != contract::RoundOutcome::Pass) ++advc_.detected;
+          } else if (r.outcome == contract::RoundOutcome::Fail && !corrupted) {
+            // An honest answer over intact data can never fail — a Fail
+            // here means a penalty was misattributed to an honest round.
+            ++advc_.misattributed_fails;
+          }
+          if (adv) {
+            const auto& t = deployments_[dep_index]->contract->terms();
+            if (r.outcome == contract::RoundOutcome::Pass) {
+              advc_.profit += static_cast<std::int64_t>(t.reward_per_audit);
+            } else {
+              advc_.profit -= static_cast<std::int64_t>(t.penalty_per_fail);
+            }
+            // The seed-grinding adversary also attacks the settlement layer:
+            // replay the last settled window's Fiat–Shamir weight seed
+            // against the freshness registry. Every attempt must be refused.
+            if (adv->kind() == attack::StrategyKind::SeedGrinding && batch_) {
+              if (auto seed = batch_->last_weight_seed()) {
+                ++advc_.replay_attempts;
+                if (batch_->consume_weight_seed(*seed)) {
+                  ++advc_.replays_accepted;
+                }
+              }
+            }
+          }
         }
         agg_.total_gas += r.gas_used;
         agg_.timeout_retries += r.retries;
         ++hot_rounds_done_[dep_index];
         hot_next_due_[dep_index] = r.challenged_at + config_.audit_period_s;
       });
-  dep.contract->set_on_closed([this, dep_index](contract::CloseReason reason) {
-    if (reason == contract::CloseReason::Slashed) ++churn_.slashes;
-    if (reason == contract::CloseReason::ProviderExit) ++churn_.provider_exits;
-    --open_contracts_;
-    hot_next_due_[dep_index] = 0;
-    if (flag(dep_index, kNeedsRepair) && !flag(dep_index, kRepairDone)) {
-      schedule_repair(dep_index);
-    }
-  });
+  dep.contract->set_on_closed(
+      [this, dep_index, adv](contract::CloseReason reason) {
+        if (reason == contract::CloseReason::Slashed) ++churn_.slashes;
+        if (reason == contract::CloseReason::ProviderExit) {
+          ++churn_.provider_exits;
+        }
+        if (adv) {
+          const auto& c = *deployments_[dep_index]->contract;
+          const auto& t = c.terms();
+          const std::uint64_t misses = c.fails() + c.timeouts();
+          if (reason == contract::CloseReason::Slashed) {
+            ++advc_.slashed;
+            // Forfeited collateral: the full lock minus per-round penalties
+            // already paid out (slash_and_close drains the rest to the
+            // owner).
+            advc_.profit -= static_cast<std::int64_t>(
+                t.penalty_per_fail * (t.num_audits - misses));
+          } else if (reason == contract::CloseReason::ProviderExit) {
+            advc_.profit -= static_cast<std::int64_t>(
+                std::min(t.penalty_per_fail,
+                         t.penalty_per_fail * t.num_audits -
+                             t.penalty_per_fail * misses));
+          }
+        }
+        --open_contracts_;
+        hot_next_due_[dep_index] = 0;
+        if (flag(dep_index, kNeedsRepair) && !flag(dep_index, kRepairDone)) {
+          schedule_repair(dep_index);
+        }
+      });
   ++open_contracts_;
   dep.contract->negotiated();
   dep.contract->acked(true);
@@ -719,6 +903,12 @@ NetworkStats NetworkSim::stats() const {
   st.bytes_repaired = churn_.bytes_repaired;
   st.data_loss_events = churn_.data_loss_events;
   st.repair_gas = churn_.repair_gas;
+  st.attacks_attempted = advc_.attempted;
+  st.attacks_detected = advc_.detected;
+  st.attacks_slashed = advc_.slashed;
+  st.seed_replays_attempted = advc_.replay_attempts;
+  st.seed_replays_accepted = advc_.replays_accepted;
+  st.attacker_profit = advc_.profit;
   return st;
 }
 
@@ -751,6 +941,44 @@ NetworkStats NetworkSim::stats_by_walk() const {
   st.bytes_repaired = churn_.bytes_repaired;
   st.data_loss_events = churn_.data_loss_events;
   st.repair_gas = churn_.repair_gas;
+  // Adversary counters, re-derived post hoc from the retained round records
+  // by replaying every strategy decision — the differential oracle for the
+  // incremental advc_ accounting above. (Replay attempts are interactions
+  // with the settlement registry, not round outcomes; they have no record
+  // to walk and are copied.)
+  for (std::size_t i = 0; i < deployments_.size(); ++i) {
+    const auto& dep = *deployments_[i];
+    const attack::AdversaryStrategy* adv = adversary_of(i);
+    if (!adv || !dep.contract) continue;
+    const auto& c = *dep.contract;
+    const auto& t = c.terms();
+    const attack::AdversaryContext ctx = adversary_context(i);
+    for (const auto& r : c.rounds()) {
+      if (r.outcome == contract::RoundOutcome::Aborted) continue;
+      if (adv->decide(ctx, r.challenge) != attack::AdversaryAction::Honest) {
+        ++st.attacks_attempted;
+        if (r.outcome != contract::RoundOutcome::Pass) ++st.attacks_detected;
+      }
+      if (r.outcome == contract::RoundOutcome::Pass) {
+        st.attacker_profit += static_cast<std::int64_t>(t.reward_per_audit);
+      } else {
+        st.attacker_profit -= static_cast<std::int64_t>(t.penalty_per_fail);
+      }
+    }
+    const std::uint64_t misses = c.fails() + c.timeouts();
+    if (c.close_reason() == contract::CloseReason::Slashed) {
+      ++st.attacks_slashed;
+      st.attacker_profit -= static_cast<std::int64_t>(
+          t.penalty_per_fail * (t.num_audits - misses));
+    } else if (c.close_reason() == contract::CloseReason::ProviderExit) {
+      st.attacker_profit -= static_cast<std::int64_t>(
+          std::min(t.penalty_per_fail,
+                   t.penalty_per_fail * t.num_audits -
+                       t.penalty_per_fail * misses));
+    }
+  }
+  st.seed_replays_attempted = advc_.replay_attempts;
+  st.seed_replays_accepted = advc_.replays_accepted;
   return st;
 }
 
@@ -882,6 +1110,24 @@ void NetworkSim::check_invariants() const {
         a.timeout_retries != w.timeout_retries) {
       fail("incremental stats diverge from stats_by_walk");
     }
+    if (a.attacks_attempted != w.attacks_attempted ||
+        a.attacks_detected != w.attacks_detected ||
+        a.attacks_slashed != w.attacks_slashed ||
+        a.attacker_profit != w.attacker_profit) {
+      fail("incremental adversary counters diverge from stats_by_walk");
+    }
+  }
+  // Bisection exactness: an honest round on uncorrupted data never fails.
+  // Any Fail charged to a provider whose strategy chose Honest for that
+  // challenge (and whose data the fault engine never touched) would slash
+  // an innocent round — the attack engine's core safety property.
+  if (advc_.misattributed_fails != 0) {
+    fail("honest uncorrupted round charged as Fail (bisection over-slash)");
+  }
+  // Replay safety: the settlement registry must refuse every reused weight
+  // seed the grinding adversary replays.
+  if (advc_.replays_accepted != 0) {
+    fail("settlement accepted a replayed weight seed");
   }
   // Recoverability or declared loss, per owner. Legacy behavior injection
   // (set_behavior) breaks recoverability outside the fault engine's books,

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/adversary.hpp"
 #include "contract/audit_contract.hpp"
 #include "sim/fault.hpp"
 #include "storage/dht.hpp"
@@ -94,6 +95,11 @@ struct NetworkConfig {
   /// that cost O(N) instead of O(owners) while keeping per-owner RNG
   /// streams and all observable statistics unchanged.
   std::size_t key_pool = 0;
+  /// Contract-value tiers for the selective-responder adversary: 0 (default)
+  /// keeps uniform terms; N >= 1 gives owners with o % N == 0 "premium"
+  /// contracts at twice the reward AND penalty (funding scales to match).
+  /// Zero preserves every pinned ledger constant bit-identically.
+  std::size_t premium_owner_stride = 0;
 };
 
 /// Provider misbehaviour knobs for failure injection.
@@ -129,6 +135,22 @@ struct NetworkStats {
   std::uint64_t bytes_repaired = 0;
   std::uint64_t data_loss_events = 0; // owners whose data was declared lost
   std::uint64_t repair_gas = 0;       // repair txs (separate from total_gas)
+  // Byzantine-adversary telemetry (all zero without set_adversary). An
+  // "attack" is one settled round whose strategy action was not Honest;
+  // it is "detected" when the round did not Pass (the proof failed, was
+  // refused at the decode boundary, or never came).
+  std::uint64_t attacks_attempted = 0;
+  std::uint64_t attacks_detected = 0;
+  std::uint64_t attacks_slashed = 0;   // adversarial contracts closed Slashed
+  /// Weight-seed replays attempted against the BatchSettlement registry by
+  /// seed-grinding adversaries, and how many the registry let through
+  /// (check_invariants requires accepted == 0, always).
+  std::uint64_t seed_replays_attempted = 0;
+  std::uint64_t seed_replays_accepted = 0;
+  /// Net ledger delta of all adversarial providers' audit activity:
+  /// + reward per passed round, - penalty per failed/timed-out round,
+  /// - forfeited collateral at a slash, - the exit fee at a provider exit.
+  std::int64_t attacker_profit = 0;
 };
 
 class NetworkSim {
@@ -144,6 +166,18 @@ class NetworkSim {
   /// never observe a mutation — results are bit-identical at every
   /// DSAUDIT_THREADS setting.
   void set_fault_schedule(FaultSchedule schedule);
+
+  /// Run `strategy` on every contract this provider serves, instead of the
+  /// honest responder (before deploy). Strategies are immutable and shared:
+  /// decide() is pure, so concurrent prepare stages, the sequential
+  /// classification in on_round and the stats_by_walk() oracle all see the
+  /// same action for the same challenge. Composes with set_fault_schedule —
+  /// a fault gap silences the adversary like anyone else. Takes precedence
+  /// over set_behavior for the same provider.
+  void set_adversary(std::size_t provider,
+                     std::shared_ptr<const attack::AdversaryStrategy> strategy);
+  /// Install a whole roster (index = provider; null entries stay honest).
+  void set_adversaries(const attack::AdversaryRoster& roster);
 
   /// Encode, tag and place every owner's shards; open and fund contracts.
   void deploy();
@@ -209,7 +243,11 @@ class NetworkSim {
   ///     — the incremental aggregates keep their post-hoc oracle,
   ///   - recoverability-or-declared-loss for every owner,
   ///   - a terminal disposition (repair or declared loss) for every
-  ///     fault-invalidated shard.
+  ///     fault-invalidated shard,
+  ///   - under adversaries: no honest round misattributed (every Fail
+  ///     belongs to a cheating action or fault-corrupted data), zero
+  ///     accepted weight-seed replays, and the incremental adversary
+  ///     counters pinned to their stats_by_walk() re-derivation.
   void check_invariants() const;
 
  private:
@@ -267,6 +305,31 @@ class NetworkSim {
   /// prover, and serialize the proof.
   std::optional<std::vector<std::uint8_t>> streaming_prove(
       std::size_t dep_index, const audit::Challenge& chal,
+      primitives::SecureRng& rng) const;
+  /// The contract-value multiplier of this owner's tier (1, or 2 for
+  /// premium owners under premium_owner_stride).
+  std::uint64_t tier_multiplier(std::size_t owner) const {
+    return (config_.premium_owner_stride != 0 &&
+            owner % config_.premium_owner_stride == 0)
+               ? 2
+               : 1;
+  }
+  /// The strategy attacking this deployment's provider (null = honest).
+  const attack::AdversaryStrategy* adversary_of(std::size_t dep_index) const {
+    const std::size_t p = hot_provider_[dep_index];
+    return p < adversary_.size() ? adversary_[p].get() : nullptr;
+  }
+  /// The immutable per-deployment facts decide() sees; also rebuilt by the
+  /// stats_by_walk() oracle, so it must derive only from stable state.
+  attack::AdversaryContext adversary_context(std::size_t dep_index) const;
+  /// Adversarial responder backend: evaluate the strategy for this
+  /// challenge and produce its answer — honest proof, proof over data with
+  /// the strategy's unheld chunks zeroed, ground candidate set, corrupted
+  /// wire bytes, or silence. Regenerates held data like streaming_prove
+  /// (identical Fr values in both retention modes).
+  std::optional<std::vector<std::uint8_t>> adversarial_prove(
+      std::size_t dep_index, const attack::AdversaryContext& ctx,
+      const attack::AdversaryStrategy& adv, const audit::Challenge& chal,
       primitives::SecureRng& rng) const;
   /// Shared by deploy() and the repair path: terms from config (with
   /// `num_audits` rounds), deferred settlement, the fault-aware responder,
@@ -342,6 +405,20 @@ class NetworkSim {
                   repairs = 0, bytes_repaired = 0, data_loss_events = 0,
                   repair_gas = 0;
   } churn_;
+
+  // Byzantine adversary engine (src/attack). Strategies are shared_ptr so a
+  // roster and the sim can co-own them; they are immutable after install.
+  std::vector<std::shared_ptr<const attack::AdversaryStrategy>> adversary_;
+  bool have_adversaries_ = false;
+  struct AdvCounters {
+    std::uint64_t attempted = 0, detected = 0, slashed = 0,
+                  replay_attempts = 0, replays_accepted = 0;
+    std::int64_t profit = 0;
+    /// Fail rounds with an Honest action over uncorrupted data — the
+    /// "no honest round is ever slashed/penalized" invariant counter
+    /// (spans ALL deployments, adversarial or not); must stay zero.
+    std::uint64_t misattributed_fails = 0;
+  } advc_;
 };
 
 }  // namespace dsaudit::sim

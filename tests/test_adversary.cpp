@@ -1,0 +1,349 @@
+// Byzantine adversary engine tests: randomized strategy rosters composed
+// with randomized fault schedules, replayed through the full network
+// simulation with every system invariant checked — money conservation, exact
+// escrow accounting, bisection exactness (no honest round ever charged),
+// replay safety (no reused weight seed ever accepted) and the incremental
+// adversary counters pinned to their stats_by_walk() re-derivation.
+//
+// A failing seed prints itself plus the roster and schedule so it replays as
+// a regression; the replay suite proves a fixed seed reproduces the chain,
+// ledger, stats and adversary counters bit-identically at DSAUDIT_THREADS =
+// 1, 2 and 8 — including seed-grinding replays across settlement-window
+// boundaries.
+//
+// Seed count: DSAUDIT_ADVERSARY_SEEDS overrides the default (sanitizer CI
+// runs a smaller sweep; the `attack-smoke` ctest target runs only
+// AdversarySmoke.*).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/adversary.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/network_sim.hpp"
+
+namespace dsaudit::sim {
+namespace {
+
+// Tiny population, non-private proofs, batched windowed settlement: one run
+// is a few milliseconds, so a 100-seed sweep stays inside the tier-1 budget.
+// Retry, slashing, the batch registry and value tiers are all on so rosters
+// exercise the full machine (selective responders see both contract tiers).
+NetworkConfig adversary_config() {
+  NetworkConfig c;
+  c.num_owners = 2;
+  c.num_providers = 4;
+  c.file_bytes = 400;
+  c.s = 4;
+  c.erasure_data = 2;
+  c.erasure_parity = 1;
+  c.num_audits = 3;
+  c.challenged_chunks = 4;
+  c.private_proofs = false;
+  c.timeout_retry_limit = 1;
+  c.slash_after_consecutive = 2;
+  c.batched_settlement = true;
+  c.settlement_window_s = 2 * c.audit_period_s;  // windows span 2 instants
+  c.premium_owner_stride = 2;                    // owner 0 premium, owner 1 base
+  return c;
+}
+
+chain::Timestamp horizon(const NetworkConfig& c) {
+  return (c.num_audits + 2) * c.audit_period_s;
+}
+
+std::size_t seed_count(std::size_t fallback) {
+  const char* env = std::getenv("DSAUDIT_ADVERSARY_SEEDS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) return v;
+  }
+  return fallback;
+}
+
+// One full adversarial run: draw the roster and the fault schedule from
+// `seed`, seed the network from it too, run to completion, check every
+// invariant. Reports the seed + roster + schedule on any violation.
+void run_adversary_seed(std::uint64_t seed) {
+  const NetworkConfig base = adversary_config();
+  const attack::AdversaryRoster roster =
+      attack::AdversaryRoster::random(seed, base.num_providers, 2);
+  FaultSchedule schedule =
+      FaultSchedule::random(seed, base.num_providers, horizon(base), 3);
+  try {
+    NetworkConfig c = base;
+    c.rng_seed = seed;
+    NetworkSim net(c);
+    net.set_adversaries(roster);
+    net.set_fault_schedule(schedule);
+    net.deploy();
+    net.run_to_completion();
+    net.check_invariants();
+  } catch (const std::exception& e) {
+    FAIL() << "adversary seed " << seed << " failed: " << e.what()
+           << "\nroster:\n"
+           << roster.describe() << "schedule:\n"
+           << schedule.describe();
+  }
+}
+
+// The chaos fingerprint plus the adversary counters: a replay mismatch in
+// attack accounting must diff just as loudly as one in the ledger.
+std::string fingerprint(const NetworkSim& net, const NetworkConfig& c) {
+  std::ostringstream out;
+  const chain::Blockchain& chain = net.chain();
+  out << "chain_bytes=" << chain.total_chain_bytes()
+      << " gas=" << chain.total_gas_used()
+      << " blocks=" << chain.blocks().size()
+      << " txs=" << chain.transactions().size() << "\n";
+  std::map<std::string, std::string> canon;
+  auto canonical = [&canon](const std::string& from) -> const std::string& {
+    if (from.rfind("contract-", 0) != 0) return from;
+    auto [it, fresh] = canon.emplace(from, "");
+    if (fresh) it->second = "C" + std::to_string(canon.size());
+    return it->second;
+  };
+  for (const auto& tx : chain.transactions()) {
+    out << canonical(tx.from) << "|" << tx.description << "|"
+        << tx.payload_bytes << "|" << tx.gas_used << "|" << tx.submitted_at
+        << "|" << tx.mined_at << "|" << tx.block_number << "\n";
+  }
+  for (std::size_t o = 0; o < c.num_owners; ++o) {
+    std::string who = "owner-" + std::to_string(o);
+    out << who << "=" << net.balance(who) << "\n";
+  }
+  for (std::size_t p = 0; p < c.num_providers; ++p) {
+    std::string who = "provider-" + std::to_string(p);
+    out << who << "=" << net.balance(who) << "\n";
+  }
+  const NetworkStats st = net.stats();
+  out << "rounds=" << st.total_rounds << " pass=" << st.passes
+      << " fail=" << st.fails << " timeout=" << st.timeouts
+      << " slashes=" << st.slashes << " retries=" << st.timeout_retries
+      << " attacks=" << st.attacks_attempted
+      << " detected=" << st.attacks_detected
+      << " attack_slashes=" << st.attacks_slashed
+      << " replays=" << st.seed_replays_attempted << "/"
+      << st.seed_replays_accepted << " profit=" << st.attacker_profit << "\n";
+  return out.str();
+}
+
+std::string run_and_fingerprint(std::uint64_t seed) {
+  NetworkConfig c = adversary_config();
+  c.rng_seed = seed;
+  const attack::AdversaryRoster roster =
+      attack::AdversaryRoster::random(seed, c.num_providers, 2);
+  FaultSchedule schedule =
+      FaultSchedule::random(seed, c.num_providers, horizon(c), 3);
+  NetworkSim net(c);
+  net.set_adversaries(roster);
+  net.set_fault_schedule(schedule);
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+  return fingerprint(net, c);
+}
+
+// Every provider runs `strategy`; no fault schedule — every non-pass round
+// must then belong to a cheating action (the bisection identity asserted in
+// the directed tests below).
+NetworkStats run_uniform(
+    NetworkConfig c,
+    const std::shared_ptr<const attack::AdversaryStrategy>& strategy) {
+  NetworkSim net(c);
+  for (std::size_t p = 0; p < c.num_providers; ++p) {
+    net.set_adversary(p, strategy);
+  }
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+  return net.stats();
+}
+
+// --------------------------------------------------------------------------
+// Property sweep: >= 100 randomized (roster, fault schedule) pairs hold
+// every invariant.
+// --------------------------------------------------------------------------
+
+TEST(AdversaryProperty, RandomizedRostersHoldInvariants) {
+  const std::size_t n = seed_count(100);
+  for (std::uint64_t seed = 1; seed <= n; ++seed) {
+    run_adversary_seed(seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Replay determinism: same seed, bit-identical chain/ledger/stats/attack
+// counters at 1/2/8 worker threads.
+// --------------------------------------------------------------------------
+
+TEST(AdversaryProperty, ReplayIsBitIdenticalAcrossThreadCounts) {
+  const unsigned original = parallel::thread_count();
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    parallel::set_thread_count(1);
+    const std::string baseline = run_and_fingerprint(seed);
+    for (unsigned width : {2u, 8u}) {
+      parallel::set_thread_count(width);
+      EXPECT_EQ(run_and_fingerprint(seed), baseline)
+          << "seed " << seed << " diverged at " << width << " threads";
+    }
+  }
+  parallel::set_thread_count(original);
+}
+
+// --------------------------------------------------------------------------
+// Directed per-strategy tests.
+// --------------------------------------------------------------------------
+
+// Partial storage: a prover holding a strict subset of the chunks passes
+// exactly the challenges that avoid its holes — and is charged for exactly
+// the rounds it cheated (check_invariants' misattributed_fails == 0 proves
+// no honest round paid for any of it).
+TEST(AdversaryDirected, PartialStorageProverIsCaughtOnUncoveredChallenges) {
+  NetworkConfig c = adversary_config();
+  c.rng_seed = 42;
+  const NetworkStats st = run_uniform(
+      c, std::make_shared<attack::PartialStorageStrategy>(
+             /*seed=*/7, /*stored_permille=*/600, /*answer_uncovered=*/true));
+  EXPECT_GT(st.attacks_attempted, 0u);
+  // A proof over data with holes never verifies: every attack detected.
+  EXPECT_EQ(st.attacks_detected, st.attacks_attempted);
+  // Bisection identity (no faults): non-pass rounds == attacking rounds.
+  EXPECT_EQ(st.fails + st.timeouts, st.attacks_detected);
+}
+
+// Colluding ring: every provider strikes on the same challenge coins,
+// piling correlated cross-key failures into shared settlement windows. The
+// batch bisection still isolates exactly the attacking rounds.
+TEST(AdversaryDirected, ColludingRingFailuresAreIsolatedPerRound) {
+  NetworkConfig c = adversary_config();
+  c.rng_seed = 43;
+  const NetworkStats st = run_uniform(
+      c, std::make_shared<attack::ColludingStrategy>(/*group_seed=*/11,
+                                                     /*cheat_permille=*/500));
+  EXPECT_GT(st.attacks_attempted, 0u);
+  EXPECT_EQ(st.attacks_detected, st.attacks_attempted);
+  EXPECT_EQ(st.fails + st.timeouts, st.attacks_detected);
+  // The ring passed some rounds honestly and was paid for exactly those.
+  EXPECT_GT(st.passes, 0u);
+}
+
+// Selective responder: premium contracts (owner 0 under stride 2, double
+// value) are served honestly; sub-threshold contracts are cheated every
+// round and slashed. Cheating is confined to the cheap tier.
+TEST(AdversaryDirected, SelectiveResponderSparesPremiumContracts) {
+  NetworkConfig c = adversary_config();
+  c.rng_seed = 44;
+  // Base contract value: 10 * 3 = 30; premium: 20 * 3 = 60. Threshold 45.
+  const auto strategy = std::make_shared<attack::SelectiveStrategy>(
+      /*seed=*/13, /*value_threshold=*/45, /*cheat_permille=*/1000);
+  const NetworkStats st = run_uniform(c, strategy);
+  const std::size_t shards = c.erasure_data + c.erasure_parity;
+  // Every premium round passes; cheated contracts slash after 2 consecutive
+  // misses, so each base contract dies after exactly 2 attacking rounds.
+  EXPECT_EQ(st.passes, shards * c.num_audits);
+  EXPECT_EQ(st.attacks_attempted, shards * 2);
+  EXPECT_EQ(st.attacks_detected, st.attacks_attempted);
+  EXPECT_EQ(st.attacks_slashed, shards);
+  // All premium: the same strategy over uniform premium terms is honest.
+  NetworkConfig all_premium = c;
+  all_premium.premium_owner_stride = 1;
+  const NetworkStats honest = run_uniform(all_premium, strategy);
+  EXPECT_EQ(honest.attacks_attempted, 0u);
+  EXPECT_EQ(honest.fails + honest.timeouts, 0u);
+}
+
+// Seed grinding: the adversary grinds candidate proofs and replays every
+// spent window weight-seed against the settlement registry. All replays are
+// refused, every ground proof still verifies (grinding buys nothing), and
+// the attacker earns exactly the honest wage.
+TEST(AdversaryDirected, SeedGrindingIsRefusedByReplayRegistry) {
+  NetworkConfig c = adversary_config();
+  c.rng_seed = 45;
+  c.private_proofs = true;  // the randomized proof shape grinding targets
+  c.num_owners = 1;
+  c.erasure_data = 2;
+  c.erasure_parity = 0;
+  const NetworkStats st = run_uniform(
+      c, std::make_shared<attack::SeedGrindingStrategy>(/*seed=*/17,
+                                                        /*candidates=*/3));
+  EXPECT_GT(st.attacks_attempted, 0u);   // every round is a grind
+  EXPECT_EQ(st.attacks_detected, 0u);    // ...that still verifies
+  EXPECT_EQ(st.fails + st.timeouts, 0u);
+  EXPECT_GT(st.seed_replays_attempted, 0u);
+  EXPECT_EQ(st.seed_replays_accepted, 0u);
+  // Honest wage: reward per round, nothing more (premium tier on owner 0).
+  EXPECT_EQ(st.attacker_profit,
+            static_cast<std::int64_t>(st.passes * 2 * c.reward_per_audit));
+}
+
+// Malformed bytes: corrupted wire encodings die at the typed decode
+// boundary — no ticket, a failed round, never a crash.
+TEST(AdversaryDirected, MalformedBytesDieAtDecodeBoundary) {
+  NetworkConfig c = adversary_config();
+  c.rng_seed = 46;
+  for (bool priv : {false, true}) {
+    c.private_proofs = priv;
+    const NetworkStats st = run_uniform(
+        c, std::make_shared<attack::MalformedBytesStrategy>(
+               /*seed=*/19, /*malformed_permille=*/500));
+    EXPECT_GT(st.attacks_attempted, 0u);
+    EXPECT_EQ(st.attacks_detected, st.attacks_attempted);
+    EXPECT_EQ(st.fails + st.timeouts, st.attacks_detected);
+  }
+}
+
+// Grinding replays across settlement-window boundaries, replayed at 1/2/8
+// threads: window state (spent seeds, mid-window pending rounds) must not
+// introduce any thread-count dependence.
+TEST(AdversaryDirected, WindowedGrindingReplaysBitIdenticalAcrossThreads) {
+  auto run = [](std::uint64_t seed) {
+    NetworkConfig c = adversary_config();
+    c.rng_seed = seed;
+    c.private_proofs = true;
+    c.num_owners = 1;
+    c.erasure_data = 2;
+    c.erasure_parity = 0;
+    c.settlement_window_s = 3 * c.audit_period_s;  // rounds straddle windows
+    NetworkSim net(c);
+    for (std::size_t p = 0; p < c.num_providers; ++p) {
+      net.set_adversary(p, std::make_shared<attack::SeedGrindingStrategy>(
+                               seed, /*candidates=*/2));
+    }
+    net.deploy();
+    net.run_to_completion();
+    net.check_invariants();
+    EXPECT_GT(net.stats().seed_replays_attempted, 0u);
+    return fingerprint(net, c);
+  };
+  const unsigned original = parallel::thread_count();
+  parallel::set_thread_count(1);
+  const std::string baseline = run(91);
+  for (unsigned width : {2u, 8u}) {
+    parallel::set_thread_count(width);
+    EXPECT_EQ(run(91), baseline) << "diverged at " << width << " threads";
+  }
+  parallel::set_thread_count(original);
+}
+
+// --------------------------------------------------------------------------
+// Bounded smoke suite — the `attack-smoke` ctest target runs exactly this
+// (cheap enough for every sanitizer job in the CI matrix).
+// --------------------------------------------------------------------------
+
+TEST(AdversarySmoke, FixedSeedSweep) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    run_adversary_seed(seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace dsaudit::sim
