@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "audit/protocol.hpp"
+#include "econ/cost_model.hpp"
 #include "storage/codec.hpp"
 
 using namespace dsaudit;
@@ -154,6 +155,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Aggregate settle-window tx: the same window sweep, but verification also
+  // computes the one aggregated KZG opening that the settle-window tx posts
+  // on chain (the measured marginal cost of the extra MSM), and each row
+  // prices the tx against the per-round prove tx via the econ model — the
+  // chain-footprint trajectory ISSUE 10 gates (bytes and gas per audited
+  // round, higher is worse).
+  struct AggregateRow {
+    std::size_t window;
+    std::size_t rounds;
+    double ms_per_round;
+    double bytes_per_round;
+    std::uint64_t gas_per_round;
+  };
+  std::vector<AggregateRow> aggregate_rows;
+  const econ::AuditCostModel cost_model;
+  {
+    std::vector<audit::SettlementInstance> pool(64);
+    for (auto& inst : pool) {
+      inst.verifier = &verifier;
+      inst.file = &ctx;
+      inst.challenge = challenge_from(rng, kK);
+      inst.priv = prover.prove_private(inst.challenge, rng);
+    }
+    audit::SettlementOptions opts;
+    opts.compute_aggregate_opening = true;
+    for (std::size_t window : windows) {
+      const std::size_t rounds = kRoundsPerInstant * window;
+      std::vector<audit::SettlementInstance> batch(pool.begin(),
+                                                   pool.begin() + rounds);
+      auto seed = rng.bytes32();
+      auto t0 = Clock::now();
+      for (int r = 0; r < reps; ++r) {
+        if (!audit::verify_settlement(batch, seed, opts).all_ok()) {
+          return std::fprintf(stderr, "aggregate sweep verify failed\n"), 1;
+        }
+      }
+      aggregate_rows.push_back(
+          {window, rounds, ms_per_round(t0, reps, rounds),
+           static_cast<double>(cost_model.aggregate_tx_bytes(rounds)) /
+               static_cast<double>(rounds),
+           cost_model.gas_per_audit_aggregated(rounds)});
+    }
+  }
+
   std::string json = "{\n";
   json += "  \"num_chunks\": " + std::to_string(kChunks) +
           ", \"s\": " + std::to_string(kS) + ", \"k\": " + std::to_string(kK) +
@@ -189,7 +234,39 @@ int main(int argc, char** argv) {
                   1000.0 / row.ms_per_round);
     json += buf;
   }
-  json += "\n    ]\n  }\n}\n";
+  json += "\n    ]\n  },\n";
+  {
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"aggregate\": {\n    \"shape\": \"private-aggregate\", "
+                  "\"rounds_per_instant\": %zu,\n    \"legacy_bytes_per_round\""
+                  ": %zu, \"legacy_gas_per_round\": %llu,\n    \"rows\": [",
+                  kRoundsPerInstant, cost_model.proof_bytes,
+                  static_cast<unsigned long long>(cost_model.gas_per_audit()));
+    json += buf;
+    for (std::size_t i = 0; i < aggregate_rows.size(); ++i) {
+      const auto& row = aggregate_rows[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n      {\"window\": %zu, \"rounds\": %zu, "
+                    "\"ms_per_round\": %.3f, \"bytes_per_round\": %.3f, "
+                    "\"gas_per_round\": %llu}",
+                    i ? "," : "", row.window, row.rounds, row.ms_per_round,
+                    row.bytes_per_round,
+                    static_cast<unsigned long long>(row.gas_per_round));
+      json += buf;
+    }
+    const AggregateRow& widest = aggregate_rows.back();
+    std::snprintf(buf, sizeof(buf),
+                  "\n    ],\n    \"bytes_reduction_at_%zu\": %.1f, "
+                  "\"gas_reduction_at_%zu\": %.1f\n  }\n}\n",
+                  widest.window,
+                  static_cast<double>(cost_model.proof_bytes) /
+                      widest.bytes_per_round,
+                  widest.window,
+                  static_cast<double>(cost_model.gas_per_audit()) /
+                      static_cast<double>(widest.gas_per_round));
+    json += buf;
+  }
 
   std::fputs(json.c_str(), stdout);
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {

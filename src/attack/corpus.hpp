@@ -47,6 +47,12 @@ std::vector<Mutation> public_key_mutations(std::span<const std::uint8_t> valid);
 std::vector<Mutation> file_tag_mutations(std::span<const std::uint8_t> valid);
 std::vector<Mutation> challenge_mutations(std::span<const std::uint8_t> valid);
 std::vector<Mutation> secret_key_mutations(std::span<const std::uint8_t> valid);
+/// Guaranteed-invalid aggregate-settlement encodings: truncation/extension,
+/// rounds = 0, the 64-bit rounds count probes (the field must be bounded
+/// against the buffer before it sizes the bitmap), nonzero trailing bitmap
+/// bits (canonicality) and an off-curve opening.
+std::vector<Mutation> aggregate_settlement_mutations(
+    std::span<const std::uint8_t> valid);
 
 /// `count` seeded single-byte flips of `valid` (must_reject = false).
 std::vector<Mutation> random_flips(std::span<const std::uint8_t> valid,

@@ -509,6 +509,24 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
   }
   if (idx.empty()) return out;
 
+  // The aggregate-settlement opening: the weighted psi aggregate the batch
+  // check already folds into its eps/delta slots, materialized once as its
+  // own G1 element so a window tx can post it in place of every per-round
+  // psi. zeta rides along exactly as in the pairing slots, so the element
+  // is committed to the private proofs' R values too.
+  if (options.compute_aggregate_opening) {
+    std::vector<G1> agg_pts;
+    std::vector<Fr> agg_sc;
+    agg_pts.reserve(idx.size());
+    agg_sc.reserve(idx.size());
+    for (std::size_t i : idx) {
+      const SettleTerms& t = terms[i];
+      agg_pts.push_back(t.psi);
+      agg_sc.push_back(need_weights ? t.rho * t.zeta : t.zeta);
+    }
+    out.aggregated_opening = curve::msm<G1>(agg_pts, agg_sc);
+  }
+
   // Exact unweighted check for one instance: materializes s/e/d with the
   // same formulas (and the same multiplication sequence) the per-instance
   // prep used before the weights were folded into the batch MSMs. Only paid
@@ -620,6 +638,26 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
 SettlementOutcome verify_settlement(std::span<const SettlementInstance> instances,
                                     const std::array<std::uint8_t, 32>& weight_seed) {
   return verify_settlement(instances, weight_seed, SettlementOptions{});
+}
+
+bool verify_settlement_aggregate(std::span<const SettlementInstance> instances,
+                                 const AggregateSettlement& tx,
+                                 const SettlementOptions& options) {
+  if (tx.rounds != instances.size() || tx.rounds == 0) return false;
+  if (tx.outcomes.size() != AggregateSettlement::bitmap_bytes(tx.rounds)) {
+    return false;
+  }
+  SettlementOptions opts = options;
+  opts.compute_aggregate_opening = true;
+  const SettlementOutcome res = verify_settlement(instances, tx.weight_seed, opts);
+  // The posted opening must be exactly the weighted psi aggregate under the
+  // tx's own seed: any other seed (grinding/replay) or any substituted
+  // element changes the recomputation.
+  if (!(res.aggregated_opening == tx.opening)) return false;
+  for (std::uint64_t i = 0; i < tx.rounds; ++i) {
+    if (tx.outcome(i) != res.ok[static_cast<std::size_t>(i)]) return false;
+  }
+  return true;
 }
 
 bool verify(const PublicKey& pk, const Fr& name, std::size_t num_chunks,

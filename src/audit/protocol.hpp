@@ -200,6 +200,13 @@ struct SettlementOutcome {
   std::vector<bool> ok;       // one per instance, input order
   std::size_t batch_checks = 0;  // weighted aggregate checks performed
   std::size_t single_checks = 0; // bisection leaves re-verified individually
+  /// The window's aggregated KZG opening — sum_i [w_i * zeta_i] psi_i over
+  /// the plausible instances, where w_i is the instance's Fiat–Shamir batch
+  /// weight (1 when the batch is a single unweighted instance). Only
+  /// computed when SettlementOptions::compute_aggregate_opening is set;
+  /// infinity otherwise. This is the single G1 element an aggregate
+  /// settlement tx posts in place of every per-round psi.
+  G1 aggregated_opening = G1::infinity();
 
   bool all_ok() const {
     for (bool b : ok) {
@@ -219,6 +226,11 @@ struct SettlementOptions {
   /// stakes, but it is a protocol-level soundness decision, so it must be
   /// opted into explicitly rather than defaulted.
   bool reduced_soundness_weights = false;
+  /// Also compute SettlementOutcome::aggregated_opening (one extra G1 MSM
+  /// over the batch). Off by default so legacy settlement paths stay
+  /// bit-and-cost identical; BatchSettlement turns it on when it posts
+  /// aggregate window txs.
+  bool compute_aggregate_opening = false;
 };
 
 /// Settles any mix of Eq. 1 / Eq. 2 rounds spanning files, keys and
@@ -244,6 +256,18 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
                                     const SettlementOptions& options);
 SettlementOutcome verify_settlement(std::span<const SettlementInstance> instances,
                                     const std::array<std::uint8_t, 32>& weight_seed);
+
+/// Checks a posted AggregateSettlement tx against the window's instances
+/// (given in the same canonical order the bitmap was built over): re-derives
+/// the weight schedule from the tx's own seed, re-runs the settlement, and
+/// accepts iff the posted opening equals the recomputed aggregated opening
+/// and the outcome bitmap matches round-for-round. An adversary who grinds
+/// or replays the seed, flips an outcome bit, or substitutes any opening
+/// other than the exact weighted psi aggregate is refused — the tests and
+/// the grinding adversary pin this.
+bool verify_settlement_aggregate(std::span<const SettlementInstance> instances,
+                                 const AggregateSettlement& tx,
+                                 const SettlementOptions& options = {});
 
 /// One-shot wrappers over Verifier (they prepare the key's G2 points per
 /// call; repeated verification against one key should construct a Verifier).

@@ -9,6 +9,14 @@
 
 namespace dsaudit::audit {
 
+// The exported wire constants are the encodings' single source of truth;
+// pin them to the struct-level sizes so neither can drift silently.
+static_assert(ProofBasic::kWireSize == 2 * kG1WireBytes + kFrWireBytes);
+static_assert(ProofPrivate::kWireSize ==
+              2 * kG1WireBytes + kFrWireBytes + kGtWireBytes);
+static_assert(AggregateSettlement::kHeaderBytes ==
+              32 /*seed*/ + 2 * kU64WireBytes + kG1WireBytes);
+
 namespace {
 
 using ff::Fp;
@@ -394,6 +402,62 @@ DecodeResult<Challenge> decode_challenge(std::span<const std::uint8_t> bytes) {
 
 std::optional<Challenge> deserialize_challenge(std::span<const std::uint8_t> bytes) {
   return decode_challenge(bytes).value;
+}
+
+std::vector<std::uint8_t> serialize(const AggregateSettlement& agg) {
+  if (agg.outcomes.size() != AggregateSettlement::bitmap_bytes(agg.rounds)) {
+    throw std::invalid_argument(
+        "serialize(AggregateSettlement): bitmap size mismatch");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(agg.serialized_size());
+  out.insert(out.end(), agg.weight_seed.begin(), agg.weight_seed.end());
+  write_u64(out, agg.window_boundary);
+  write_u64(out, agg.rounds);
+  auto op = curve::g1_compress(agg.opening);
+  out.insert(out.end(), op.begin(), op.end());
+  out.insert(out.end(), agg.outcomes.begin(), agg.outcomes.end());
+  return out;
+}
+
+DecodeResult<AggregateSettlement> decode_aggregate_settlement(
+    std::span<const std::uint8_t> bytes) {
+  using R = DecodeResult<AggregateSettlement>;
+  constexpr std::size_t header = AggregateSettlement::kHeaderBytes;
+  if (bytes.size() < header) return R::failure(DecodeError::BadLength);
+  AggregateSettlement agg;
+  std::copy(bytes.begin(), bytes.begin() + 32, agg.weight_seed.begin());
+  agg.window_boundary = read_u64(bytes.data() + 32);
+  agg.rounds = read_u64(bytes.data() + 40);
+  if (agg.rounds == 0) return R::failure(DecodeError::ZeroForbidden);
+  // rounds is 64 bits off the wire: bound it by what the buffer can actually
+  // hold before it sizes the bitmap (the division form cannot wrap, unlike
+  // header + rounds/8 + 1 arithmetic on attacker-chosen counts).
+  const std::size_t bitmap = AggregateSettlement::bitmap_bytes(agg.rounds);
+  if (agg.rounds / 8 > bytes.size() || bitmap != bytes.size() - header) {
+    return R::failure(DecodeError::BadStructure);
+  }
+  auto p = curve::g1_decompress(
+      std::span<const std::uint8_t, 32>(bytes.data() + 48, 32));
+  if (!p) return R::failure(DecodeError::BadPoint);
+  agg.opening = *p;
+  agg.outcomes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(header),
+                      bytes.end());
+  // Canonicality: bits past `rounds` in the last bitmap byte must be zero,
+  // so every accepted encoding round-trips bit-exactly.
+  if (agg.rounds % 8 != 0) {
+    const std::uint8_t tail_mask =
+        static_cast<std::uint8_t>(0xFFu << (agg.rounds % 8));
+    if ((agg.outcomes.back() & tail_mask) != 0) {
+      return R::failure(DecodeError::BadStructure);
+    }
+  }
+  return R::success(std::move(agg));
+}
+
+std::optional<AggregateSettlement> deserialize_aggregate_settlement(
+    std::span<const std::uint8_t> bytes) {
+  return decode_aggregate_settlement(bytes).value;
 }
 
 }  // namespace dsaudit::audit

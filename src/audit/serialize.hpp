@@ -26,6 +26,17 @@
 
 namespace dsaudit::audit {
 
+/// Primitive wire sizes every encoder in this file is built from, exposed so
+/// payload accounting elsewhere (contract tx sizes, econ chain-growth
+/// models) derives from the same constants the serializers use instead of
+/// re-hardcoding the numbers. serialize.cpp static_asserts tie them to the
+/// actual encodings (e.g. ProofBasic::kWireSize == 2 G1 + 1 Fr).
+inline constexpr std::size_t kFrWireBytes = 32;   // canonical big-endian Fr
+inline constexpr std::size_t kU64WireBytes = 8;   // big-endian length/count
+inline constexpr std::size_t kG1WireBytes = 32;   // compressed G1 point
+inline constexpr std::size_t kG2WireBytes = 64;   // compressed G2 point
+inline constexpr std::size_t kGtWireBytes = 192;  // Fp6-compressed GT element
+
 /// Why a decode refused its input. One enumerator per distinct boundary
 /// check, so tests can pin the exact rejection path.
 enum class DecodeError {
@@ -106,5 +117,17 @@ std::optional<FileTag> deserialize_file_tag(std::span<const std::uint8_t> bytes)
 std::vector<std::uint8_t> serialize(const Challenge& chal);
 DecodeResult<Challenge> decode_challenge(std::span<const std::uint8_t> bytes);
 std::optional<Challenge> deserialize_challenge(std::span<const std::uint8_t> bytes);
+
+/// Aggregate settlement tx: seed (32) || boundary (8) || rounds (8) ||
+/// opening (32, compressed G1) || outcome bitmap (ceil(rounds/8)).
+/// `rounds` is a full 64-bit wire field and is bounded against the buffer
+/// BEFORE it sizes the bitmap; rounds == 0 is ZeroForbidden (an empty window
+/// never posts), a nonzero trailing bitmap bit is BadStructure (encodings
+/// are canonical and round-trip bit-exactly).
+std::vector<std::uint8_t> serialize(const AggregateSettlement& agg);
+DecodeResult<AggregateSettlement> decode_aggregate_settlement(
+    std::span<const std::uint8_t> bytes);
+std::optional<AggregateSettlement> deserialize_aggregate_settlement(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace dsaudit::audit

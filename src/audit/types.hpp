@@ -88,6 +88,43 @@ struct ProofPrivate {
   static constexpr std::size_t kWireSize = 288;
 };
 
+/// One settlement window's on-chain record: instead of every round posting
+/// its full 96/288-byte proof as its own prove tx, the window posts ONE tx
+/// carrying the Fiat–Shamir weight seed, a single aggregated KZG opening
+/// (openings at a shared challenge point batch into one G1 element across
+/// files — the same rearrangement trick the settlement engine uses for
+/// pairings, applied to proof *bytes*) and a per-round outcome bitmap.
+/// Rounds is the number of settled instances in the window's canonical
+/// (transcript-sorted) order; bit i of the bitmap (LSB-first within each
+/// byte) is 1 iff round i settled Pass. Trailing bitmap bits beyond
+/// `rounds` must be zero — the encoding is canonical.
+struct AggregateSettlement {
+  std::array<std::uint8_t, 32> weight_seed{};
+  std::uint64_t window_boundary = 0;  // boundary instant the seed is bound to
+  std::uint64_t rounds = 0;           // instances covered by the bitmap
+  G1 opening;                         // sum_i [w_i * zeta_i] psi_i
+  std::vector<std::uint8_t> outcomes; // ceil(rounds / 8) bitmap bytes
+
+  /// seed (32) | boundary (8) | rounds (8) | opening (32) | bitmap.
+  static constexpr std::size_t kHeaderBytes = 80;
+  /// Overflow-safe bitmap sizing (rounds is a full 64-bit wire field).
+  static constexpr std::size_t bitmap_bytes(std::uint64_t rounds) {
+    return static_cast<std::size_t>(rounds / 8 + (rounds % 8 != 0 ? 1 : 0));
+  }
+  static constexpr std::size_t serialized_size_for(std::uint64_t rounds) {
+    return kHeaderBytes + bitmap_bytes(rounds);
+  }
+  std::size_t serialized_size() const { return serialized_size_for(rounds); }
+
+  bool outcome(std::uint64_t i) const {
+    return (outcomes[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u;
+  }
+  void set_outcome(std::uint64_t i, bool ok) {
+    if (ok) outcomes[static_cast<std::size_t>(i / 8)] |=
+        static_cast<std::uint8_t>(1u << (i % 8));
+  }
+};
+
 /// The expansion of (C1, C2) into chunk indices and coefficients shared by
 /// prover and verifier (paper Definition 2).
 struct ExpandedChallenge {

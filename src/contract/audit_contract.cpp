@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "audit/serialize.hpp"
+#include "contract/tx_format.hpp"
 #include "primitives/keccak256.hpp"
 
 namespace dsaudit::contract {
@@ -125,7 +126,7 @@ void AuditContract::negotiated() {
   chain::Transaction tx;
   tx.from = terms_.owner;
   tx.description = "negotiated";
-  tx.payload_bytes = pk_bytes.size() + 32 /*name*/ + 8 /*d*/;
+  tx.payload_bytes = txfmt::negotiated_payload(pk_bytes.size());
   tx.gas_used = gas_.tx_base + gas_.calldata_gas(pk_bytes) +
                 gas_.storage_word * ((tx.payload_bytes + 31) / 32);
   chain_.submit(tx);
@@ -138,8 +139,8 @@ void AuditContract::acked(bool accept) {
   chain::Transaction tx;
   tx.from = terms_.provider;
   tx.description = accept ? "acked" : "rejected";
-  tx.payload_bytes = 1;
-  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{1});
+  tx.payload_bytes = txfmt::kAckPayload;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(txfmt::kAckPayload);
   chain_.submit(tx);
   if (!accept) {
     // §VI-A: S can walk away, wasting D's storage fee — "good to none but
@@ -160,8 +161,8 @@ void AuditContract::freeze() {
   chain::Transaction tx;
   tx.from = terms_.owner;
   tx.description = "freeze";
-  tx.payload_bytes = 64;
-  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{64});
+  tx.payload_bytes = txfmt::kFreezePayload;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(txfmt::kFreezePayload);
   chain_.submit(tx);
   state_ = State::Audit;
   emit("inited");
@@ -244,8 +245,8 @@ void AuditContract::on_challenge_due(Timestamp /*now*/) {
   chain::Transaction tx;
   tx.from = address_;
   tx.description = "challenged";
-  tx.payload_bytes = 48;
-  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{48});
+  tx.payload_bytes = txfmt::kChallengePayload;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(txfmt::kChallengePayload);
   chain_.submit(tx);
   emit("challenged");
 
@@ -416,8 +417,8 @@ void AuditContract::on_retry_due(Timestamp now) {
   chain::Transaction tx;
   tx.from = address_;
   tx.description = "retry";
-  tx.payload_bytes = 48;
-  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{48});
+  tx.payload_bytes = txfmt::kChallengePayload;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(txfmt::kChallengePayload);
   chain_.submit(tx);
   emit("retried");
   if (proof) {
@@ -436,23 +437,33 @@ void AuditContract::finalize_proved(const BatchSettlement::Outcome& outcome) {
   RoundRecord& rec = rounds_.back();
   rec.verify_ms = outcome.flush_ms;  // telemetry: this round's (or its whole
                                      // window's) measured verification time
-  // The prove tx carries the proof bytes and triggers on-chain
-  // verification; gas follows the §VII-B extrapolation at the model's
-  // calibrated verification time, NOT this run's wall clock — settlement
-  // must be a deterministic function of on-chain data (with the batch
-  // discount, of on-chain data plus the settled batch's size).
-  chain::Transaction tx;
-  tx.from = terms_.provider;
-  tx.description = "prove";
-  tx.payload_bytes = rec.proof_bytes;
-  tx.gas_used =
-      terms_.batch_gas_discount
-          ? cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
-                                   cost_.batched_verify_ms(outcome.batch_size))
-          : cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
-                                   cost_.verify_ms);
-  chain_.submit(tx);
-  rec.gas_used = tx.gas_used;
+  if (outcome.aggregated && !outcome.fallback) {
+    // Clean aggregate window: this round redeems against the window's one
+    // settle-window tx (seed + aggregated opening + outcome bitmap, already
+    // on chain — BatchSettlement posted it at the flush). No per-round
+    // prove tx, no per-round bytes or gas; the money transfers below are
+    // unchanged. A dirty window (fallback) re-posts individual proofs so
+    // the bisection evidence lands on chain.
+    rec.gas_used = 0;
+  } else {
+    // The prove tx carries the proof bytes and triggers on-chain
+    // verification; gas follows the §VII-B extrapolation at the model's
+    // calibrated verification time, NOT this run's wall clock — settlement
+    // must be a deterministic function of on-chain data (with the batch
+    // discount, of on-chain data plus the settled batch's size).
+    chain::Transaction tx;
+    tx.from = terms_.provider;
+    tx.description = "prove";
+    tx.payload_bytes = rec.proof_bytes;
+    tx.gas_used =
+        terms_.batch_gas_discount
+            ? cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
+                                     cost_.batched_verify_ms(outcome.batch_size))
+            : cost_.gas.audit_tx_gas(rec.proof_bytes, cost_.challenge_bytes,
+                                     cost_.verify_ms);
+    chain_.submit(tx);
+    rec.gas_used = tx.gas_used;
+  }
 
   if (outcome.ok) {
     rec.outcome = RoundOutcome::Pass;
@@ -516,8 +527,8 @@ void AuditContract::slash_and_close() {
   chain::Transaction tx;
   tx.from = address_;
   tx.description = "slashed";
-  tx.payload_bytes = 8;
-  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{8});
+  tx.payload_bytes = txfmt::kClosePayload;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(txfmt::kClosePayload);
   chain_.submit(tx);
   close(CloseReason::Slashed, "slashed");
 }
@@ -549,8 +560,8 @@ void AuditContract::provider_exit() {
   chain::Transaction tx;
   tx.from = terms_.provider;
   tx.description = "provider-exit";
-  tx.payload_bytes = 8;
-  tx.gas_used = gas_.tx_base + gas_.calldata_gas(std::size_t{8});
+  tx.payload_bytes = txfmt::kClosePayload;
+  tx.gas_used = gas_.tx_base + gas_.calldata_gas(txfmt::kClosePayload);
   chain_.submit(tx);
   close(CloseReason::ProviderExit, "provider-exit");
   trim_history();

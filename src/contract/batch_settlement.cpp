@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "audit/serialize.hpp"
 #include "pairing/pairing.hpp"
 #include "primitives/keccak256.hpp"
 
@@ -14,6 +15,27 @@ namespace dsaudit::contract {
 BatchSettlement::BatchSettlement(std::uint64_t seed_nonce)
     : nonce_rng_(primitives::SecureRng::deterministic(seed_nonce ^
                                                       0xB47C55E771E3E27FULL)) {}
+
+void BatchSettlement::enable_aggregate_tx(econ::AuditCostModel cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.empty() || stats_.batches != 0) {
+    throw std::logic_error(
+        "BatchSettlement: enable_aggregate_tx after settlement started");
+  }
+  aggregate_ = true;
+  cost_ = std::move(cost);
+}
+
+bool BatchSettlement::aggregate_tx_enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aggregate_;
+}
+
+std::optional<audit::AggregateSettlement> BatchSettlement::last_aggregate()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_aggregate_;
+}
 
 BatchSettlement::Ticket BatchSettlement::enqueue(
     chain::Blockchain& chain, audit::SettlementInstance instance,
@@ -32,6 +54,7 @@ BatchSettlement::Ticket BatchSettlement::enqueue(
     ++stats_.instants;
   }
   Ticket t{current_batch_, pending_.size(), window_deadline_};
+  chain_ptr_ = &chain;  // all rounds of one engine settle against one chain
   pending_.push_back(std::move(instance));
   transcripts_.push_back(transcript);
   if (!hook_armed_) {
@@ -94,7 +117,8 @@ std::optional<BatchSettlement::Outcome> BatchSettlement::try_outcome(
     throw std::logic_error("BatchSettlement: unknown ticket");
   }
   return Outcome{it->second.ok[ticket.index], it->second.ok.size(),
-                 it->second.flush_ms};
+                 it->second.flush_ms, it->second.aggregated,
+                 it->second.fallback};
 }
 
 BatchSettlement::Outcome BatchSettlement::outcome(const Ticket& ticket) {
@@ -108,7 +132,8 @@ BatchSettlement::Outcome BatchSettlement::outcome(const Ticket& ticket) {
     throw std::logic_error("BatchSettlement: unknown ticket");
   }
   return Outcome{it->second.ok[ticket.index], it->second.ok.size(),
-                 it->second.flush_ms};
+                 it->second.flush_ms, it->second.aggregated,
+                 it->second.fallback};
 }
 
 void BatchSettlement::wait_for_flush_locked(std::unique_lock<std::mutex>& lock,
@@ -184,16 +209,46 @@ void BatchSettlement::flush(std::unique_lock<std::mutex>& lock) {
   // (concurrent prepare stages enqueue from inside it). Redeemers of this
   // batch arriving meanwhile block on wait_for_flush_locked instead of
   // mis-reading the not-yet-stored result as an unknown ticket.
+  const bool aggregate = aggregate_;
+  chain::Blockchain* chain_ptr = chain_ptr_;
   flush_in_progress_ = true;
   flushing_batch_ = batch_id;
   lock.unlock();
   auto counters_before = pairing::pairing_counters();
   auto t0 = std::chrono::steady_clock::now();
-  audit::SettlementOutcome res = audit::verify_settlement(sorted, seed);
+  audit::SettlementOptions opts;
+  opts.compute_aggregate_opening = aggregate;
+  audit::SettlementOutcome res = audit::verify_settlement(sorted, seed, opts);
   double ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
   auto counters_after = pairing::pairing_counters();
+
+  std::optional<audit::AggregateSettlement> agg;
+  std::uint64_t agg_bytes = 0, agg_gas = 0;
+  if (aggregate) {
+    // Post the window's one settlement tx: seed, aggregated opening, and
+    // the outcome bitmap in the canonical (transcript-sorted) batch order.
+    // Posting happens here — between the instant's prepares and actions —
+    // so the window tx always lands on chain before any ticket redemption.
+    audit::AggregateSettlement tx;
+    tx.weight_seed = seed;
+    tx.window_boundary = deadline;
+    tx.rounds = perm.size();
+    tx.opening = res.aggregated_opening;
+    tx.outcomes.assign(audit::AggregateSettlement::bitmap_bytes(tx.rounds), 0);
+    for (std::size_t j = 0; j < perm.size(); ++j) tx.set_outcome(j, res.ok[j]);
+    const auto payload = audit::serialize(tx);
+    chain::Transaction ctx;
+    ctx.from = "settlement";
+    ctx.description = "settle-window";
+    ctx.payload_bytes = payload.size();
+    ctx.gas_used = cost_.gas_per_window_tx(tx.rounds);
+    agg_bytes = ctx.payload_bytes;
+    agg_gas = ctx.gas_used;
+    chain_ptr->submit(ctx);
+    agg = std::move(tx);
+  }
   lock.lock();
 
   BatchResult batch;
@@ -202,6 +257,8 @@ void BatchSettlement::flush(std::unique_lock<std::mutex>& lock) {
     batch.ok[perm[j]] = res.ok[j];
   }
   batch.flush_ms = ms;
+  batch.aggregated = aggregate;
+  batch.fallback = aggregate && !res.all_ok();
 
   stats_.batches += 1;
   stats_.rounds += perm.size();
@@ -209,6 +266,13 @@ void BatchSettlement::flush(std::unique_lock<std::mutex>& lock) {
   stats_.single_checks += res.single_checks;
   stats_.pairing_chains += counters_after.chains - counters_before.chains;
   for (bool ok : batch.ok) stats_.culprits += !ok;
+  if (aggregate) {
+    last_aggregate_ = std::move(agg);
+    stats_.aggregate_txs += 1;
+    stats_.aggregate_tx_bytes += agg_bytes;
+    stats_.aggregate_tx_gas += agg_gas;
+    stats_.fallback_windows += batch.fallback;
+  }
 
   results_[batch_id] = std::move(batch);
   // Bound the redemption window: tickets are redeemed by their window

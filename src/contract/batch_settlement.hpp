@@ -22,6 +22,19 @@
 // were due mid-window redeem their tickets at the boundary (Ticket::
 // settle_at tells them when). Window <= 1 degenerates to the per-instant
 // behavior above, bit-identically.
+//
+// Aggregate tx mode (enable_aggregate_tx): each flush additionally posts ONE
+// constant-size settlement tx on chain — the window's Fiat–Shamir weight
+// seed, the aggregated KZG opening (sum_i [w_i zeta_i] psi_i, a single G1
+// element covering every Eq.1/Eq.2 round of the window) and a per-round
+// outcome bitmap (audit::AggregateSettlement, 80 + ceil(rounds/8) bytes).
+// Clean windows redeem every ticket against that tx: Outcome::aggregated
+// tells the contract to post NO per-round prove tx and charge NO per-round
+// gas. A window containing a detected cheater sets Outcome::fallback — the
+// bisection evidence must land on chain, so every round of that window
+// re-posts its individual proof exactly as in legacy mode. Disabled
+// (default), nothing changes: ledger, chain bytes and gas stay bit-identical
+// to per-round settlement.
 #pragma once
 
 #include <array>
@@ -35,6 +48,7 @@
 
 #include "audit/protocol.hpp"
 #include "chain/blockchain.hpp"
+#include "econ/cost_model.hpp"
 #include "primitives/random.hpp"
 
 namespace dsaudit::contract {
@@ -55,6 +69,12 @@ class BatchSettlement {
     bool ok = false;
     std::size_t batch_size = 0;  // rounds settled together with this one
     double flush_ms = 0;         // wall clock of the whole batch (telemetry)
+    /// This round settled under an aggregate window tx: redeem against it
+    /// (no per-round prove tx, no per-round gas) unless `fallback` is set.
+    bool aggregated = false;
+    /// The window contained a detected cheater: the bisection evidence goes
+    /// on chain, so every round of the window re-posts its individual proof.
+    bool fallback = false;
   };
 
   struct Stats {
@@ -65,11 +85,28 @@ class BatchSettlement {
     std::uint64_t single_checks = 0;  // bisection leaves re-verified exactly
     std::uint64_t culprits = 0;       // rounds isolated as failing
     std::uint64_t pairing_chains = 0; // Miller chains across all flushes
+    // Aggregate-tx telemetry (zero unless enable_aggregate_tx).
+    std::uint64_t aggregate_txs = 0;       // window txs posted
+    std::uint64_t aggregate_tx_bytes = 0;  // their summed payload bytes
+    std::uint64_t aggregate_tx_gas = 0;    // their summed gas
+    std::uint64_t fallback_windows = 0;    // windows that re-posted per-round
   };
 
   /// `seed_nonce` keys the per-batch nonce stream (NetworkSim passes its
   /// network seed so runs stay reproducible).
   explicit BatchSettlement(std::uint64_t seed_nonce = 0);
+
+  /// Turn on aggregate window txs (see the header comment). Must be called
+  /// before the first enqueue; the tx is submitted to the chain the rounds
+  /// were enqueued against, priced by `cost` (default: the calibrated
+  /// aggregate rows).
+  void enable_aggregate_tx(econ::AuditCostModel cost = {});
+  bool aggregate_tx_enabled() const;
+
+  /// The most recently posted aggregate window tx (nullopt before the first
+  /// aggregate flush): what the on-chain verifier and the adversarial tests
+  /// check with audit::verify_settlement_aggregate / attack the seed of.
+  std::optional<audit::AggregateSettlement> last_aggregate() const;
 
   /// Register one settlement-ready round. Thread-safe — called from
   /// concurrent prepare stages. `transcript` must commit the round's
@@ -139,11 +176,20 @@ class BatchSettlement {
   chain::Timestamp window_deadline_ = 0;  // boundary of the open window
   chain::Timestamp last_instant_ = 0;
   bool any_instant_ = false;
+  bool aggregate_ = false;
+  econ::AuditCostModel cost_;
+  /// The chain the rounds were enqueued against — captured so the on-demand
+  /// flush paths (try_outcome/outcome, which receive no chain reference) can
+  /// still post the window tx. All contracts of one engine share one chain.
+  chain::Blockchain* chain_ptr_ = nullptr;
+  std::optional<audit::AggregateSettlement> last_aggregate_;
   std::vector<audit::SettlementInstance> pending_;
   std::vector<std::array<std::uint8_t, 32>> transcripts_;
   struct BatchResult {
     std::vector<bool> ok;
     double flush_ms = 0;
+    bool aggregated = false;
+    bool fallback = false;
   };
   std::map<std::uint64_t, BatchResult> results_;
   std::set<std::array<std::uint8_t, 32>> used_seeds_;

@@ -1,0 +1,46 @@
+// Payload sizes of the contract's administrative transactions — the single
+// source of truth shared by AuditContract (which stamps payload_bytes on
+// every tx it submits) and the payload-accounting tests (which assert each
+// on-chain payload_bytes equals the real serialized size).
+//
+// Everything here is derived: crypto payloads come from the audit wire
+// constants the serializers static_assert against (audit/serialize.hpp),
+// the challenge payload from the beacon's actual output type, and the
+// administrative records from the EVM storage-word convention the gas
+// schedule already uses — no free-floating magic numbers.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+
+#include "audit/serialize.hpp"
+#include "chain/beacon.hpp"
+
+namespace dsaudit::contract::txfmt {
+
+/// EVM storage/calldata word — the unit administrative records are laid
+/// out in (GasSchedule::storage_word prices one of these).
+inline constexpr std::size_t kEvmWordBytes = 32;
+
+/// "challenged" / "retry": the beacon bytes both sides expand into
+/// (C1, C2, r) — the challenge reference every audit round posts.
+inline constexpr std::size_t kChallengePayload =
+    std::tuple_size_v<chain::BeaconOutput>;
+
+/// "acked" / "rejected": one accept/reject byte.
+inline constexpr std::size_t kAckPayload = 1;
+
+/// "freeze": the two escrow locks (owner reward pool, provider collateral),
+/// one storage word each.
+inline constexpr std::size_t kFreezePayload = 2 * kEvmWordBytes;
+
+/// "slashed" / "provider-exit": the closing round counter, one u64.
+inline constexpr std::size_t kClosePayload = audit::kU64WireBytes;
+
+/// "negotiated": the serialized public key plus the agreement trailer —
+/// file name (one Fr) and chunk count d (one u64), as measured by Fig. 4.
+constexpr std::size_t negotiated_payload(std::size_t pk_bytes) {
+  return pk_bytes + audit::kFrWireBytes + audit::kU64WireBytes;
+}
+
+}  // namespace dsaudit::contract::txfmt

@@ -1,8 +1,19 @@
 #include "econ/cost_model.hpp"
 
 #include <stdexcept>
+#include <tuple>
+
+#include "audit/types.hpp"
+#include "chain/beacon.hpp"
 
 namespace dsaudit::econ {
+
+// One source of truth: the model's shared operating-point constants are the
+// real wire sizes. A proof-shape or beacon change fails HERE, loudly,
+// instead of desynchronizing gas pricing from chain-growth modeling.
+static_assert(kDefaultProofBytes == audit::ProofPrivate::kWireSize);
+static_assert(kDefaultChallengeBytes ==
+              std::tuple_size_v<chain::BeaconOutput>);
 
 double AuditCostModel::batched_verify_ms(std::size_t batch_size) const {
   if (batch_size == 0) {
@@ -28,6 +39,32 @@ std::uint64_t AuditCostModel::gas_per_audit_windowed(
     std::size_t rounds_per_instant, std::size_t window) const {
   return gas.audit_tx_gas(proof_bytes, challenge_bytes,
                           windowed_verify_ms(rounds_per_instant, window));
+}
+
+std::size_t AuditCostModel::aggregate_tx_bytes(std::size_t rounds) const {
+  if (rounds == 0) {
+    throw std::invalid_argument("aggregate_tx_bytes: empty window");
+  }
+  return audit::AggregateSettlement::serialized_size_for(rounds);
+}
+
+double AuditCostModel::aggregate_verify_ms(std::size_t rounds) const {
+  if (rounds == 0) {
+    throw std::invalid_argument("aggregate_verify_ms: empty window");
+  }
+  return aggregate_prep_ms * static_cast<double>(rounds) + aggregate_pair_ms;
+}
+
+std::uint64_t AuditCostModel::gas_per_window_tx(std::size_t rounds) const {
+  return gas.tx_base + gas.calldata_gas(aggregate_tx_bytes(rounds)) +
+         static_cast<std::uint64_t>(gas.verify_gas_per_ms *
+                                    aggregate_verify_ms(rounds));
+}
+
+std::uint64_t AuditCostModel::gas_per_audit_aggregated(
+    std::size_t rounds) const {
+  // Integer per-round share; the window tx's total is the exact figure.
+  return gas_per_window_tx(rounds) / rounds;
 }
 
 std::uint64_t AuditCostModel::repair_gas(std::size_t tag_bytes) const {

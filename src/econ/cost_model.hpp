@@ -9,12 +9,23 @@
 
 namespace dsaudit::econ {
 
+/// The paper's §VII operating point, shared by AuditCostModel (gas pricing)
+/// and ThroughputModel (chain-growth modeling) so the two can never
+/// desynchronize. cost_model.cpp static_asserts pin these to the real wire
+/// structs (audit::ProofPrivate::kWireSize, the 48-byte beacon output) —
+/// a proof-shape change breaks the build here instead of silently skewing
+/// one model.
+inline constexpr std::size_t kDefaultProofBytes = 288;      // ProofPrivate
+inline constexpr std::size_t kDefaultChallengeBytes = 48;   // beacon bytes
+inline constexpr std::size_t kDefaultAuditTxBytes =
+    kDefaultProofBytes + kDefaultChallengeBytes;
+
 /// Everything needed to price one audit round on chain.
 struct AuditCostModel {
   chain::GasSchedule gas = chain::GasSchedule::calibrated();
   chain::PriceModel price;
-  std::size_t proof_bytes = 288;      // 96 without privacy
-  std::size_t challenge_bytes = 48;   // C1, C2, r
+  std::size_t proof_bytes = kDefaultProofBytes;      // 96 without privacy
+  std::size_t challenge_bytes = kDefaultChallengeBytes;  // C1, C2, r
   double verify_ms = 7.2;             // measured on-chain verification time
   /// Split of verify_ms for the batched-settlement discount row: the
   /// per-round aggregation work (challenge expansion, chi, weighting) every
@@ -23,6 +34,17 @@ struct AuditCostModel {
   /// exactly like the unbatched anchor (589,000 gas at 288 bytes).
   double verify_prep_ms = 1.8;
   double verify_pair_ms = 5.4;
+  /// Aggregate-settlement calibration: the on-chain check of one aggregate
+  /// window tx re-derives the weight schedule from the posted seed and runs
+  /// the window's single weighted pairing equation — per-round prep
+  /// (challenge expansion, chi MSM, weighting) plus one shared pairing +
+  /// final-exponentiation tail. Unlike the verify_prep/pair split above
+  /// (kept at its historical PR-4 values for gas bit-compatibility), these
+  /// are calibrated against the CURRENT measured engine
+  /// (BENCH_settlement.json window sweep: 0.5 + 2.0/64 ≈ 0.531 ms/round at
+  /// the 64-round window).
+  double aggregate_prep_ms = 0.5;
+  double aggregate_pair_ms = 2.0;
   double beacon_usd_per_round = 0.01; // §VII-B randomness cost (0.01-0.05)
 
   std::uint64_t gas_per_audit() const {
@@ -47,6 +69,20 @@ struct AuditCostModel {
                             std::size_t window) const;
   std::uint64_t gas_per_audit_windowed(std::size_t rounds_per_instant,
                                        std::size_t window) const;
+
+  /// Aggregate-settlement rows: one constant-size tx per window (seed +
+  /// aggregated KZG opening + outcome bitmap) replaces every per-round
+  /// prove tx. Bytes come from the real wire encoding
+  /// (audit::AggregateSettlement::serialized_size_for — 80 + ceil(rounds/8))
+  /// so the model can never drift from the serializer.
+  std::size_t aggregate_tx_bytes(std::size_t rounds) const;
+  double aggregate_verify_ms(std::size_t rounds) const;
+  /// Gas of the whole window tx: base + calldata over the aggregate
+  /// encoding + the aggregate check's verification gas.
+  std::uint64_t gas_per_window_tx(std::size_t rounds) const;
+  /// Per-audited-round share of the window tx — the row BENCH_settlement
+  /// commits next to the legacy 589,000-gas anchor.
+  std::uint64_t gas_per_audit_aggregated(std::size_t rounds) const;
 
   /// Repair row (fault engine): re-deploying one lost shard puts the
   /// replacement shard's fresh tag set plus a placement record (new
@@ -78,7 +114,9 @@ struct ThroughputModel {
   double block_interval_s = 15.0;
   std::size_t block_overhead_bytes = 500;
   std::size_t tx_overhead_bytes = 110;
-  std::size_t audit_tx_bytes = 288 + 48;
+  /// Per-round audit footprint (proof + challenge reference) — the same
+  /// operating point AuditCostModel prices, via the shared constants above.
+  std::size_t audit_tx_bytes = kDefaultAuditTxBytes;
 
   double tx_per_second() const;
   /// Max concurrently-active users given per-user audit cadence and shard

@@ -39,6 +39,10 @@ NetworkSim::NetworkSim(NetworkConfig config)
   beacon_ = std::make_unique<chain::TrustedBeacon>(bseed);
   if (config_.batched_settlement) {
     batch_ = std::make_unique<contract::BatchSettlement>(config_.rng_seed);
+    if (config_.aggregate_settlement) batch_->enable_aggregate_tx();
+  } else if (config_.aggregate_settlement) {
+    throw std::invalid_argument(
+        "NetworkSim: aggregate_settlement requires batched_settlement");
   }
   for (std::size_t p = 0; p < config_.num_providers; ++p) {
     const std::string name = "provider-" + std::to_string(p);
@@ -909,6 +913,7 @@ NetworkStats NetworkSim::stats() const {
   st.seed_replays_attempted = advc_.replay_attempts;
   st.seed_replays_accepted = advc_.replays_accepted;
   st.attacker_profit = advc_.profit;
+  fill_aggregate_stats(st);
   return st;
 }
 
@@ -979,7 +984,20 @@ NetworkStats NetworkSim::stats_by_walk() const {
   }
   st.seed_replays_attempted = advc_.replay_attempts;
   st.seed_replays_accepted = advc_.replays_accepted;
+  fill_aggregate_stats(st);
   return st;
+}
+
+/// Aggregate-settlement telemetry comes straight from the engine's own
+/// counters (the engine posts the txs, so it is the source of truth); both
+/// stats() and the stats_by_walk() oracle read the same source.
+void NetworkSim::fill_aggregate_stats(NetworkStats& st) const {
+  if (!batch_) return;
+  const auto bs = batch_->stats();
+  st.aggregate_txs = bs.aggregate_txs;
+  st.aggregate_tx_bytes = bs.aggregate_tx_bytes;
+  st.aggregate_tx_gas = bs.aggregate_tx_gas;
+  st.fallback_windows = bs.fallback_windows;
 }
 
 std::uint64_t NetworkSim::total_money() const {

@@ -75,6 +75,13 @@ struct NetworkConfig {
   /// together at its boundary, under one Fiat–Shamir seed). 0 or 1 keeps
   /// the per-instant behavior, bit-identically.
   chain::Timestamp settlement_window_s = 0;
+  /// With batched settlement: post ONE aggregate settlement tx per window
+  /// (Fiat–Shamir seed + aggregated KZG opening + outcome bitmap —
+  /// audit::AggregateSettlement) and redeem every clean round against it
+  /// instead of posting a per-round prove tx; a window containing a
+  /// detected cheater falls back to individual proofs. Off (default):
+  /// chain bytes/gas/ledger bit-identical to per-round settlement.
+  bool aggregate_settlement = false;
   /// Fault-engine contract knobs, forwarded into every ContractTerms
   /// (0 = off, preserving the original miss-once / run-to-expiry lifecycle).
   std::uint32_t timeout_retry_limit = 0;
@@ -123,6 +130,15 @@ struct NetworkStats {
   std::uint64_t total_gas = 0;  // audit rounds only (the §VII-B figures)
   std::size_t chain_bytes = 0;
   double total_usd = 0;
+  /// Aggregate-settlement telemetry (zero unless aggregate_settlement):
+  /// settle-window txs posted, their summed payload bytes and gas, and how
+  /// many windows fell back to per-round proofs because of a detected
+  /// cheater. Window-tx gas is accounted here, NOT in total_gas (which
+  /// stays "per-round audit txs only").
+  std::uint64_t aggregate_txs = 0;
+  std::uint64_t aggregate_tx_bytes = 0;
+  std::uint64_t aggregate_tx_gas = 0;
+  std::uint64_t fallback_windows = 0;
   // Fault-engine churn/repair telemetry (all zero without a fault schedule).
   std::uint64_t crashes = 0;
   std::uint64_t offline_events = 0;
@@ -251,6 +267,8 @@ class NetworkSim {
   void check_invariants() const;
 
  private:
+  void fill_aggregate_stats(NetworkStats& st) const;
+
   /// Cold per-deployment state: identity, crypto artifacts and the contract.
   /// Hot lifecycle state lives in the struct-of-arrays vectors below.
   struct Deployment {

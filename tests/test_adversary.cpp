@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "attack/adversary.hpp"
+#include "contract/batch_settlement.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/network_sim.hpp"
 
@@ -282,6 +283,48 @@ TEST(AdversaryDirected, SeedGrindingIsRefusedByReplayRegistry) {
   // Honest wage: reward per round, nothing more (premium tier on owner 0).
   EXPECT_EQ(st.attacker_profit,
             static_cast<std::int64_t>(st.passes * 2 * c.reward_per_audit));
+}
+
+// Seed grinding against the aggregate settle-window tx: the per-window seed
+// now travels ON CHAIN inside the one aggregate tx, so the grinder replays
+// exactly that posted seed. The registry still refuses every replay, clean
+// windows still settle through their single tx, and the seed the attacker
+// saw on chain is the one the registry spent.
+TEST(AdversaryDirected, SeedGrindingCannotReplayTheAggregateWindowSeed) {
+  NetworkConfig c = adversary_config();
+  c.rng_seed = 47;
+  c.private_proofs = true;
+  c.num_owners = 1;
+  c.erasure_data = 2;
+  c.erasure_parity = 0;
+  c.settlement_window_s = 3 * c.audit_period_s;
+  c.aggregate_settlement = true;
+  NetworkSim net(c);
+  for (std::size_t p = 0; p < c.num_providers; ++p) {
+    net.set_adversary(p, std::make_shared<attack::SeedGrindingStrategy>(
+                             /*seed=*/23, /*candidates=*/3));
+  }
+  net.deploy();
+  net.run_to_completion();
+  net.check_invariants();
+
+  const NetworkStats st = net.stats();
+  EXPECT_GT(st.attacks_attempted, 0u);  // every round is a grind
+  EXPECT_EQ(st.attacks_detected, 0u);   // ...that still verifies
+  EXPECT_GT(st.seed_replays_attempted, 0u);
+  EXPECT_EQ(st.seed_replays_accepted, 0u);
+  // Ground proofs verify, so every window is clean: aggregate txs only.
+  EXPECT_GT(st.aggregate_txs, 0u);
+  EXPECT_EQ(st.fallback_windows, 0u);
+  EXPECT_EQ(st.total_gas, 0u);  // no per-round prove gas in clean windows
+
+  // The seed in the posted window tx IS the spent one: replaying it is
+  // refused at the registry.
+  const contract::BatchSettlement* bs = net.batch_settlement();
+  ASSERT_NE(bs, nullptr);
+  ASSERT_TRUE(bs->last_aggregate().has_value());
+  ASSERT_TRUE(bs->last_weight_seed().has_value());
+  EXPECT_EQ(bs->last_aggregate()->weight_seed, *bs->last_weight_seed());
 }
 
 // Malformed bytes: corrupted wire encodings die at the typed decode

@@ -3,8 +3,11 @@
 // conservation of escrowed funds.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "audit/serialize.hpp"
 #include "contract/audit_contract.hpp"
+#include "contract/tx_format.hpp"
 #include "econ/cost_model.hpp"
 
 namespace dsaudit::contract {
@@ -107,6 +110,51 @@ TEST(Contract, NonPrivateProofsAlsoWork) {
   EXPECT_EQ(w.contract->passes(), 3u);
   // 96-byte proofs on the wire.
   for (const auto& r : w.contract->rounds()) EXPECT_EQ(r.proof_bytes, 96u);
+}
+
+TEST(Contract, PayloadBytesMatchRealSerializedSizes) {
+  // ISSUE 10 satellite: every payload_bytes posted on chain must equal the
+  // size of the bytes that would actually be serialized for that message —
+  // no hand-maintained magic constants drifting from the wire formats.
+  ContractTerms terms = default_terms();
+  World w(terms);
+  w.contract->set_responder(w.honest_responder(true));
+  w.contract->negotiated();
+  w.contract->acked(true);
+  w.contract->freeze();
+  w.chain.advance(4 * terms.audit_period_s);
+  ASSERT_EQ(w.contract->state(), State::Closed);
+
+  // pk || file name (Fr) || num_chunks (u64): the registration payload.
+  const std::size_t pk_bytes =
+      audit::serialize(w.kp.pk, terms.private_proofs).size();
+  const std::size_t negotiated_bytes =
+      pk_bytes + audit::kFrWireBytes + audit::kU64WireBytes;
+  std::size_t seen = 0;
+  for (const auto& tx : w.chain.transactions()) {
+    ++seen;
+    if (tx.description == "negotiated") {
+      EXPECT_EQ(tx.payload_bytes, negotiated_bytes);
+      EXPECT_EQ(tx.payload_bytes, txfmt::negotiated_payload(pk_bytes));
+    } else if (tx.description == "acked") {
+      EXPECT_EQ(tx.payload_bytes, txfmt::kAckPayload);
+    } else if (tx.description == "freeze") {
+      EXPECT_EQ(tx.payload_bytes, txfmt::kFreezePayload);
+    } else if (tx.description == "challenged" || tx.description == "retry") {
+      // The challenge payload is the beacon output itself.
+      EXPECT_EQ(tx.payload_bytes, std::tuple_size_v<chain::BeaconOutput>);
+      EXPECT_EQ(tx.payload_bytes, txfmt::kChallengePayload);
+    } else if (tx.description == "prove") {
+      // Private proofs in this world: the exact ProofPrivate wire size.
+      EXPECT_EQ(tx.payload_bytes, audit::ProofPrivate::kWireSize);
+    } else if (tx.description == "slashed" ||
+               tx.description == "provider-exit") {
+      EXPECT_EQ(tx.payload_bytes, txfmt::kClosePayload);
+    } else {
+      ADD_FAILURE() << "unaccounted tx description: " << tx.description;
+    }
+  }
+  EXPECT_GE(seen, 3u + 3u + 3u);  // lifecycle + 3x(challenge, prove)
 }
 
 TEST(Contract, UnresponsiveProviderTimesOutAndPaysOwner) {

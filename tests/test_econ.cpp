@@ -17,6 +17,46 @@ TEST(CostModel, PerAuditAnchors) {
   EXPECT_EQ(m.gas_per_audit() - basic.gas_per_audit(), (288u - 96u) * 16u);
 }
 
+TEST(CostModel, WireSizesShareOneSourceOfTruth) {
+  // The throughput model's per-audit byte count and the cost model's
+  // calldata inputs must agree: both derive from kDefaultProofBytes /
+  // kDefaultChallengeBytes, which static_asserts in cost_model.cpp pin to
+  // the actual serialized sizes (ProofPrivate::kWireSize, BeaconOutput).
+  AuditCostModel m;
+  ThroughputModel t;
+  EXPECT_EQ(t.audit_tx_bytes, m.proof_bytes + m.challenge_bytes);
+  EXPECT_EQ(t.audit_tx_bytes, kDefaultAuditTxBytes);
+  EXPECT_EQ(m.proof_bytes, kDefaultProofBytes);
+  EXPECT_EQ(m.challenge_bytes, kDefaultChallengeBytes);
+}
+
+TEST(CostModel, AggregateWindowRows) {
+  AuditCostModel m;
+  // One settle-window tx: 80-byte header + ceil(rounds/8) bitmap.
+  EXPECT_EQ(m.aggregate_tx_bytes(64), 88u);
+  EXPECT_EQ(m.aggregate_tx_bytes(1), 81u);
+  EXPECT_EQ(m.aggregate_tx_bytes(8), 81u);
+  EXPECT_EQ(m.aggregate_tx_bytes(9), 82u);
+  EXPECT_THROW(m.aggregate_tx_bytes(0), std::invalid_argument);
+  EXPECT_THROW(m.aggregate_verify_ms(0), std::invalid_argument);
+  // The ISSUE acceptance bar: at a 16-instant window (64 rounds at the
+  // bench's 4 rounds/instant), both bytes and gas per audited round beat
+  // per-round settlement by >= 5x.
+  const std::uint64_t rounds = 64;
+  const double bytes_ratio =
+      static_cast<double>(m.proof_bytes + m.challenge_bytes) * rounds /
+      static_cast<double>(m.aggregate_tx_bytes(rounds));
+  EXPECT_GE(bytes_ratio, 5.0);
+  const double gas_ratio = static_cast<double>(m.gas_per_audit()) /
+                           static_cast<double>(m.gas_per_audit_aggregated(rounds));
+  EXPECT_GE(gas_ratio, 5.0);
+  // Window gas is monotone in rounds but sub-linear per round.
+  EXPECT_GT(m.gas_per_window_tx(64), m.gas_per_window_tx(4));
+  EXPECT_LT(m.gas_per_audit_aggregated(64), m.gas_per_audit_aggregated(4));
+  EXPECT_EQ(m.gas_per_audit_aggregated(rounds),
+            m.gas_per_window_tx(rounds) / rounds);
+}
+
 TEST(CostModel, Fig6AnnualFeeShape) {
   AuditCostModel m;
   // Daily auditing for a year lands near cloud-storage pricing (~$150/yr,

@@ -62,11 +62,24 @@ class FuzzDecode : public ::testing::Test {
     valid_sk_ = serialize(kp.sk);
     valid_tag_ = serialize(tag);
     valid_challenge_ = serialize(chal);
+    // An aggregate settlement tx over a 5-round window: a deliberately
+    // non-byte-aligned count so the trailing-bitmap-bit canonicality class
+    // exists in the corpus.
+    AggregateSettlement agg;
+    agg.weight_seed = rng.bytes32();
+    agg.window_boundary = 86400;
+    agg.rounds = 5;
+    agg.opening = curve::g1_mul_generator(Fr::random(rng));
+    agg.outcomes.assign(1, 0);
+    for (std::uint64_t i = 0; i < agg.rounds; ++i) {
+      agg.set_outcome(i, i != 2);  // mixed outcomes, round 2 failed
+    }
+    valid_aggregate_ = serialize(agg);
   }
 
   static const KeyPair* kp_;
   static std::vector<std::uint8_t> valid_basic_, valid_private_, valid_pk_,
-      valid_sk_, valid_tag_, valid_challenge_;
+      valid_sk_, valid_tag_, valid_challenge_, valid_aggregate_;
 };
 
 const KeyPair* FuzzDecode::kp_ = nullptr;
@@ -76,6 +89,7 @@ std::vector<std::uint8_t> FuzzDecode::valid_pk_;
 std::vector<std::uint8_t> FuzzDecode::valid_sk_;
 std::vector<std::uint8_t> FuzzDecode::valid_tag_;
 std::vector<std::uint8_t> FuzzDecode::valid_challenge_;
+std::vector<std::uint8_t> FuzzDecode::valid_aggregate_;
 
 // Run one format's corpus: valid bytes round-trip, every must-reject
 // mutation dies with a typed error, every random flip decodes or refuses
@@ -158,6 +172,16 @@ TEST_F(FuzzDecode, CorpusExceedsTwoHundredMutationsAndAllAreRejected) {
                       [](const auto& b) { return decode_secret_key(b); },
                       "SecretKey");
   }
+  {
+    auto muts = attack::corpus::aggregate_settlement_mutations(valid_aggregate_);
+    auto more = attack::corpus::random_flips(valid_aggregate_, 0xB7, flips);
+    muts.insert(muts.end(), more.begin(), more.end());
+    total += exercise(valid_aggregate_, std::move(muts),
+                      [](const auto& b) {
+                        return decode_aggregate_settlement(b);
+                      },
+                      "AggregateSettlement");
+  }
   EXPECT_GE(total, 200u) << "corpus shrank below the acceptance floor";
 }
 
@@ -176,6 +200,14 @@ TEST_F(FuzzDecode, CountOverflowProbesAreBadStructure) {
     if (m.label.rfind("s-overflow", 0) != 0 && m.label != "s-max-u64")
       continue;
     const auto r = decode_public_key(m.bytes);
+    EXPECT_FALSE(r.ok()) << m.label;
+    EXPECT_EQ(r.error, DecodeError::BadStructure) << m.label;
+  }
+  for (const auto& m :
+       attack::corpus::aggregate_settlement_mutations(valid_aggregate_)) {
+    if (m.label.rfind("rounds-overflow", 0) != 0 && m.label != "rounds-max-u64")
+      continue;
+    const auto r = decode_aggregate_settlement(m.bytes);
     EXPECT_FALSE(r.ok()) << m.label;
     EXPECT_EQ(r.error, DecodeError::BadStructure) << m.label;
   }
@@ -211,6 +243,21 @@ TEST_F(FuzzDecode, RejectionReasonsAreTyped) {
     for (int i = 0; i < 8; ++i) b[i] = 0;  // s == 0
     EXPECT_EQ(decode_public_key(b).error, DecodeError::ZeroForbidden);
   }
+  {
+    auto b = valid_aggregate_;
+    for (int i = 0; i < 8; ++i) b[40 + i] = 0;  // rounds == 0
+    EXPECT_EQ(decode_aggregate_settlement(b).error, DecodeError::ZeroForbidden);
+  }
+  {
+    auto b = valid_aggregate_;
+    std::fill(b.begin() + 48, b.begin() + 80, 0xFF);  // opening.x >= p
+    EXPECT_EQ(decode_aggregate_settlement(b).error, DecodeError::BadPoint);
+  }
+  {
+    auto b = valid_aggregate_;
+    b.back() |= 0xE0;  // bits past rounds=5 in the bitmap: non-canonical
+    EXPECT_EQ(decode_aggregate_settlement(b).error, DecodeError::BadStructure);
+  }
 }
 
 // The legacy nullopt wrappers share the typed boundary: anything decode_*
@@ -240,6 +287,8 @@ TEST_F(FuzzDecode, ValidEncodingsRoundTripBitExactly) {
   EXPECT_EQ(serialize(*decode_file_tag(valid_tag_)), valid_tag_);
   EXPECT_EQ(serialize(*decode_challenge(valid_challenge_)),
             valid_challenge_);
+  EXPECT_EQ(serialize(*decode_aggregate_settlement(valid_aggregate_)),
+            valid_aggregate_);
 }
 
 }  // namespace

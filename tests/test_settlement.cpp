@@ -404,6 +404,65 @@ TEST(Settlement, ReducedSoundnessWeightsAreGatedAndWork) {
   }
 }
 
+TEST(Settlement, AggregateSettlementTxVerifiesAndBindsItsSeed) {
+  // The one-tx-per-window object: seed + one aggregated KZG opening + the
+  // outcome bitmap. An honest recomputation under the tx's own seed accepts
+  // it; any grinding/replay of the seed, substituted opening, lying bitmap
+  // or count mismatch is refused.
+  auto rng = SecureRng::deterministic(913);
+  Scenario sc = make_scenario(4000, 6, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(9);
+  for (auto& inst : instances) {
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 5);
+    inst.basic = prover.prove(inst.challenge);
+  }
+  instances[4].basic->y += Fr::one();  // one cheater: a dirty-window bitmap
+
+  const auto seed = seed_of(rng);
+  audit::SettlementOptions opts;
+  opts.compute_aggregate_opening = true;
+  SettlementOutcome out = audit::verify_settlement(instances, seed, opts);
+  ASSERT_FALSE(out.all_ok());
+
+  audit::AggregateSettlement tx;
+  tx.weight_seed = seed;
+  tx.window_boundary = 4000;
+  tx.rounds = instances.size();
+  tx.opening = out.aggregated_opening;
+  tx.outcomes.assign(audit::AggregateSettlement::bitmap_bytes(tx.rounds), 0);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    tx.set_outcome(i, out.ok[i]);
+  }
+
+  EXPECT_TRUE(audit::verify_settlement_aggregate(instances, tx));
+  // Round-trips through the wire format and still verifies.
+  auto decoded = audit::decode_aggregate_settlement(audit::serialize(tx));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(audit::verify_settlement_aggregate(instances, *decoded));
+
+  // Ground or replayed seed: different weights, different opening — refused.
+  audit::AggregateSettlement bad = tx;
+  bad.weight_seed[0] ^= 1;
+  EXPECT_FALSE(audit::verify_settlement_aggregate(instances, bad));
+  // Substituted opening.
+  bad = tx;
+  bad.opening = bad.opening + curve::G1::generator();
+  EXPECT_FALSE(audit::verify_settlement_aggregate(instances, bad));
+  // Lying bitmap: the cheater marked clean.
+  bad = tx;
+  bad.outcomes[0] |= static_cast<std::uint8_t>(1u << 4);
+  EXPECT_FALSE(audit::verify_settlement_aggregate(instances, bad));
+  // Count mismatch with the instance set.
+  EXPECT_FALSE(audit::verify_settlement_aggregate(
+      std::span<const SettlementInstance>(instances.data(), 8), tx));
+}
+
 // ---------------------------------------------------------------------------
 // contract::BatchSettlement — the block-level coordinator.
 // ---------------------------------------------------------------------------
@@ -571,11 +630,15 @@ struct SimSnapshot {
   std::vector<std::uint64_t> balances;
   std::size_t blocks = 0;
   std::size_t txs = 0;
+  // Settlement-layer chain footprint, split by tx kind.
+  std::uint64_t prove_txs = 0, prove_bytes = 0, prove_gas = 0;
+  std::uint64_t window_txs = 0, window_bytes = 0, window_gas = 0;
 };
 
 SimSnapshot run_sim(bool batched, bool discount, std::size_t num_owners = 2,
                     sim::ProviderBehavior bad = sim::ProviderBehavior::DropsData,
-                    chain::Timestamp settlement_window_s = 0) {
+                    chain::Timestamp settlement_window_s = 0,
+                    bool aggregate = false) {
   sim::NetworkConfig c;
   c.num_owners = num_owners;
   c.num_providers = 3;
@@ -589,6 +652,7 @@ SimSnapshot run_sim(bool batched, bool discount, std::size_t num_owners = 2,
   c.batched_settlement = batched;
   c.batch_gas_discount = discount;
   c.settlement_window_s = settlement_window_s;
+  c.aggregate_settlement = aggregate;
   sim::NetworkSim net(c);
   net.set_behavior("provider-1", bad);
   net.deploy();
@@ -603,6 +667,17 @@ SimSnapshot run_sim(bool batched, bool discount, std::size_t num_owners = 2,
   }
   snap.blocks = net.chain().blocks().size();
   snap.txs = net.chain().transactions().size();
+  for (const auto& tx : net.chain().transactions()) {
+    if (tx.description == "prove") {
+      ++snap.prove_txs;
+      snap.prove_bytes += tx.payload_bytes;
+      snap.prove_gas += tx.gas_used;
+    } else if (tx.description == "settle-window") {
+      ++snap.window_txs;
+      snap.window_bytes += tx.payload_bytes;
+      snap.window_gas += tx.gas_used;
+    }
+  }
   if (batched) {
     const contract::BatchSettlement* bs = net.batch_settlement();
     EXPECT_NE(bs, nullptr);
@@ -666,6 +741,78 @@ TEST(WindowedSettlementSim, WideWindowSettlesEveryRoundAndMatchesOutcomes) {
   EXPECT_GT(windowed.stats.fails, 0u);
   EXPECT_EQ(per_instant.stats.total_gas, windowed.stats.total_gas);
   EXPECT_EQ(per_instant.balances, windowed.balances);
+}
+
+TEST(AggregateSettlementSim, CleanWindowsPostOneTxAndCutBytesAndGasFivefold) {
+  // ISSUE 10 tentpole: aggregate mode replaces every per-round prove tx in a
+  // clean window with ONE settle-window tx (seed + aggregated opening +
+  // bitmap). Outcomes and the ledger match the legacy windowed run exactly;
+  // settlement bytes and gas per audited round drop by >= 5x.
+  SimSnapshot legacy = run_sim(true, false, 2, sim::ProviderBehavior::Honest,
+                               7200);
+  SimSnapshot agg = run_sim(true, false, 2, sim::ProviderBehavior::Honest,
+                            7200, /*aggregate=*/true);
+
+  // Outcomes, payouts: identical.
+  EXPECT_EQ(legacy.stats.total_rounds, agg.stats.total_rounds);
+  EXPECT_EQ(legacy.stats.passes, agg.stats.passes);
+  EXPECT_EQ(legacy.stats.fails, agg.stats.fails);
+  EXPECT_EQ(legacy.balances, agg.balances);
+
+  // Clean windows: no per-round prove txs, no per-round gas; the stats
+  // mirror the chain exactly.
+  EXPECT_EQ(agg.prove_txs, 0u);
+  EXPECT_EQ(agg.stats.total_gas, 0u);
+  EXPECT_GT(agg.window_txs, 0u);
+  EXPECT_EQ(agg.stats.aggregate_txs, agg.window_txs);
+  EXPECT_EQ(agg.stats.aggregate_tx_bytes, agg.window_bytes);
+  EXPECT_EQ(agg.stats.aggregate_tx_gas, agg.window_gas);
+  EXPECT_EQ(agg.stats.fallback_windows, 0u);
+
+  // The acceptance bar: >= 5x on settlement bytes AND gas per round.
+  ASSERT_GT(agg.window_bytes, 0u);
+  ASSERT_GT(agg.window_gas, 0u);
+  EXPECT_GE(static_cast<double>(legacy.prove_bytes) /
+                static_cast<double>(agg.window_bytes),
+            5.0);
+  EXPECT_GE(static_cast<double>(legacy.prove_gas) /
+                static_cast<double>(agg.window_gas),
+            5.0);
+  // Whole-chain footprint shrinks too.
+  EXPECT_LT(agg.stats.chain_bytes, legacy.stats.chain_bytes);
+}
+
+TEST(AggregateSettlementSim, DirtyWindowFallsBackToPerRoundProofs) {
+  // A cheater inside the window: the bisection evidence must land on chain,
+  // so the whole window re-posts its individual prove txs (fallback), and
+  // the ledger still matches the legacy windowed run — honest providers in
+  // the cheater's window are paid identically.
+  SimSnapshot legacy = run_sim(true, false, 2, sim::ProviderBehavior::DropsData,
+                               7200);
+  SimSnapshot agg = run_sim(true, false, 2, sim::ProviderBehavior::DropsData,
+                            7200, /*aggregate=*/true);
+
+  EXPECT_GT(agg.stats.fails, 0u);  // the cheater was caught
+  EXPECT_GT(agg.stats.fallback_windows, 0u);
+  // Every fallback round re-posted its prove tx with the legacy gas row.
+  EXPECT_GT(agg.prove_txs, 0u);
+  EXPECT_EQ(legacy.stats.passes, agg.stats.passes);
+  EXPECT_EQ(legacy.stats.fails, agg.stats.fails);
+  EXPECT_EQ(legacy.balances, agg.balances);
+  // The window tx (with its failure bitmap) is still posted on top.
+  EXPECT_EQ(agg.stats.aggregate_txs, agg.window_txs);
+  EXPECT_GT(agg.window_txs, 0u);
+}
+
+TEST(AggregateSettlementSim, RequiresBatchedSettlement) {
+  sim::NetworkConfig c;
+  c.num_owners = 1;
+  c.num_providers = 3;
+  c.erasure_data = 2;
+  c.erasure_parity = 1;
+  c.batched_settlement = false;
+  c.aggregate_settlement = true;
+  EXPECT_THROW(sim::NetworkSim net(c), std::invalid_argument);
 }
 
 TEST(BatchedSettlementSim, CulpritIsolationAtPopulationScale) {

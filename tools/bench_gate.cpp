@@ -42,6 +42,8 @@ constexpr Metric kMetrics[] = {
     {"ms_per_round", false},
     {"rounds_per_sec", true},
     {"bytes_per_user", false},
+    {"bytes_per_round", false},
+    {"gas_per_round", false},
 };
 
 struct Row {
@@ -75,7 +77,8 @@ std::string context_label(const std::string& text, std::size_t at) {
   std::size_t pop_at = text.rfind("\"population\"", at);
   std::string section = "?";
   std::size_t section_at = std::string::npos;
-  for (const char* s : {"\"basic\"", "\"private\"", "\"window_sweep\""}) {
+  for (const char* s :
+       {"\"basic\"", "\"private\"", "\"window_sweep\"", "\"aggregate\""}) {
     std::size_t f = text.rfind(s, at);
     if (f != std::string::npos &&
         (section_at == std::string::npos || f > section_at)) {
