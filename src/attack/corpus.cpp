@@ -217,13 +217,14 @@ std::vector<Mutation> challenge_mutations(std::span<const std::uint8_t> valid) {
 
 std::vector<Mutation> aggregate_settlement_mutations(
     std::span<const std::uint8_t> valid) {
-  // Layout: seed (32) | boundary (8) | rounds (8, at offset 40) |
-  // opening (32, at offset 48) | bitmap (ceil(rounds/8), at offset 80).
-  constexpr std::size_t kHeader = 80;
+  // Layout: seed (32) | nonce (8) | boundary (8) | rounds (8, at offset 48)
+  // | opening (32, at offset 56) | bitmap (ceil(rounds/8), at offset 88).
+  constexpr std::size_t kHeader = 88;
+  constexpr std::size_t kRoundsOff = 48;
   const std::uint64_t rounds =
       [&] {
         std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i) v = (v << 8) | valid[40 + i];
+        for (int i = 0; i < 8; ++i) v = (v << 8) | valid[kRoundsOff + i];
         return v;
       }();
   std::vector<Mutation> out;
@@ -238,7 +239,7 @@ std::vector<Mutation> aggregate_settlement_mutations(
   }
   {
     auto b = copy_of(valid);
-    put_u64_be(b, 40, 0);  // an empty window never posts a settlement tx
+    put_u64_be(b, kRoundsOff, 0);  // an empty window never posts a settlement tx
     out.push_back(make("rounds-zero", std::move(b)));
   }
   {
@@ -246,25 +247,25 @@ std::vector<Mutation> aggregate_settlement_mutations(
     // rounds = 2^62: a naive header + rounds/8 + 1 sizing wraps; the typed
     // decoder must bound the count against the buffer before it sizes the
     // bitmap.
-    put_u64_be(b, 40, 1ULL << 62);
+    put_u64_be(b, kRoundsOff, 1ULL << 62);
     out.push_back(make("rounds-overflow-2^62", std::move(b)));
   }
   {
     auto b = copy_of(valid);
-    put_u64_be(b, 40, 0xFFFFFFFFFFFFFFFFULL);
+    put_u64_be(b, kRoundsOff, 0xFFFFFFFFFFFFFFFFULL);
     out.push_back(make("rounds-max-u64", std::move(b)));
   }
   {
     auto b = copy_of(valid);
     // Claims a full extra bitmap byte's worth of rounds beyond the buffer.
-    put_u64_be(b, 40, rounds + 8);
+    put_u64_be(b, kRoundsOff, rounds + 8);
     out.push_back(make("rounds-lying-high", std::move(b)));
   }
   if (rounds > 8) {
     auto b = copy_of(valid);
     // Claims fewer rounds than the bitmap carries: the buffer is now too
     // long for the count.
-    put_u64_be(b, 40, rounds - 8);
+    put_u64_be(b, kRoundsOff, rounds - 8);
     out.push_back(make("rounds-lying-low", std::move(b)));
   }
   if (rounds % 8 != 0) {
@@ -275,7 +276,7 @@ std::vector<Mutation> aggregate_settlement_mutations(
   }
   {
     auto b = copy_of(valid);
-    saturate(b, 48);  // opening: x >= p
+    saturate(b, 56);  // opening: x >= p
     out.push_back(make("opening-noncanonical-x", std::move(b)));
   }
   return out;

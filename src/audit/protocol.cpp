@@ -640,19 +640,50 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
   return verify_settlement(instances, weight_seed, SettlementOptions{});
 }
 
-bool verify_settlement_aggregate(std::span<const SettlementInstance> instances,
-                                 const AggregateSettlement& tx,
-                                 const SettlementOptions& options) {
-  if (tx.rounds != instances.size() || tx.rounds == 0) return false;
+std::array<std::uint8_t, 32> derive_settlement_seed(
+    std::uint64_t nonce, std::uint64_t window_boundary,
+    std::span<const std::array<std::uint8_t, 32>> transcripts) {
+  std::vector<std::uint8_t> preimage(16 + 32 * transcripts.size());
+  for (int b = 0; b < 8; ++b) {
+    preimage[b] = static_cast<std::uint8_t>(nonce >> (8 * b));
+    preimage[8 + b] = static_cast<std::uint8_t>(window_boundary >> (8 * b));
+  }
+  for (std::size_t j = 0; j < transcripts.size(); ++j) {
+    std::memcpy(preimage.data() + 16 + 32 * j, transcripts[j].data(), 32);
+  }
+  return primitives::Keccak256::hash(
+      std::span<const std::uint8_t>(preimage.data(), preimage.size()));
+}
+
+bool verify_settlement_aggregate(
+    std::span<const SettlementInstance> instances,
+    std::span<const std::array<std::uint8_t, 32>> transcripts,
+    std::uint64_t expected_boundary, const AggregateSettlement& tx,
+    const SettlementOptions& options) {
+  if (tx.rounds != instances.size() || tx.rounds != transcripts.size() ||
+      tx.rounds == 0) {
+    return false;
+  }
   if (tx.outcomes.size() != AggregateSettlement::bitmap_bytes(tx.rounds)) {
+    return false;
+  }
+  // The boundary is part of the verifier's expectation, not the prover's
+  // choice: a tx replayed against any other window refuses here.
+  if (tx.window_boundary != expected_boundary) return false;
+  // Bind the seed to the committed transcripts: the tx's seed must be the
+  // honest derivation under its own nonce. A self-chosen seed — under which
+  // colluding cheaters could pick errors that cancel in the weighted batch
+  // check — cannot be presented as Keccak(nonce || boundary || transcripts)
+  // for any feasible nonce.
+  if (derive_settlement_seed(tx.seed_nonce, tx.window_boundary, transcripts) !=
+      tx.weight_seed) {
     return false;
   }
   SettlementOptions opts = options;
   opts.compute_aggregate_opening = true;
   const SettlementOutcome res = verify_settlement(instances, tx.weight_seed, opts);
   // The posted opening must be exactly the weighted psi aggregate under the
-  // tx's own seed: any other seed (grinding/replay) or any substituted
-  // element changes the recomputation.
+  // derived seed: any substituted element changes the recomputation.
   if (!(res.aggregated_opening == tx.opening)) return false;
   for (std::uint64_t i = 0; i < tx.rounds; ++i) {
     if (tx.outcome(i) != res.ok[static_cast<std::size_t>(i)]) return false;

@@ -257,17 +257,39 @@ SettlementOutcome verify_settlement(std::span<const SettlementInstance> instance
 SettlementOutcome verify_settlement(std::span<const SettlementInstance> instances,
                                     const std::array<std::uint8_t, 32>& weight_seed);
 
+/// The canonical window weight seed: Keccak(nonce || boundary || every
+/// round's 32-byte transcript, in the window's canonical transcript-sorted
+/// order). This is THE binding that makes the aggregate tx sound: the
+/// transcripts commit the proofs before the seed (and so the batch weights)
+/// exists, so a prover cannot fix a seed first and then craft proofs whose
+/// weighted errors cancel in the batch check. Both contract::BatchSettlement
+/// (posting) and verify_settlement_aggregate (checking) derive through this
+/// one function.
+std::array<std::uint8_t, 32> derive_settlement_seed(
+    std::uint64_t nonce, std::uint64_t window_boundary,
+    std::span<const std::array<std::uint8_t, 32>> transcripts);
+
 /// Checks a posted AggregateSettlement tx against the window's instances
-/// (given in the same canonical order the bitmap was built over): re-derives
-/// the weight schedule from the tx's own seed, re-runs the settlement, and
-/// accepts iff the posted opening equals the recomputed aggregated opening
-/// and the outcome bitmap matches round-for-round. An adversary who grinds
-/// or replays the seed, flips an outcome bit, or substitutes any opening
-/// other than the exact weighted psi aggregate is refused — the tests and
-/// the grinding adversary pin this.
-bool verify_settlement_aggregate(std::span<const SettlementInstance> instances,
-                                 const AggregateSettlement& tx,
-                                 const SettlementOptions& options = {});
+/// and round transcripts (both in the same canonical order the bitmap was
+/// built over) and the boundary the verifier expects the window to settle
+/// at. Accepts iff ALL of:
+///   - tx.window_boundary equals `expected_boundary` (a tx replayed against
+///     a different window refuses here);
+///   - tx.weight_seed equals derive_settlement_seed(tx.seed_nonce,
+///     tx.window_boundary, transcripts) — the seed is re-derived from the
+///     committed transcripts, so a ground or self-chosen seed (under which
+///     colluding cheaters could cancel each other's weighted errors) cannot
+///     be presented as honest;
+///   - the posted opening equals the aggregated opening recomputed under
+///     that seed;
+///   - the outcome bitmap matches the recomputed verdicts round-for-round.
+/// Replay of an already-spent honest seed is refused one layer up, by
+/// BatchSettlement's used_seeds_ registry.
+bool verify_settlement_aggregate(
+    std::span<const SettlementInstance> instances,
+    std::span<const std::array<std::uint8_t, 32>> transcripts,
+    std::uint64_t expected_boundary, const AggregateSettlement& tx,
+    const SettlementOptions& options = {});
 
 /// One-shot wrappers over Verifier (they prepare the key's G2 points per
 /// call; repeated verification against one key should construct a Verifier).

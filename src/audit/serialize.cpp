@@ -15,7 +15,7 @@ static_assert(ProofBasic::kWireSize == 2 * kG1WireBytes + kFrWireBytes);
 static_assert(ProofPrivate::kWireSize ==
               2 * kG1WireBytes + kFrWireBytes + kGtWireBytes);
 static_assert(AggregateSettlement::kHeaderBytes ==
-              32 /*seed*/ + 2 * kU64WireBytes + kG1WireBytes);
+              32 /*seed*/ + 3 * kU64WireBytes + kG1WireBytes);
 
 namespace {
 
@@ -412,6 +412,7 @@ std::vector<std::uint8_t> serialize(const AggregateSettlement& agg) {
   std::vector<std::uint8_t> out;
   out.reserve(agg.serialized_size());
   out.insert(out.end(), agg.weight_seed.begin(), agg.weight_seed.end());
+  write_u64(out, agg.seed_nonce);
   write_u64(out, agg.window_boundary);
   write_u64(out, agg.rounds);
   auto op = curve::g1_compress(agg.opening);
@@ -427,8 +428,9 @@ DecodeResult<AggregateSettlement> decode_aggregate_settlement(
   if (bytes.size() < header) return R::failure(DecodeError::BadLength);
   AggregateSettlement agg;
   std::copy(bytes.begin(), bytes.begin() + 32, agg.weight_seed.begin());
-  agg.window_boundary = read_u64(bytes.data() + 32);
-  agg.rounds = read_u64(bytes.data() + 40);
+  agg.seed_nonce = read_u64(bytes.data() + 32);
+  agg.window_boundary = read_u64(bytes.data() + 40);
+  agg.rounds = read_u64(bytes.data() + 48);
   if (agg.rounds == 0) return R::failure(DecodeError::ZeroForbidden);
   // rounds is 64 bits off the wire: bound it by what the buffer can actually
   // hold before it sizes the bitmap (the division form cannot wrap, unlike
@@ -438,7 +440,7 @@ DecodeResult<AggregateSettlement> decode_aggregate_settlement(
     return R::failure(DecodeError::BadStructure);
   }
   auto p = curve::g1_decompress(
-      std::span<const std::uint8_t, 32>(bytes.data() + 48, 32));
+      std::span<const std::uint8_t, 32>(bytes.data() + 56, 32));
   if (!p) return R::failure(DecodeError::BadPoint);
   agg.opening = *p;
   agg.outcomes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(header),

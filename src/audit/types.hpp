@@ -98,15 +98,24 @@ struct ProofPrivate {
 /// (transcript-sorted) order; bit i of the bitmap (LSB-first within each
 /// byte) is 1 iff round i settled Pass. Trailing bitmap bits beyond
 /// `rounds` must be zero — the encoding is canonical.
+///
+/// The weight seed is not free-form: it must equal
+/// derive_settlement_seed(seed_nonce, window_boundary, transcripts), and
+/// carrying the nonce on the wire is what lets any verifier re-derive it
+/// from the window's round transcripts. Without that binding a prover could
+/// fix a seed first and craft proofs whose weighted errors cancel in the
+/// batch check (see protocol.hpp).
 struct AggregateSettlement {
   std::array<std::uint8_t, 32> weight_seed{};
+  std::uint64_t seed_nonce = 0;       // freshness nonce the seed hashes over
   std::uint64_t window_boundary = 0;  // boundary instant the seed is bound to
   std::uint64_t rounds = 0;           // instances covered by the bitmap
   G1 opening;                         // sum_i [w_i * zeta_i] psi_i
   std::vector<std::uint8_t> outcomes; // ceil(rounds / 8) bitmap bytes
 
-  /// seed (32) | boundary (8) | rounds (8) | opening (32) | bitmap.
-  static constexpr std::size_t kHeaderBytes = 80;
+  /// seed (32) | nonce (8) | boundary (8) | rounds (8) | opening (32) |
+  /// bitmap.
+  static constexpr std::size_t kHeaderBytes = 88;
   /// Overflow-safe bitmap sizing (rounds is a full 64-bit wire field).
   static constexpr std::size_t bitmap_bytes(std::uint64_t rounds) {
     return static_cast<std::size_t>(rounds / 8 + (rounds % 8 != 0 ? 1 : 0));
@@ -120,8 +129,9 @@ struct AggregateSettlement {
     return (outcomes[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u;
   }
   void set_outcome(std::uint64_t i, bool ok) {
-    if (ok) outcomes[static_cast<std::size_t>(i / 8)] |=
-        static_cast<std::uint8_t>(1u << (i % 8));
+    std::uint8_t& b = outcomes[static_cast<std::size_t>(i / 8)];
+    const auto mask = static_cast<std::uint8_t>(1u << (i % 8));
+    b = static_cast<std::uint8_t>(ok ? (b | mask) : (b & ~mask));
   }
 };
 

@@ -2,13 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
 #include "audit/serialize.hpp"
 #include "pairing/pairing.hpp"
-#include "primitives/keccak256.hpp"
 
 namespace dsaudit::contract {
 
@@ -37,6 +35,12 @@ std::optional<audit::AggregateSettlement> BatchSettlement::last_aggregate()
   return last_aggregate_;
 }
 
+std::vector<std::array<std::uint8_t, 32>> BatchSettlement::last_transcripts()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_transcripts_;
+}
+
 BatchSettlement::Ticket BatchSettlement::enqueue(
     chain::Blockchain& chain, audit::SettlementInstance instance,
     const std::array<std::uint8_t, 32>& transcript) {
@@ -54,7 +58,15 @@ BatchSettlement::Ticket BatchSettlement::enqueue(
     ++stats_.instants;
   }
   Ticket t{current_batch_, pending_.size(), window_deadline_};
-  chain_ptr_ = &chain;  // all rounds of one engine settle against one chain
+  // All rounds of one engine settle against one chain for its whole
+  // lifetime: deferred flushes dereference this pointer long after the
+  // enqueue that captured it, so a second chain would misdirect (or
+  // dangle) the window tx. Hard invariant, not a convention.
+  if (chain_ptr_ != nullptr && chain_ptr_ != &chain) {
+    throw std::logic_error(
+        "BatchSettlement: rounds enqueued against a different chain");
+  }
+  chain_ptr_ = &chain;
   pending_.push_back(std::move(instance));
   transcripts_.push_back(transcript);
   if (!hook_armed_) {
@@ -183,22 +195,21 @@ void BatchSettlement::flush(std::unique_lock<std::mutex>& lock) {
   });
   std::vector<audit::SettlementInstance> sorted;
   sorted.reserve(snapshot.size());
-  for (std::size_t p : perm) sorted.push_back(std::move(snapshot[p]));
+  std::vector<std::array<std::uint8_t, 32>> sorted_transcripts;
+  sorted_transcripts.reserve(snapshot.size());
+  for (std::size_t p : perm) {
+    sorted.push_back(std::move(snapshot[p]));
+    sorted_transcripts.push_back(transcripts[p]);
+  }
 
   // Fiat–Shamir weight seed over (fresh nonce || window boundary || every
   // round's transcript): weights are fixed only after all proofs across the
   // whole window are committed, the boundary binds the seed to its window,
   // and the nonce keeps the schedule fresh even for a byte-identical batch.
-  std::vector<std::uint8_t> preimage(16 + 32 * perm.size());
-  for (int b = 0; b < 8; ++b) {
-    preimage[b] = static_cast<std::uint8_t>(nonce >> (8 * b));
-    preimage[8 + b] = static_cast<std::uint8_t>(deadline >> (8 * b));
-  }
-  for (std::size_t j = 0; j < perm.size(); ++j) {
-    std::memcpy(preimage.data() + 16 + 32 * j, transcripts[perm[j]].data(), 32);
-  }
-  auto seed = primitives::Keccak256::hash(
-      std::span<const std::uint8_t>(preimage.data(), preimage.size()));
+  // The derivation is shared with audit::verify_settlement_aggregate, which
+  // re-runs it from the posted nonce to refuse self-chosen seeds.
+  const auto seed =
+      audit::derive_settlement_seed(nonce, deadline, sorted_transcripts);
   if (!consume_weight_seed_locked(seed)) {
     throw std::logic_error("BatchSettlement: replayed weight seed");
   }
@@ -233,6 +244,7 @@ void BatchSettlement::flush(std::unique_lock<std::mutex>& lock) {
     // so the window tx always lands on chain before any ticket redemption.
     audit::AggregateSettlement tx;
     tx.weight_seed = seed;
+    tx.seed_nonce = nonce;
     tx.window_boundary = deadline;
     tx.rounds = perm.size();
     tx.opening = res.aggregated_opening;
@@ -250,6 +262,7 @@ void BatchSettlement::flush(std::unique_lock<std::mutex>& lock) {
     agg = std::move(tx);
   }
   lock.lock();
+  last_transcripts_ = std::move(sorted_transcripts);
 
   BatchResult batch;
   batch.ok.assign(perm.size(), false);

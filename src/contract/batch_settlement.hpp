@@ -27,7 +27,9 @@
 // constant-size settlement tx on chain — the window's Fiat–Shamir weight
 // seed, the aggregated KZG opening (sum_i [w_i zeta_i] psi_i, a single G1
 // element covering every Eq.1/Eq.2 round of the window) and a per-round
-// outcome bitmap (audit::AggregateSettlement, 80 + ceil(rounds/8) bytes).
+// outcome bitmap plus the seed-derivation nonce that lets any verifier
+// re-derive the seed from the round transcripts
+// (audit::AggregateSettlement, 88 + ceil(rounds/8) bytes).
 // Clean windows redeem every ticket against that tx: Outcome::aggregated
 // tells the contract to post NO per-round prove tx and charge NO per-round
 // gas. A window containing a detected cheater sets Outcome::fallback — the
@@ -108,6 +110,12 @@ class BatchSettlement {
   /// check with audit::verify_settlement_aggregate / attack the seed of.
   std::optional<audit::AggregateSettlement> last_aggregate() const;
 
+  /// The canonical (transcript-sorted) round transcripts of the most
+  /// recently flushed window — exactly the sequence the window's weight
+  /// seed hashed over, so an external verifier can re-derive the posted
+  /// tx's seed with audit::derive_settlement_seed.
+  std::vector<std::array<std::uint8_t, 32>> last_transcripts() const;
+
   /// Register one settlement-ready round. Thread-safe — called from
   /// concurrent prepare stages. `transcript` must commit the round's
   /// identity, challenge and proof bytes: it orders the batch canonically
@@ -116,7 +124,9 @@ class BatchSettlement {
   /// chain's defer_until_actions hook; the hook flushes when the instant is
   /// at the window boundary and otherwise schedules the boundary task that
   /// will. The instance borrows its verifier/file contexts — the owning
-  /// contract keeps them alive.
+  /// contract keeps them alive. Every round of an engine's lifetime must
+  /// enqueue against the SAME chain (deferred flushes post to it later);
+  /// passing a different one throws std::logic_error.
   Ticket enqueue(chain::Blockchain& chain, audit::SettlementInstance instance,
                  const std::array<std::uint8_t, 32>& transcript);
 
@@ -183,6 +193,7 @@ class BatchSettlement {
   /// still post the window tx. All contracts of one engine share one chain.
   chain::Blockchain* chain_ptr_ = nullptr;
   std::optional<audit::AggregateSettlement> last_aggregate_;
+  std::vector<std::array<std::uint8_t, 32>> last_transcripts_;
   std::vector<audit::SettlementInstance> pending_;
   std::vector<std::array<std::uint8_t, 32>> transcripts_;
   struct BatchResult {

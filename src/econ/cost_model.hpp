@@ -73,7 +73,7 @@ struct AuditCostModel {
   /// Aggregate-settlement rows: one constant-size tx per window (seed +
   /// aggregated KZG opening + outcome bitmap) replaces every per-round
   /// prove tx. Bytes come from the real wire encoding
-  /// (audit::AggregateSettlement::serialized_size_for — 80 + ceil(rounds/8))
+  /// (audit::AggregateSettlement::serialized_size_for — 88 + ceil(rounds/8))
   /// so the model can never drift from the serializer.
   std::size_t aggregate_tx_bytes(std::size_t rounds) const;
   double aggregate_verify_ms(std::size_t rounds) const;

@@ -324,7 +324,26 @@ TEST(AdversaryDirected, SeedGrindingCannotReplayTheAggregateWindowSeed) {
   ASSERT_NE(bs, nullptr);
   ASSERT_TRUE(bs->last_aggregate().has_value());
   ASSERT_TRUE(bs->last_weight_seed().has_value());
-  EXPECT_EQ(bs->last_aggregate()->weight_seed, *bs->last_weight_seed());
+  const audit::AggregateSettlement tx = *bs->last_aggregate();
+  EXPECT_EQ(tx.weight_seed, *bs->last_weight_seed());
+
+  // The posted tx is verifiably bound to its window: the seed re-derives
+  // from the tx's own nonce + boundary and the window's canonical round
+  // transcripts. An attacker who swapped in a ground/self-chosen seed (under
+  // which forged proofs could cancel in the weighted batch check) could not
+  // produce this equality.
+  const auto transcripts = bs->last_transcripts();
+  ASSERT_FALSE(transcripts.empty());
+  EXPECT_EQ(tx.rounds, transcripts.size());
+  EXPECT_EQ(audit::derive_settlement_seed(tx.seed_nonce, tx.window_boundary,
+                                          transcripts),
+            tx.weight_seed);
+  // A seed the attacker picks himself does not re-derive.
+  auto forged = tx;
+  forged.weight_seed[0] ^= 1;
+  EXPECT_NE(audit::derive_settlement_seed(forged.seed_nonce,
+                                          forged.window_boundary, transcripts),
+            forged.weight_seed);
 }
 
 // Malformed bytes: corrupted wire encodings die at the typed decode

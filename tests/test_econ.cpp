@@ -32,11 +32,12 @@ TEST(CostModel, WireSizesShareOneSourceOfTruth) {
 
 TEST(CostModel, AggregateWindowRows) {
   AuditCostModel m;
-  // One settle-window tx: 80-byte header + ceil(rounds/8) bitmap.
-  EXPECT_EQ(m.aggregate_tx_bytes(64), 88u);
-  EXPECT_EQ(m.aggregate_tx_bytes(1), 81u);
-  EXPECT_EQ(m.aggregate_tx_bytes(8), 81u);
-  EXPECT_EQ(m.aggregate_tx_bytes(9), 82u);
+  // One settle-window tx: 88-byte header (seed + nonce + boundary + rounds
+  // + opening) + ceil(rounds/8) bitmap.
+  EXPECT_EQ(m.aggregate_tx_bytes(64), 96u);
+  EXPECT_EQ(m.aggregate_tx_bytes(1), 89u);
+  EXPECT_EQ(m.aggregate_tx_bytes(8), 89u);
+  EXPECT_EQ(m.aggregate_tx_bytes(9), 90u);
   EXPECT_THROW(m.aggregate_tx_bytes(0), std::invalid_argument);
   EXPECT_THROW(m.aggregate_verify_ms(0), std::invalid_argument);
   // The ISSUE acceptance bar: at a 16-instant window (64 rounds at the

@@ -67,6 +67,7 @@ class FuzzDecode : public ::testing::Test {
     // exists in the corpus.
     AggregateSettlement agg;
     agg.weight_seed = rng.bytes32();
+    agg.seed_nonce = 0x5EED0007;  // decode carries it opaquely
     agg.window_boundary = 86400;
     agg.rounds = 5;
     agg.opening = curve::g1_mul_generator(Fr::random(rng));
@@ -245,12 +246,12 @@ TEST_F(FuzzDecode, RejectionReasonsAreTyped) {
   }
   {
     auto b = valid_aggregate_;
-    for (int i = 0; i < 8; ++i) b[40 + i] = 0;  // rounds == 0
+    for (int i = 0; i < 8; ++i) b[48 + i] = 0;  // rounds == 0
     EXPECT_EQ(decode_aggregate_settlement(b).error, DecodeError::ZeroForbidden);
   }
   {
     auto b = valid_aggregate_;
-    std::fill(b.begin() + 48, b.begin() + 80, 0xFF);  // opening.x >= p
+    std::fill(b.begin() + 56, b.begin() + 88, 0xFF);  // opening.x >= p
     EXPECT_EQ(decode_aggregate_settlement(b).error, DecodeError::BadPoint);
   }
   {

@@ -5,11 +5,14 @@
 // whole simulated network — chain state, gas totals and ledger.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "audit/protocol.hpp"
 #include "audit/serialize.hpp"
 #include "contract/batch_settlement.hpp"
 #include "econ/cost_model.hpp"
 #include "pairing/pairing.hpp"
+#include "primitives/keccak256.hpp"
 #include "sim/network_sim.hpp"
 
 namespace dsaudit {
@@ -405,10 +408,11 @@ TEST(Settlement, ReducedSoundnessWeightsAreGatedAndWork) {
 }
 
 TEST(Settlement, AggregateSettlementTxVerifiesAndBindsItsSeed) {
-  // The one-tx-per-window object: seed + one aggregated KZG opening + the
-  // outcome bitmap. An honest recomputation under the tx's own seed accepts
-  // it; any grinding/replay of the seed, substituted opening, lying bitmap
-  // or count mismatch is refused.
+  // The one-tx-per-window object: seed + nonce + one aggregated KZG opening
+  // + the outcome bitmap. An honest tx — whose seed IS
+  // derive_settlement_seed(nonce, boundary, transcripts) — is accepted; a
+  // ground/self-chosen seed, a tampered nonce or boundary, a substituted
+  // opening, a lying bitmap or a count/transcript mismatch is refused.
   auto rng = SecureRng::deterministic(913);
   Scenario sc = make_scenario(4000, 6, rng);
   Verifier verifier(sc.kp.pk);
@@ -416,15 +420,19 @@ TEST(Settlement, AggregateSettlementTxVerifiesAndBindsItsSeed) {
   Prover prover(sc.kp.pk, sc.file, sc.tag);
 
   std::vector<SettlementInstance> instances(9);
+  std::vector<std::array<std::uint8_t, 32>> transcripts;
   for (auto& inst : instances) {
     inst.verifier = &verifier;
     inst.file = &ctx;
     inst.challenge = make_challenge(rng, 5);
     inst.basic = prover.prove(inst.challenge);
+    transcripts.push_back(rng.bytes32());
   }
   instances[4].basic->y += Fr::one();  // one cheater: a dirty-window bitmap
 
-  const auto seed = seed_of(rng);
+  const std::uint64_t nonce = 0x5EED'0913;
+  const std::uint64_t boundary = 4000;
+  const auto seed = audit::derive_settlement_seed(nonce, boundary, transcripts);
   audit::SettlementOptions opts;
   opts.compute_aggregate_opening = true;
   SettlementOutcome out = audit::verify_settlement(instances, seed, opts);
@@ -432,7 +440,8 @@ TEST(Settlement, AggregateSettlementTxVerifiesAndBindsItsSeed) {
 
   audit::AggregateSettlement tx;
   tx.weight_seed = seed;
-  tx.window_boundary = 4000;
+  tx.seed_nonce = nonce;
+  tx.window_boundary = boundary;
   tx.rounds = instances.size();
   tx.opening = out.aggregated_opening;
   tx.outcomes.assign(audit::AggregateSettlement::bitmap_bytes(tx.rounds), 0);
@@ -440,27 +449,135 @@ TEST(Settlement, AggregateSettlementTxVerifiesAndBindsItsSeed) {
     tx.set_outcome(i, out.ok[i]);
   }
 
-  EXPECT_TRUE(audit::verify_settlement_aggregate(instances, tx));
+  EXPECT_TRUE(
+      audit::verify_settlement_aggregate(instances, transcripts, boundary, tx));
   // Round-trips through the wire format and still verifies.
   auto decoded = audit::decode_aggregate_settlement(audit::serialize(tx));
   ASSERT_TRUE(decoded.ok());
-  EXPECT_TRUE(audit::verify_settlement_aggregate(instances, *decoded));
+  EXPECT_TRUE(audit::verify_settlement_aggregate(instances, transcripts,
+                                                 boundary, *decoded));
 
-  // Ground or replayed seed: different weights, different opening — refused.
+  // Ground seed: no longer the transcript derivation — refused.
   audit::AggregateSettlement bad = tx;
   bad.weight_seed[0] ^= 1;
-  EXPECT_FALSE(audit::verify_settlement_aggregate(instances, bad));
+  EXPECT_FALSE(
+      audit::verify_settlement_aggregate(instances, transcripts, boundary, bad));
+  // Tampered nonce: the seed no longer re-derives.
+  bad = tx;
+  bad.seed_nonce ^= 1;
+  EXPECT_FALSE(
+      audit::verify_settlement_aggregate(instances, transcripts, boundary, bad));
+  // Replay against a different window: the boundary check refuses it (and
+  // even a boundary-matching forgery would fail the seed re-derivation).
+  EXPECT_FALSE(audit::verify_settlement_aggregate(instances, transcripts,
+                                                  boundary + 4000, tx));
+  bad = tx;
+  bad.window_boundary += 4000;
+  EXPECT_FALSE(
+      audit::verify_settlement_aggregate(instances, transcripts, boundary, bad));
   // Substituted opening.
   bad = tx;
   bad.opening = bad.opening + curve::G1::generator();
-  EXPECT_FALSE(audit::verify_settlement_aggregate(instances, bad));
+  EXPECT_FALSE(
+      audit::verify_settlement_aggregate(instances, transcripts, boundary, bad));
   // Lying bitmap: the cheater marked clean.
   bad = tx;
   bad.outcomes[0] |= static_cast<std::uint8_t>(1u << 4);
-  EXPECT_FALSE(audit::verify_settlement_aggregate(instances, bad));
+  EXPECT_FALSE(
+      audit::verify_settlement_aggregate(instances, transcripts, boundary, bad));
   // Count mismatch with the instance set.
   EXPECT_FALSE(audit::verify_settlement_aggregate(
-      std::span<const SettlementInstance>(instances.data(), 8), tx));
+      std::span<const SettlementInstance>(instances.data(), 8),
+      std::span<const std::array<std::uint8_t, 32>>(transcripts.data(), 8),
+      boundary, tx));
+  // Transcript substitution: same instances, different committed identities.
+  auto other = transcripts;
+  other[0][0] ^= 1;
+  EXPECT_FALSE(
+      audit::verify_settlement_aggregate(instances, other, boundary, tx));
+}
+
+TEST(Settlement, ColludingCancellationUnderSelfChosenSeedIsRefused) {
+  // The attack the seed binding exists for: batch weights rho_i are a public
+  // function of the seed, so a prover who FIXES a seed before crafting
+  // proofs can corrupt two rounds with errors that cancel in the weighted
+  // batch check (d2 = -rho1*d1/rho2 on the y slot; zeta = 1 for basic
+  // proofs). Under the self-chosen seed the whole window then "settles
+  // clean" — the forged tx's bitmap and opening both match. The aggregate
+  // verifier must still refuse it, because that seed cannot be presented as
+  // Keccak(nonce || boundary || transcripts) over the committed transcripts.
+  auto rng = SecureRng::deterministic(914);
+  Scenario sc = make_scenario(4000, 6, rng);
+  Verifier verifier(sc.kp.pk);
+  PreparedFile ctx = audit::prepare_file(sc.name, sc.file.num_chunks());
+  Prover prover(sc.kp.pk, sc.file, sc.tag);
+
+  std::vector<SettlementInstance> instances(6);
+  std::vector<std::array<std::uint8_t, 32>> transcripts;
+  for (auto& inst : instances) {
+    inst.verifier = &verifier;
+    inst.file = &ctx;
+    inst.challenge = make_challenge(rng, 5);
+    inst.basic = prover.prove(inst.challenge);
+    transcripts.push_back(rng.bytes32());
+  }
+
+  // The engine's public weight schedule: rho_i = low 16 bytes of
+  // Keccak(seed || 'w' || i), interpreted big-endian (see weight_at in
+  // protocol.cpp).
+  const auto attacker_seed = seed_of(rng);
+  auto rho_at = [&](std::uint64_t i) {
+    std::array<std::uint8_t, 41> buf;
+    std::memcpy(buf.data(), attacker_seed.data(), 32);
+    buf[32] = 'w';
+    for (int b = 0; b < 8; ++b) {
+      buf[33 + b] = static_cast<std::uint8_t>(i >> (8 * b));
+    }
+    const auto h = primitives::Keccak256::hash(
+        std::span<const std::uint8_t>(buf.data(), buf.size()));
+    std::array<std::uint8_t, 32> wide{};
+    std::copy(h.begin(), h.begin() + 16, wide.end() - 16);
+    return Fr::from_be_bytes_mod(std::span<const std::uint8_t, 32>(wide));
+  };
+  const Fr d1 = Fr::random(rng);
+  const Fr d2 = -(rho_at(1) * d1) * rho_at(2).inverse();
+  instances[1].basic->y += d1;
+  instances[2].basic->y += d2;
+
+  // The cancellation is real: under the attacker's seed the weighted batch
+  // check passes and every round (the two cheaters included) reads Pass.
+  audit::SettlementOptions opts;
+  opts.compute_aggregate_opening = true;
+  SettlementOutcome forged =
+      audit::verify_settlement(instances, attacker_seed, opts);
+  ASSERT_TRUE(forged.all_ok());
+
+  // The forged window tx: all-pass bitmap, matching opening, the attacker's
+  // seed, and whatever nonce/boundary the attacker claims.
+  const std::uint64_t boundary = 8000;
+  audit::AggregateSettlement tx;
+  tx.weight_seed = attacker_seed;
+  tx.seed_nonce = 0xBAD5EED;
+  tx.window_boundary = boundary;
+  tx.rounds = instances.size();
+  tx.opening = forged.aggregated_opening;
+  tx.outcomes.assign(audit::AggregateSettlement::bitmap_bytes(tx.rounds), 0);
+  for (std::size_t i = 0; i < instances.size(); ++i) tx.set_outcome(i, true);
+
+  // Refused: the self-chosen seed is not the derivation over the committed
+  // transcripts, for this (or any feasible) nonce.
+  EXPECT_FALSE(
+      audit::verify_settlement_aggregate(instances, transcripts, boundary, tx));
+
+  // And the honestly derived seed — fixed only after the transcripts — does
+  // not cooperate with the cancellation: both cheaters are isolated.
+  const auto honest_seed =
+      audit::derive_settlement_seed(tx.seed_nonce, boundary, transcripts);
+  SettlementOutcome honest =
+      audit::verify_settlement(instances, honest_seed, opts);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(honest.ok[i], i != 1 && i != 2) << i;
+  }
 }
 
 // ---------------------------------------------------------------------------
